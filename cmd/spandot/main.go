@@ -1,0 +1,46 @@
+// Command spandot compiles an RGX expression to a variable-set
+// automaton and prints it in Graphviz DOT format, optionally after
+// determinization or trimming.
+//
+// Usage:
+//
+//	spandot -e 'x{a*}b' [-det] [-trim] > va.dot
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"spanners/internal/rgx"
+	"spanners/internal/va"
+)
+
+func main() {
+	var (
+		expr = flag.String("e", "", "RGX expression (required)")
+		det  = flag.Bool("det", false, "determinize before printing")
+		trim = flag.Bool("trim", false, "trim unreachable states before printing")
+		name = flag.String("name", "spanner", "graph name")
+	)
+	flag.Parse()
+	if *expr == "" {
+		fmt.Fprintln(os.Stderr, "spandot: -e expression is required")
+		os.Exit(2)
+	}
+	n, err := rgx.Parse(*expr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spandot:", err)
+		os.Exit(1)
+	}
+	a := va.FromRGX(n)
+	if *trim {
+		a = a.Trim()
+	}
+	if *det {
+		a = va.Determinize(a)
+	}
+	fmt.Fprintf(os.Stderr, "states=%d transitions=%d sequential=%v deterministic=%v\n",
+		a.NumStates, len(a.Trans), a.IsSequential(), a.IsDeterministic())
+	fmt.Print(a.Dot(*name))
+}

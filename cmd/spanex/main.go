@@ -1,0 +1,153 @@
+// Command spanex runs a document spanner over a document and streams
+// the extracted mappings.
+//
+// Usage:
+//
+//	spanex -e 'Seller: x{[^,\n]*},.*' [-rule] [-file doc.txt] [-max N] [-json] [doc...]
+//
+// The expression is an RGX formula (regex with x{…} captures) under
+// the mapping semantics of Maturana, Riveros & Vrgoč (PODS 2018), or
+// an extraction rule when -rule is set (syntax: docExpr && x.(expr)).
+// Documents come from -file, from the remaining arguments, or from
+// standard input. For every output mapping spanex prints the assigned
+// variables with their spans and contents; variables missing from a
+// mapping were not matched — that is the incomplete-information
+// semantics, not an error.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"spanners"
+)
+
+func main() {
+	var (
+		expr    = flag.String("e", "", "RGX expression (required)")
+		isRule  = flag.Bool("rule", false, "treat the expression as an extraction rule")
+		file    = flag.String("file", "", "read the document from this file")
+		maxOut  = flag.Int("max", 0, "stop after this many mappings (0 = all)")
+		asJSON  = flag.Bool("json", false, "emit one JSON object per mapping")
+		explain = flag.Bool("explain", false, "print classification of the expression and exit")
+	)
+	flag.Parse()
+	if *expr == "" {
+		fmt.Fprintln(os.Stderr, "spanex: -e expression is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	if err := run(*expr, *isRule, *file, *maxOut, *asJSON, *explain, flag.Args(), os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "spanex:", err)
+		os.Exit(1)
+	}
+}
+
+func run(expr string, isRule bool, file string, maxOut int, asJSON, explain bool, args []string, w io.Writer) error {
+	text, err := readDocument(file, args)
+	if err != nil {
+		return err
+	}
+	doc := spanners.NewDocument(text)
+
+	if isRule {
+		r, err := spanners.ParseRule(expr)
+		if err != nil {
+			return err
+		}
+		if explain {
+			fmt.Fprintf(w, "rule: %s\nsimple: %v\ndag-like: %v\ntree-like: %v\nsequential: %v\n",
+				r, r.Simple(), r.DagLike(), r.TreeLike(), r.Sequential())
+			return nil
+		}
+		count := 0
+		for _, m := range r.ExtractAll(doc) {
+			emit(w, doc, m, asJSON)
+			count++
+			if maxOut > 0 && count >= maxOut {
+				break
+			}
+		}
+		fmt.Fprintf(w, "-- %d mapping(s)\n", count)
+		return nil
+	}
+
+	s, err := spanners.Compile(expr)
+	if err != nil {
+		return err
+	}
+	if explain {
+		fmt.Fprintf(w, "expression: %s\nvariables: %v\nsequential: %v\nfunctional: %v\nsatisfiable: %v\n",
+			s, s.Vars(), s.Sequential(), s.Functional(), spanners.Satisfiable(s))
+		return nil
+	}
+	count := 0
+	s.Enumerate(doc, func(m spanners.Mapping) bool {
+		emit(w, doc, m, asJSON)
+		count++
+		return maxOut == 0 || count < maxOut
+	})
+	fmt.Fprintf(w, "-- %d mapping(s)\n", count)
+	return nil
+}
+
+func readDocument(file string, args []string) (string, error) {
+	if file != "" {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			return "", err
+		}
+		return string(data), nil
+	}
+	if len(args) > 0 {
+		text := ""
+		for i, a := range args {
+			if i > 0 {
+				text += "\n"
+			}
+			text += a
+		}
+		return text, nil
+	}
+	data, err := io.ReadAll(bufio.NewReader(os.Stdin))
+	if err != nil {
+		return "", err
+	}
+	return string(data), nil
+}
+
+func emit(w io.Writer, doc *spanners.Document, m spanners.Mapping, asJSON bool) {
+	if asJSON {
+		obj := map[string]any{}
+		for _, v := range m.Domain() {
+			s := m[v]
+			obj[string(v)] = map[string]any{
+				"start":   s.Start,
+				"end":     s.End,
+				"content": doc.Content(s),
+			}
+		}
+		enc, _ := json.Marshal(obj)
+		fmt.Fprintln(w, string(enc))
+		return
+	}
+	if len(m) == 0 {
+		fmt.Fprintln(w, "{} (match with no captures)")
+		return
+	}
+	first := true
+	for _, v := range m.Domain() {
+		if !first {
+			fmt.Fprint(w, "  ")
+		}
+		first = false
+		s := m[v]
+		fmt.Fprintf(w, "%s=%s %q", v, s, doc.Content(s))
+	}
+	fmt.Fprintln(w)
+}

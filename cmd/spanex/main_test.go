@@ -1,0 +1,75 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunExpression(t *testing.T) {
+	var out strings.Builder
+	err := run(`Seller: x{[^,]*},.*`, false, "", 0, false, false,
+		[]string{"Seller: Ana, ID3"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, `x=(9, 12) "Ana"`) {
+		t.Errorf("output missing extraction:\n%s", got)
+	}
+	if !strings.Contains(got, "1 mapping(s)") {
+		t.Errorf("output missing count:\n%s", got)
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	var out strings.Builder
+	err := run(`x{a+}`, false, "", 0, true, false, []string{"aaa"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), `"content":"aaa"`) {
+		t.Errorf("JSON output wrong:\n%s", out.String())
+	}
+}
+
+func TestRunRule(t *testing.T) {
+	var out strings.Builder
+	err := run("(<x>|<y>) && x.(ab*) && y.(ba*)", true, "", 0, false, false,
+		[]string{"abb"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), `x=(1, 4) "abb"`) {
+		t.Errorf("rule output wrong:\n%s", out.String())
+	}
+}
+
+func TestRunExplain(t *testing.T) {
+	var out strings.Builder
+	if err := run(`x{a*}b`, false, "", 0, false, true, nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"sequential: true", "functional: true", "satisfiable: true"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("explain missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunMaxLimit(t *testing.T) {
+	var out strings.Builder
+	err := run(`.*x{a}.*`, false, "", 2, false, false, []string{"aaaaa"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "2 mapping(s)") {
+		t.Errorf("max limit not honoured:\n%s", out.String())
+	}
+}
+
+func TestRunBadExpression(t *testing.T) {
+	var out strings.Builder
+	if err := run(`x{`, false, "", 0, false, false, []string{"a"}, &out); err == nil {
+		t.Fatal("parse error must propagate")
+	}
+}

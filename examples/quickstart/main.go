@@ -1,0 +1,59 @@
+// Quickstart: compile a variable regex, run it over a document, and
+// read the extracted mappings — including partial ones, which is the
+// point of the mapping semantics.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"spanners"
+)
+
+func main() {
+	// The paper's running example (Table 1): a CSV-like land registry
+	// where seller rows sometimes carry a tax amount.
+	doc := spanners.NewDocument(
+		"Seller: John, ID75\n" +
+			"Buyer: Marcelo, ID832, P78\n" +
+			"Seller: Mark, ID7, $35,000\n")
+
+	// x captures the seller name on every row; y captures the tax
+	// amount only when the row has one. The (…|) alternative is the
+	// optional part — when it takes the ε branch, y simply stays
+	// unassigned in the output mapping.
+	s := spanners.MustCompile(`.*(Seller: x{[^,\n]*}, ID\d*(, \$y{[^\n]*}|)\n).*`)
+
+	fmt.Println("expression:", s)
+	fmt.Println("variables: ", s.Vars())
+	fmt.Println("sequential:", s.Sequential(), "(PTIME evaluation, Theorem 5.7)")
+	fmt.Println()
+
+	// Stream every output mapping. Mappings are partial functions
+	// from variables to spans; a span is a (start, end) region and
+	// doc.Content gives its text.
+	s.Enumerate(doc, func(m spanners.Mapping) bool {
+		name := doc.Content(m["x"])
+		if tax, ok := m["y"]; ok {
+			fmt.Printf("seller %-8q tax %q\n", name, doc.Content(tax))
+		} else {
+			fmt.Printf("seller %-8q (no tax information)\n", name)
+		}
+		return true
+	})
+	fmt.Println()
+
+	// Decision problems: does the spanner match at all, and is a
+	// specific mapping one of its outputs?
+	fmt.Println("matches:", s.Matches(doc))
+	want := spanners.Mapping{"x": spanners.Sp(9, 13)} // "John"
+	fmt.Printf("model-check %v: %v\n", want, s.ModelCheck(doc, want))
+
+	// The Eval problem (Section 5): can a partial constraint be
+	// extended to an output? Pin x to "John" and forbid y.
+	c := spanners.NewConstraints().
+		WithSpan("x", spanners.Sp(9, 13)).
+		WithUnassigned("y")
+	fmt.Println("John without tax extendable:", s.Extendable(doc, c))
+}

@@ -1,0 +1,188 @@
+// Package naive implements the denotational semantics of Table 2
+// literally: ⟦γ⟧_d is computed by structural recursion on γ as a set
+// of (span, mapping) pairs, with the Kleene star evaluated as a
+// fixpoint. The implementation favours being an obviously correct
+// executable specification over speed — it is worst-case exponential
+// in the number of variables and quadratic-and-worse in |d| — and it
+// is the oracle against which every optimized engine in this
+// repository is property-tested.
+package naive
+
+import (
+	"sort"
+
+	"spanners/internal/rgx"
+	"spanners/internal/span"
+)
+
+// Pair is one element of the inner semantics ⟦·⟧: a span of the
+// document together with the mapping built while parsing it.
+type Pair struct {
+	Span    span.Span
+	Mapping span.Mapping
+}
+
+func (p Pair) key() string { return p.Span.String() + "/" + p.Mapping.Key() }
+
+// PairSet is a deduplicated set of pairs.
+type PairSet struct {
+	byKey map[string]Pair
+}
+
+// NewPairSet builds a set from the given pairs.
+func NewPairSet(ps ...Pair) *PairSet {
+	s := &PairSet{byKey: make(map[string]Pair, len(ps))}
+	for _, p := range ps {
+		s.Add(p)
+	}
+	return s
+}
+
+// Add inserts a pair, ignoring duplicates, and reports insertion.
+func (s *PairSet) Add(p Pair) bool {
+	k := p.key()
+	if _, ok := s.byKey[k]; ok {
+		return false
+	}
+	s.byKey[k] = p
+	return true
+}
+
+// Len returns the number of distinct pairs.
+func (s *PairSet) Len() int { return len(s.byKey) }
+
+// Pairs returns the contents in a deterministic order.
+func (s *PairSet) Pairs() []Pair {
+	keys := make([]string, 0, len(s.byKey))
+	for k := range s.byKey {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]Pair, len(keys))
+	for i, k := range keys {
+		out[i] = s.byKey[k]
+	}
+	return out
+}
+
+// Denote computes the inner semantics [γ]_d of Table 2: every span of
+// d that γ can parse, paired with the mapping assembled on the way.
+func Denote(n rgx.Node, d *span.Document) *PairSet {
+	switch n := n.(type) {
+	case rgx.Empty:
+		// [ε]_d: every empty span, no bindings.
+		out := NewPairSet()
+		for i := 1; i <= d.Len()+1; i++ {
+			out.Add(Pair{Span: span.Span{Start: i, End: i}, Mapping: span.Mapping{}})
+		}
+		return out
+
+	case rgx.Class:
+		// [a]_d: every single-letter span whose letter is in the class.
+		out := NewPairSet()
+		for i := 1; i <= d.Len(); i++ {
+			if n.C.Contains(d.RuneAt(i)) {
+				out.Add(Pair{Span: span.Span{Start: i, End: i + 1}, Mapping: span.Mapping{}})
+			}
+		}
+		return out
+
+	case rgx.Var:
+		// [x{R}]_d: R's pairs whose mapping does not already bind x,
+		// extended with x ↦ the parsed span.
+		sub := Denote(n.Sub, d)
+		out := NewPairSet()
+		for _, p := range sub.Pairs() {
+			if _, bound := p.Mapping[n.Name]; bound {
+				continue
+			}
+			m := p.Mapping.Copy()
+			m[n.Name] = p.Span
+			out.Add(Pair{Span: p.Span, Mapping: m})
+		}
+		return out
+
+	case rgx.Concat:
+		acc := Denote(rgx.Empty{}, d)
+		for _, part := range n.Parts {
+			acc = concatPairs(acc, Denote(part, d))
+		}
+		return acc
+
+	case rgx.Alt:
+		out := NewPairSet()
+		for _, part := range n.Parts {
+			for _, p := range Denote(part, d).Pairs() {
+				out.Add(p)
+			}
+		}
+		return out
+
+	case rgx.Star:
+		// [R*]_d = [ε]_d ∪ [R]_d ∪ [R²]_d ∪ …, computed as the least
+		// fixpoint of S ↦ S ∪ S·[R]_d, which exists because pairs
+		// over a fixed document form a finite set.
+		base := Denote(n.Sub, d)
+		acc := Denote(rgx.Empty{}, d)
+		for {
+			grew := false
+			for _, p := range concatPairs(acc, base).Pairs() {
+				if acc.Add(p) {
+					grew = true
+				}
+			}
+			if !grew {
+				return acc
+			}
+		}
+	}
+	panic("naive: unknown node type")
+}
+
+// concatPairs implements the concatenation rule of Table 2: adjacent
+// spans whose mappings have disjoint domains combine into one pair.
+func concatPairs(left, right *PairSet) *PairSet {
+	out := NewPairSet()
+	// Index the right-hand pairs by start position so concatenation
+	// is not a full cross product.
+	byStart := map[int][]Pair{}
+	for _, p := range right.Pairs() {
+		byStart[p.Span.Start] = append(byStart[p.Span.Start], p)
+	}
+	for _, l := range left.Pairs() {
+		for _, r := range byStart[l.Span.End] {
+			if !l.Mapping.DisjointDomain(r.Mapping) {
+				continue
+			}
+			s, _ := l.Span.Concat(r.Span)
+			m, _ := l.Mapping.Union(r.Mapping)
+			out.Add(Pair{Span: s, Mapping: m})
+		}
+	}
+	return out
+}
+
+// Eval computes the outer semantics ⟦γ⟧_d: the mappings of pairs whose
+// span is the whole document (1, |d|+1).
+func Eval(n rgx.Node, d *span.Document) *span.Set {
+	whole := d.Whole()
+	out := span.NewSet()
+	for _, p := range Denote(n, d).Pairs() {
+		if p.Span == whole {
+			out.Add(p.Mapping)
+		}
+	}
+	return out
+}
+
+// EvalAnywhere computes { µ | ∃s. (s, µ) ∈ [γ]_d }, the semantics of
+// the rule conjunct form x.R when applied through [x{R}]_d
+// (Section 3.3): the span is existentially quantified rather than
+// pinned to the whole document.
+func EvalAnywhere(n rgx.Node, d *span.Document) *span.Set {
+	out := span.NewSet()
+	for _, p := range Denote(n, d).Pairs() {
+		out.Add(p.Mapping)
+	}
+	return out
+}

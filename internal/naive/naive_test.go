@@ -1,0 +1,185 @@
+package naive
+
+import (
+	"testing"
+
+	"spanners/internal/rgx"
+	"spanners/internal/span"
+)
+
+// The document of Example 3.1.
+var d36 = span.NewDocument("aaabbb")
+
+func TestExample31Letter(t *testing.T) {
+	// [a]_d contains precisely (1,2), (2,3), (3,4), each with the
+	// empty mapping.
+	got := Denote(rgx.MustParse("a"), d36)
+	if got.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", got.Len())
+	}
+	for _, p := range got.Pairs() {
+		if len(p.Mapping) != 0 {
+			t.Errorf("letter pair has bindings: %v", p)
+		}
+		if d36.Content(p.Span) != "a" {
+			t.Errorf("span %v has content %q", p.Span, d36.Content(p.Span))
+		}
+	}
+}
+
+func TestExample31Capture(t *testing.T) {
+	// [x{a}]_d has the same three spans, now bound to x; but
+	// ⟦x{a}⟧_d is empty because no span is the whole document.
+	inner := Denote(rgx.MustParse("x{a}"), d36)
+	if inner.Len() != 3 {
+		t.Fatalf("inner Len = %d, want 3", inner.Len())
+	}
+	for _, p := range inner.Pairs() {
+		if p.Mapping[span.Var("x")] != p.Span {
+			t.Errorf("binding mismatch: %v", p)
+		}
+	}
+	outer := Eval(rgx.MustParse("x{a}"), d36)
+	if outer.Len() != 0 {
+		t.Fatalf("outer Len = %d, want 0", outer.Len())
+	}
+}
+
+func TestExample31Concat(t *testing.T) {
+	// ⟦x{a*}·y{b*}⟧_d contains µ with µ(x) = (1,4), µ(y) = (4,7).
+	got := Eval(rgx.MustParse("x{a*}y{b*}"), d36)
+	want := span.Mapping{"x": span.Sp(1, 4), "y": span.Sp(4, 7)}
+	if !got.Contains(want) {
+		t.Fatalf("missing %v in %v", want, got.Mappings())
+	}
+	// It is the only full-document parse: x must swallow all the a's
+	// and y all the b's.
+	if got.Len() != 1 {
+		t.Fatalf("Len = %d, want 1: %v", got.Len(), got.Mappings())
+	}
+}
+
+func TestExample31SharedVariableConcat(t *testing.T) {
+	// x{a*}·x{b*} can never output: the two sides both bind x.
+	got := Eval(rgx.MustParse("x{a*}x{b*}"), d36)
+	if got.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", got.Len())
+	}
+}
+
+func TestExample31SelfNesting(t *testing.T) {
+	// x{x{R}} never outputs mappings.
+	got := Eval(rgx.MustParse("x{x{a*}}"), span.NewDocument("aa"))
+	if got.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", got.Len())
+	}
+}
+
+func TestExample31StarOverVariables(t *testing.T) {
+	// e = (x{(a|b)*} | y{(a|b)*})* over aaabbb outputs, among others,
+	// µ(y) = (1,4) with µ(x) = (4,7).
+	got := Eval(rgx.MustParse("(x{(a|b)*}|y{(a|b)*})*"), d36)
+	want := span.Mapping{"y": span.Sp(1, 4), "x": span.Sp(4, 7)}
+	if !got.Contains(want) {
+		t.Fatalf("missing %v", want)
+	}
+	// The empty mapping also appears: zero iterations cannot cover a
+	// non-empty document, but one x-iteration spanning everything
+	// yields a singleton; the truly empty mapping requires zero
+	// iterations and is absent on a non-empty document.
+	if got.Contains(span.Mapping{}) {
+		t.Error("empty mapping should not appear on non-empty document")
+	}
+	// Every output is hierarchical (RGX property).
+	if !got.Hierarchical() {
+		t.Error("RGX output must be hierarchical")
+	}
+}
+
+func TestEpsilonAndWholeDocument(t *testing.T) {
+	d := span.NewDocument("")
+	got := Eval(rgx.MustParse(""), d)
+	if got.Len() != 1 || !got.Contains(span.Mapping{}) {
+		t.Fatalf("ε on empty document = %v", got.Mappings())
+	}
+	got = Eval(rgx.MustParse("a"), d)
+	if got.Len() != 0 {
+		t.Fatal("letter cannot match empty document")
+	}
+}
+
+func TestRegularExpressionBooleanReading(t *testing.T) {
+	// Variable-free RGX acts as TRUE ({∅}) / FALSE (∅) on documents.
+	d := span.NewDocument("abab")
+	if got := Eval(rgx.MustParse("(ab)*"), d); got.Len() != 1 || !got.Contains(span.Mapping{}) {
+		t.Errorf("match = %v", got.Mappings())
+	}
+	if got := Eval(rgx.MustParse("(ba)*"), d); got.Len() != 0 {
+		t.Errorf("non-match = %v", got.Mappings())
+	}
+}
+
+func TestOptionalExtraction(t *testing.T) {
+	// The Section 3.1 pattern: extract x always, y only when present.
+	// Document rows: "s:n,t\n" has tax t, "s:n\n" does not.
+	e := rgx.MustParse("s:x{[^,\\n]*}(,y{[^\\n]*}|)\\n")
+	withTax := Eval(e, span.NewDocument("s:ab,99\n"))
+	if !withTax.Contains(span.Mapping{"x": span.Sp(3, 5), "y": span.Sp(6, 8)}) {
+		t.Errorf("withTax = %v", withTax.Mappings())
+	}
+	noTax := Eval(e, span.NewDocument("s:ab\n"))
+	if !noTax.Contains(span.Mapping{"x": span.Sp(3, 5)}) {
+		t.Errorf("noTax = %v", noTax.Mappings())
+	}
+	// The two outputs have different domains: this is exactly what
+	// relations cannot represent and mappings can.
+	for _, m := range noTax.Mappings() {
+		if _, ok := m[span.Var("y")]; ok {
+			t.Errorf("y must be unassigned on the tax-free row, got %v", m)
+		}
+	}
+}
+
+func TestStarFixpointTerminates(t *testing.T) {
+	// (a|aa)* has many overlapping parses; the fixpoint must still
+	// terminate and find the whole-document match.
+	d := span.NewDocument("aaaaa")
+	got := Eval(rgx.MustParse("(a|aa)*"), d)
+	if got.Len() != 1 {
+		t.Fatalf("Len = %d", got.Len())
+	}
+}
+
+func TestEvalAnywhere(t *testing.T) {
+	// EvalAnywhere existentially quantifies the span: x{a} anywhere
+	// in aaabbb yields three mappings.
+	got := EvalAnywhere(rgx.MustParse("x{a}"), d36)
+	if got.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", got.Len())
+	}
+}
+
+func TestDenoteClassPredicate(t *testing.T) {
+	d := span.NewDocument("a1b2")
+	got := Denote(rgx.MustParse("[\\d]"), d)
+	if got.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", got.Len())
+	}
+	for _, p := range got.Pairs() {
+		c := d.Content(p.Span)
+		if c != "1" && c != "2" {
+			t.Errorf("unexpected match %q", c)
+		}
+	}
+}
+
+func TestPairSetDedup(t *testing.T) {
+	s := NewPairSet()
+	p := Pair{Span: span.Sp(1, 2), Mapping: span.Mapping{"x": span.Sp(1, 2)}}
+	if !s.Add(p) || s.Add(p) {
+		t.Error("dedup broken")
+	}
+	if s.Len() != 1 {
+		t.Errorf("Len = %d", s.Len())
+	}
+}

@@ -1,0 +1,195 @@
+package reductions
+
+import (
+	"fmt"
+	"math/rand"
+
+	"spanners/internal/span"
+	"spanners/internal/va"
+)
+
+// DNF is a propositional formula in disjunctive normal form with
+// exactly three literals per clause. Literals are encoded as
+// variable index + sign.
+type DNF struct {
+	NumVars int
+	Clauses [][3]Literal
+}
+
+// Literal is a possibly negated propositional variable.
+type Literal struct {
+	Var     int
+	Negated bool
+}
+
+// RandomDNF generates a formula with the given sizes.
+func RandomDNF(rng *rand.Rand, numVars, numClauses int) DNF {
+	if numVars < 3 {
+		numVars = 3
+	}
+	f := DNF{NumVars: numVars}
+	for i := 0; i < numClauses; i++ {
+		perm := rng.Perm(numVars)
+		var cl [3]Literal
+		for j := 0; j < 3; j++ {
+			cl[j] = Literal{Var: perm[j], Negated: rng.Intn(2) == 0}
+		}
+		f.Clauses = append(f.Clauses, cl)
+	}
+	return f
+}
+
+// Tautology returns a trivially valid DNF over n ≥ 3 variables: all
+// eight sign patterns of the first three variables.
+func Tautology(n int) DNF {
+	if n < 3 {
+		n = 3
+	}
+	f := DNF{NumVars: n}
+	for mask := 0; mask < 8; mask++ {
+		var cl [3]Literal
+		for j := 0; j < 3; j++ {
+			cl[j] = Literal{Var: j, Negated: mask&(1<<j) != 0}
+		}
+		f.Clauses = append(f.Clauses, cl)
+	}
+	return f
+}
+
+// BruteForceValid reports whether every assignment satisfies the
+// formula.
+func (f DNF) BruteForceValid() bool {
+	if f.NumVars > 24 {
+		panic("reductions: DNF brute force limited to 24 variables")
+	}
+	for mask := 0; mask < 1<<f.NumVars; mask++ {
+		sat := false
+		for _, cl := range f.Clauses {
+			all := true
+			for _, l := range cl {
+				val := mask&(1<<l.Var) != 0
+				if val == l.Negated {
+					all = false
+					break
+				}
+			}
+			if all {
+				sat = true
+				break
+			}
+		}
+		if !sat {
+			return false
+		}
+	}
+	return true
+}
+
+// posVar and negVar name the reduction's variables; clause i gets cVar.
+func posVar(i int) span.Var { return span.Var(fmt.Sprintf("p%d", i)) }
+func negVar(i int) span.Var { return span.Var(fmt.Sprintf("np%d", i)) }
+func clVar(i int) span.Var  { return span.Var(fmt.Sprintf("c%d", i)) }
+
+func (l Literal) spanVar() span.Var {
+	if l.Negated {
+		return negVar(l.Var)
+	}
+	return posVar(l.Var)
+}
+
+// gadget adds the open-close pair for variable x between two states,
+// through a fresh intermediate state.
+func gadget(a *va.VA, from, to int, x span.Var) {
+	mid := a.AddState()
+	a.AddOpen(from, mid, x)
+	a.AddClose(mid, to, x)
+}
+
+// ToContainment builds the two deterministic sequential automata of
+// Theorem 6.6's lower bound: ⟦A1⟧_d ⊆ ⟦A2⟧_d for every document d
+// iff the formula is valid. A1 guesses a valuation (choosing p_j or
+// ¬p_j for every variable) and then reads the clause markers; A2 has
+// one branch per clause asserting that the valuation satisfies it.
+// Both automata accept only the empty document, with every variable
+// bound to (1,1).
+func (f DNF) ToContainment() (a1, a2 *va.VA) {
+	n, m := f.NumVars, len(f.Clauses)
+
+	// A1: a chain of variable choices followed by all clause markers.
+	a1 = &va.VA{}
+	cur := a1.AddState()
+	a1.Start = cur
+	for j := 0; j < n; j++ {
+		next := a1.AddState()
+		gadget(a1, cur, next, posVar(j))
+		gadget(a1, cur, next, negVar(j))
+		cur = next
+	}
+	for i := 0; i < m; i++ {
+		next := a1.AddState()
+		gadget(a1, cur, next, clVar(i))
+		cur = next
+	}
+	a1.Finals = []int{cur}
+
+	// A2: one branch per clause.
+	a2 = &va.VA{}
+	start := a2.AddState()
+	final := a2.AddState()
+	a2.Start = start
+	a2.Finals = []int{final}
+	for i, cl := range f.Clauses {
+		// The branch is: the clause marker, the clause's literals
+		// (their signs are fixed: the valuation must satisfy them),
+		// a free choice for every other variable, and the remaining
+		// clause markers. Containment compares mappings, not label
+		// orders, so A1 and A2 may fire the operations in different
+		// orders.
+		inClause := map[int]bool{}
+		for _, l := range cl {
+			inClause[l.Var] = true
+		}
+		type step struct {
+			choice []span.Var // one gadget per alternative
+		}
+		var steps []step
+		steps = append(steps, step{choice: []span.Var{clVar(i)}})
+		for _, l := range sortedLits(cl) {
+			steps = append(steps, step{choice: []span.Var{l.spanVar()}})
+		}
+		for j := 0; j < n; j++ {
+			if !inClause[j] {
+				steps = append(steps, step{choice: []span.Var{posVar(j), negVar(j)}})
+			}
+		}
+		for k := 0; k < m; k++ {
+			if k != i {
+				steps = append(steps, step{choice: []span.Var{clVar(k)}})
+			}
+		}
+		cur := start
+		for idx, s := range steps {
+			next := final
+			if idx < len(steps)-1 {
+				next = a2.AddState()
+			}
+			for _, x := range s.choice {
+				gadget(a2, cur, next, x)
+			}
+			cur = next
+		}
+	}
+	return a1, a2
+}
+
+func sortedLits(cl [3]Literal) []Literal {
+	out := []Literal{cl[0], cl[1], cl[2]}
+	for i := 0; i < len(out); i++ {
+		for j := i + 1; j < len(out); j++ {
+			if out[j].Var < out[i].Var {
+				out[i], out[j] = out[j], out[i]
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,127 @@
+package reductions
+
+import (
+	"fmt"
+	"math/rand"
+
+	"spanners/internal/span"
+	"spanners/internal/va"
+)
+
+// Digraph is a directed graph on vertices 0..N-1.
+type Digraph struct {
+	N     int
+	Edges [][2]int
+}
+
+// RandomDigraph generates a graph where each ordered pair gets an
+// edge with probability p, plus a guaranteed Hamiltonian path when
+// plant is set (so both yes- and no-instances can be produced).
+func RandomDigraph(rng *rand.Rand, n int, p float64, plant bool) Digraph {
+	g := Digraph{N: n}
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if u != v && rng.Float64() < p {
+				g.Edges = append(g.Edges, [2]int{u, v})
+			}
+		}
+	}
+	if plant {
+		perm := rng.Perm(n)
+		for i := 0; i+1 < n; i++ {
+			g.Edges = append(g.Edges, [2]int{perm[i], perm[i+1]})
+		}
+	}
+	return g
+}
+
+// HasEdge reports whether (u, v) is an edge.
+func (g Digraph) HasEdge(u, v int) bool {
+	for _, e := range g.Edges {
+		if e[0] == u && e[1] == v {
+			return true
+		}
+	}
+	return false
+}
+
+// BruteForceHamiltonianPath reports whether the graph has a directed
+// Hamiltonian path, by memoized subset DP (O(2^n · n²)).
+func (g Digraph) BruteForceHamiltonianPath() bool {
+	if g.N == 0 {
+		return true
+	}
+	if g.N > 20 {
+		panic("reductions: Hamiltonian brute force limited to 20 vertices")
+	}
+	adj := make([][]bool, g.N)
+	for i := range adj {
+		adj[i] = make([]bool, g.N)
+	}
+	for _, e := range g.Edges {
+		adj[e[0]][e[1]] = true
+	}
+	// reach[mask][v]: a path visiting exactly mask ending at v.
+	reach := make([][]bool, 1<<g.N)
+	for v := 0; v < g.N; v++ {
+		m := 1 << v
+		if reach[m] == nil {
+			reach[m] = make([]bool, g.N)
+		}
+		reach[m][v] = true
+	}
+	full := (1 << g.N) - 1
+	for mask := 1; mask <= full; mask++ {
+		if reach[mask] == nil {
+			continue
+		}
+		for v := 0; v < g.N; v++ {
+			if !reach[mask][v] {
+				continue
+			}
+			if mask == full {
+				return true
+			}
+			for w := 0; w < g.N; w++ {
+				if mask&(1<<w) == 0 && adj[v][w] {
+					nm := mask | 1<<w
+					if reach[nm] == nil {
+						reach[nm] = make([]bool, g.N)
+					}
+					reach[nm][w] = true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// ToRelationalVA builds the variable-set automaton of
+// Proposition 5.4: over the empty document, ⟦A⟧_ε ≠ ∅ iff the graph
+// has a Hamiltonian path. The start state opens any subset of the
+// vertex variables; closing x_v enters vertex v's column, and each
+// close moves one column to the right along graph edges, so reaching
+// the last column closes |V| distinct variables — a Hamiltonian
+// path. The automaton is relational: every accepted mapping assigns
+// every variable the span (1,1).
+func (g Digraph) ToRelationalVA() *va.VA {
+	xv := func(v int) span.Var { return span.Var(fmt.Sprintf("v%d", v)) }
+	// States: 0 = q0, 1 = qf, then p_{v,i} = 2 + v*g.N + (i-1).
+	a := va.New(2+g.N*g.N, 0, 1)
+	st := func(v, i int) int { return 2 + v*g.N + (i - 1) }
+	for v := 0; v < g.N; v++ {
+		a.AddOpen(0, 0, xv(v))
+		a.AddClose(0, st(v, 1), xv(v))
+		a.AddEps(st(v, g.N), 1)
+	}
+	for _, e := range g.Edges {
+		u, v := e[0], e[1]
+		for i := 1; i < g.N; i++ {
+			a.AddClose(st(u, i), st(v, i+1), xv(v))
+		}
+	}
+	return a
+}
+
+// EmptyDocument returns the document the reduction evaluates on.
+func EmptyDocument() *span.Document { return span.NewDocument("") }

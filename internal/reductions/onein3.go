@@ -1,0 +1,194 @@
+// Package reductions implements the hardness reductions from the
+// paper's appendix as instance generators, so the complexity-shape
+// experiments run on exactly the families the lower-bound proofs use:
+//
+//   - 1-in-3-SAT → spanRGX non-emptiness (Theorem 5.2, also the
+//     satisfiability bounds of Theorem 6.1),
+//   - 1-in-3-SAT → functional dag-like rules (Theorem 5.8),
+//   - Hamiltonian path → relational VA non-emptiness (Proposition 5.4),
+//   - DNF validity → containment of deterministic sequential VA
+//     (Theorem 6.6).
+//
+// Each reduction comes with a brute-force reference solver so tests
+// can confirm the reduction preserves yes/no instances.
+package reductions
+
+import (
+	"fmt"
+	"math/rand"
+
+	"spanners/internal/rgx"
+	"spanners/internal/rules"
+	"spanners/internal/span"
+)
+
+// OneInThreeSAT is a positive 1-in-3-SAT instance: a conjunction of
+// clauses, each a disjunction of exactly three propositional
+// variables (no negations). The question is whether some assignment
+// makes exactly one variable true in every clause.
+type OneInThreeSAT struct {
+	NumVars int      // variables are 0..NumVars-1
+	Clauses [][3]int // indices into the variables
+}
+
+// RandomOneInThreeSAT generates an instance with the given clause
+// count over roughly clauses variables, using the provided source for
+// reproducibility.
+func RandomOneInThreeSAT(rng *rand.Rand, numVars, numClauses int) OneInThreeSAT {
+	if numVars < 3 {
+		numVars = 3
+	}
+	ins := OneInThreeSAT{NumVars: numVars}
+	for i := 0; i < numClauses; i++ {
+		a := rng.Intn(numVars)
+		b := rng.Intn(numVars)
+		for b == a {
+			b = rng.Intn(numVars)
+		}
+		c := rng.Intn(numVars)
+		for c == a || c == b {
+			c = rng.Intn(numVars)
+		}
+		ins.Clauses = append(ins.Clauses, [3]int{a, b, c})
+	}
+	return ins
+}
+
+// BruteForce reports whether a satisfying 1-in-3 assignment exists,
+// by trying all 2^NumVars assignments.
+func (ins OneInThreeSAT) BruteForce() bool {
+	if ins.NumVars > 24 {
+		panic("reductions: brute force limited to 24 variables")
+	}
+	for mask := 0; mask < 1<<ins.NumVars; mask++ {
+		ok := true
+		for _, c := range ins.Clauses {
+			count := 0
+			for _, v := range c {
+				if mask&(1<<v) != 0 {
+					count++
+				}
+			}
+			if count != 1 {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return len(ins.Clauses) == 0
+}
+
+// conflicts reports whether occurrence (i, j) is in conflict with
+// occurrence (k, l) for i < k, per the proof of Theorem 5.2: making
+// p_{i,j} true forces p_{k,l} false.
+func (ins OneInThreeSAT) conflicts(i, j, k, l int) bool {
+	if i >= k {
+		return false
+	}
+	for m := 0; m < 3; m++ {
+		if ins.Clauses[i][j] == ins.Clauses[k][m] && m != l {
+			return true
+		}
+		if ins.Clauses[i][m] == ins.Clauses[k][l] && m != j {
+			return true
+		}
+	}
+	return false
+}
+
+// xVar and yVar name the reduction's variables.
+func xVar(i, j int) span.Var { return span.Var(fmt.Sprintf("x_%d_%d", i, j)) }
+func yVar(i, j, k, l int) span.Var {
+	return span.Var(fmt.Sprintf("y_%d_%d_%d_%d", i, j, k, l))
+}
+
+// ToSpanRGX builds the spanRGX γ_α of Theorem 5.2: over the empty
+// document, ⟦γ_α⟧_ε ≠ ∅ iff the instance has a 1-in-3 satisfying
+// assignment. Choosing the j-th disjunct of clause i assigns x_{i,j}
+// (the literal is true) together with one conflict variable per
+// incompatible later occurrence; conflicting choices would assign
+// some conflict variable twice, which concatenation forbids.
+func (ins OneInThreeSAT) ToSpanRGX() rgx.Node {
+	clauses := make([]rgx.Node, 0, len(ins.Clauses))
+	for i := range ins.Clauses {
+		branches := make([]rgx.Node, 0, 3)
+		for j := 0; j < 3; j++ {
+			parts := []rgx.Node{rgx.SpanVar(xVar(i, j))}
+			for _, y := range ins.conflictSet(i, j) {
+				parts = append(parts, rgx.SpanVar(y))
+			}
+			branches = append(branches, rgx.Seq(parts...))
+		}
+		clauses = append(clauses, rgx.Or(branches...))
+	}
+	if len(clauses) == 0 {
+		return rgx.Empty{}
+	}
+	return rgx.Seq(clauses...)
+}
+
+// conflictSet lists the conflict variables attached to occurrence
+// (i, j), in deterministic order.
+func (ins OneInThreeSAT) conflictSet(i, j int) []span.Var {
+	var out []span.Var
+	for k := range ins.Clauses {
+		for l := 0; l < 3; l++ {
+			if ins.conflicts(i, j, k, l) {
+				out = append(out, yVar(i, j, k, l))
+			}
+			if ins.conflicts(k, l, i, j) {
+				out = append(out, yVar(k, l, i, j))
+			}
+		}
+	}
+	return out
+}
+
+// ToDagRule builds the functional dag-like rule of Theorem 5.8: over
+// the document "#", ⟦ϕ⟧_# ≠ ∅ iff the instance is 1-in-3 satisfiable.
+// The chain variables c_i thread the clauses; a propositional
+// variable sits left of # when true and right when false, and T/F
+// anchor the two sides.
+func (ins OneInThreeSAT) ToDagRule() *rules.Rule {
+	n := len(ins.Clauses)
+	pVar := func(idx int) rgx.Node { return rgx.SpanVar(span.Var(fmt.Sprintf("p%d", idx))) }
+	cVar := func(i int) span.Var { return span.Var(fmt.Sprintf("c%d", i)) }
+	T, F := span.Var("T"), span.Var("F")
+
+	r := &rules.Rule{
+		Doc: rgx.Seq(rgx.SpanVar(T), rgx.SpanVar(cVar(1)), rgx.SpanVar(F)),
+	}
+	branch := func(i int, tail rgx.Node) rgx.Node {
+		c := ins.Clauses[i]
+		var alts []rgx.Node
+		for j := 0; j < 3; j++ {
+			others := []rgx.Node{}
+			for m := 0; m < 3; m++ {
+				if m != j {
+					others = append(others, pVar(c[m]))
+				}
+			}
+			alts = append(alts, rgx.Seq(pVar(c[j]), tail, others[0], others[1]))
+		}
+		return rgx.Or(alts...)
+	}
+	for i := 1; i <= n; i++ {
+		var tail rgx.Node
+		if i < n {
+			tail = rgx.SpanVar(cVar(i + 1))
+		} else {
+			tail = rgx.Seq(rgx.SpanVar(T), rgx.Lit('#'), rgx.SpanVar(F))
+		}
+		r.Conjuncts = append(r.Conjuncts, rules.Conjunct{Var: cVar(i), Expr: branch(i-1, tail)})
+	}
+	return r
+}
+
+// RuleDocument returns the only document the Theorem 5.8 rule can
+// match.
+func (ins OneInThreeSAT) RuleDocument() *span.Document {
+	return span.NewDocument("#")
+}

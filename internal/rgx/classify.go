@@ -1,0 +1,222 @@
+package rgx
+
+import (
+	"spanners/internal/runeclass"
+	"spanners/internal/span"
+)
+
+// IsFunctional reports whether the expression is functional (with
+// respect to its own variable set), the syntactic restriction of
+// Fagin et al. under which every output mapping assigns exactly
+// var(γ): both branches of every disjunction bind the same variables,
+// the two sides of a concatenation bind disjoint variables, starred
+// subexpressions bind none, and no variable is re-bound inside itself.
+// Functional RGX are precisely the regex formulas of [8]
+// (Theorem 4.1), and every functional RGX is sequential.
+func IsFunctional(n Node) bool {
+	switch n := n.(type) {
+	case Empty, Class:
+		return true
+	case Var:
+		if varInSet(n.Name, n.Sub) {
+			return false
+		}
+		return IsFunctional(n.Sub)
+	case Star:
+		return !HasVars(n.Sub)
+	case Concat:
+		return disjointParts(n.Parts) && allFunctional(n.Parts)
+	case Alt:
+		if !allFunctional(n.Parts) {
+			return false
+		}
+		first := Vars(n.Parts[0])
+		for _, p := range n.Parts[1:] {
+			if !sameVarSet(first, Vars(p)) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// FunctionalWrt implements the paper's inductive definition of
+// "functional with respect to X" verbatim. It exists mainly so tests
+// can confirm that IsFunctional(γ) coincides with
+// FunctionalWrt(γ, var(γ)), the form the paper states.
+func FunctionalWrt(n Node, x []span.Var) bool {
+	inX := make(map[span.Var]bool, len(x))
+	for _, v := range x {
+		inX[v] = true
+	}
+	return functionalWrt(n, inX)
+}
+
+func functionalWrt(n Node, x map[span.Var]bool) bool {
+	switch n := n.(type) {
+	case Empty, Class:
+		return len(x) == 0
+	case Star:
+		return len(x) == 0 && !HasVars(n.Sub)
+	case Var:
+		if !x[n.Name] {
+			return false
+		}
+		rest := make(map[span.Var]bool, len(x)-1)
+		for v := range x {
+			if v != n.Name {
+				rest[v] = true
+			}
+		}
+		return functionalWrt(n.Sub, rest)
+	case Alt:
+		for _, p := range n.Parts {
+			if !functionalWrt(p, x) {
+				return false
+			}
+		}
+		return true
+	case Concat:
+		// The only partition that can succeed gives each part the
+		// variables it syntactically mentions; any overlap between
+		// parts makes every partition fail.
+		used := map[span.Var]bool{}
+		for _, p := range n.Parts {
+			sub := map[span.Var]bool{}
+			for _, v := range Vars(p) {
+				if used[v] || !x[v] {
+					return false
+				}
+				used[v] = true
+				sub[v] = true
+			}
+			if !functionalWrt(p, sub) {
+				return false
+			}
+		}
+		// Every variable of X must be handed to some part.
+		return len(used) == len(x)
+	}
+	return false
+}
+
+// IsSequential reports whether the expression is sequential
+// (Section 5.2): concatenated subexpressions bind disjoint variable
+// sets, starred subexpressions bind none, and no variable capture
+// nests itself. Sequential RGX have PTIME Eval and hence
+// polynomial-delay enumeration (Theorem 5.7); every RGX is equivalent
+// to a sequential one (Proposition 5.6, implemented by Sequentialize).
+func IsSequential(n Node) bool {
+	switch n := n.(type) {
+	case Empty, Class:
+		return true
+	case Var:
+		if varInSet(n.Name, n.Sub) {
+			return false
+		}
+		return IsSequential(n.Sub)
+	case Star:
+		return !HasVars(n.Sub)
+	case Concat:
+		if !disjointParts(n.Parts) {
+			return false
+		}
+		for _, p := range n.Parts {
+			if !IsSequential(p) {
+				return false
+			}
+		}
+		return true
+	case Alt:
+		for _, p := range n.Parts {
+			if !IsSequential(p) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// IsSpanRGX reports whether the expression is a span regular
+// expression (Section 3.3): every capture has the fixed body Σ*, so
+// variables act as atoms with no control over the captured span's
+// shape. These are the building blocks of extraction rules.
+func IsSpanRGX(n Node) bool {
+	switch n := n.(type) {
+	case Empty, Class:
+		return true
+	case Var:
+		st, ok := n.Sub.(Star)
+		if !ok {
+			return false
+		}
+		cl, ok := st.Sub.(Class)
+		return ok && cl.C.Equal(runeclass.Any())
+	case Star:
+		return IsSpanRGX(n.Sub)
+	case Concat:
+		for _, p := range n.Parts {
+			if !IsSpanRGX(p) {
+				return false
+			}
+		}
+		return true
+	case Alt:
+		for _, p := range n.Parts {
+			if !IsSpanRGX(p) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// IsRegular reports whether the expression mentions no variables at
+// all, i.e. is an ordinary regular expression.
+func IsRegular(n Node) bool { return !HasVars(n) }
+
+func varInSet(v span.Var, n Node) bool {
+	for _, u := range Vars(n) {
+		if u == v {
+			return true
+		}
+	}
+	return false
+}
+
+func allFunctional(parts []Node) bool {
+	for _, p := range parts {
+		if !IsFunctional(p) {
+			return false
+		}
+	}
+	return true
+}
+
+func disjointParts(parts []Node) bool {
+	seen := map[span.Var]bool{}
+	for _, p := range parts {
+		for _, v := range Vars(p) {
+			if seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+	}
+	return true
+}
+
+func sameVarSet(a, b []span.Var) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

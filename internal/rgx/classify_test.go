@@ -1,0 +1,95 @@
+package rgx
+
+import "testing"
+
+func TestIsFunctional(t *testing.T) {
+	cases := []struct {
+		in   string
+		want bool
+	}{
+		{"a*", true},
+		{"x{a*}", true},
+		{"x{a*}y{b*}", true},
+		{"x{a}|x{b}", true}, // both branches bind x
+		{"x{a}|b", false},   // branches bind different sets
+		{"x{a}x{b}", false}, // x reused in concatenation
+		{"(x{a})*", false},  // star over variables
+		{"x{y{a}}", true},   // nested, distinct variables
+		{"x{x{a}}", false},  // variable inside itself
+		{".*Seller: (x{[^,]*}),.*", true},
+		{"x{a}(y{b}|y{c})", true},
+		{"x{a}(y{b}|c)", false},
+	}
+	for _, c := range cases {
+		n := MustParse(c.in)
+		if got := IsFunctional(n); got != c.want {
+			t.Errorf("IsFunctional(%q) = %v, want %v", c.in, got, c.want)
+		}
+		// The simple predicate must coincide with the paper's
+		// inductive definition instantiated at X = var(γ).
+		if got := FunctionalWrt(n, Vars(n)); got != c.want {
+			t.Errorf("FunctionalWrt(%q, var) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestIsSequential(t *testing.T) {
+	cases := []struct {
+		in   string
+		want bool
+	}{
+		{"a*", true},
+		{"x{a}|b", true},    // disjunction with different domains is fine
+		{"x{a}|y{b}", true}, // likewise
+		{"x{a}x{b}", false}, // reuse across concatenation
+		{"(x{a})*", false},  // star over variables
+		{"x{x{a}}", false},  // self-nesting
+		{"x{a}(y{b}|c)", true},
+		{"(x{(a|b)*}|y{(a|b)*})", true},
+	}
+	for _, c := range cases {
+		if got := IsSequential(MustParse(c.in)); got != c.want {
+			t.Errorf("IsSequential(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestFunctionalImpliesSequential(t *testing.T) {
+	exprs := []string{
+		"a*", "x{a*}", "x{a*}y{b*}", "x{a}|x{b}", "x{y{a}}",
+		"x{a}|b", "x{a}x{b}", "(x{a})*", "x{a}(y{b}|c)",
+	}
+	for _, in := range exprs {
+		n := MustParse(in)
+		if IsFunctional(n) && !IsSequential(n) {
+			t.Errorf("%q functional but not sequential", in)
+		}
+	}
+}
+
+func TestIsSpanRGX(t *testing.T) {
+	cases := []struct {
+		in   string
+		want bool
+	}{
+		{"a(x{.*})b*", true},
+		{"x{.*}|y{.*}", true},
+		{"x{a*}", false}, // shaped capture
+		{"a*b", true},    // no captures at all is fine
+		{"x{.*}(y{.*})*", true},
+	}
+	for _, c := range cases {
+		if got := IsSpanRGX(MustParse(c.in)); got != c.want {
+			t.Errorf("IsSpanRGX(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestIsRegular(t *testing.T) {
+	if !IsRegular(MustParse("a(b|c)*")) {
+		t.Error("variable-free expression is regular")
+	}
+	if IsRegular(MustParse("a(x{b})*")) {
+		t.Error("expression with captures is not regular")
+	}
+}

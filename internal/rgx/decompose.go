@@ -1,0 +1,288 @@
+package rgx
+
+import (
+	"fmt"
+
+	"spanners/internal/span"
+)
+
+// DefaultDecomposeBudget bounds the number of functional components a
+// decomposition may produce before giving up. The construction is
+// worst-case exponential (the paper's path-union argument, proof of
+// Theorem 4.3), so callers working with adversarial inputs should
+// expect ErrBudget.
+const DefaultDecomposeBudget = 100_000
+
+// ErrBudget is returned when a worst-case-exponential construction
+// exceeds its component budget.
+var ErrBudget = fmt.Errorf("rgx: decomposition budget exceeded")
+
+// Decompose rewrites γ into an equivalent finite union of functional
+// RGX formulas: JγK_d = ⋃_i Jδ_i K_d for every document d, with every
+// δ_i functional (hence satisfiable and sequential). This is the
+// engine behind three results of the paper:
+//
+//   - the corollary to Theorem 4.3 that every RGX is an (exponential)
+//     union of functional RGX,
+//   - Proposition 4.8 (simple rules → unions of functional rules),
+//     which applies it conjunct-wise, and
+//   - Proposition 5.6 / Sequentialize, since a disjunction of
+//     functional formulas is sequential.
+//
+// Each parse of γ commits to one branch of every disjunction and to a
+// number of unrollings of every starred subexpression that binds
+// variables; a component records one such commitment pattern.
+// Components that can never produce a mapping (a variable bound twice,
+// or inside itself) are pruned, so every returned component is
+// functional. An empty result means γ is unsatisfiable.
+//
+// budget caps the component count (use DefaultDecomposeBudget);
+// exceeding it returns ErrBudget.
+func Decompose(n Node, budget int) ([]Node, error) {
+	d := decomposer{budget: budget}
+	comps, err := d.decompose(n)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Node, len(comps))
+	for i, c := range comps {
+		out[i] = Simplify(c.node)
+	}
+	return out, nil
+}
+
+// Sequentialize returns a sequential RGX equivalent to γ
+// (Proposition 5.6): the disjunction of γ's functional components.
+// The result can be exponentially larger than γ; budget caps the
+// blowup. It returns an error carrying ErrBudget on overrun and a
+// distinguished error when γ is unsatisfiable (the mapping semantics
+// has no expression denoting the empty spanner, so there is nothing
+// to return).
+func Sequentialize(n Node, budget int) (Node, error) {
+	if IsSequential(n) {
+		return n, nil
+	}
+	comps, err := Decompose(n, budget)
+	if err != nil {
+		return nil, err
+	}
+	if len(comps) == 0 {
+		return nil, fmt.Errorf("rgx: expression is unsatisfiable; no sequential equivalent exists in the grammar")
+	}
+	return Or(comps...), nil
+}
+
+// component is a candidate functional component together with its
+// bound-variable set, tracked to prune inconsistent combinations
+// early.
+type component struct {
+	node Node
+	vars map[span.Var]bool
+}
+
+type decomposer struct {
+	budget int
+	used   int
+}
+
+func (d *decomposer) charge(n int) error {
+	d.used += n
+	if d.used > d.budget {
+		return ErrBudget
+	}
+	return nil
+}
+
+func (d *decomposer) decompose(n Node) ([]component, error) {
+	switch n := n.(type) {
+	case Empty, Class:
+		if err := d.charge(1); err != nil {
+			return nil, err
+		}
+		return []component{{node: n, vars: map[span.Var]bool{}}}, nil
+
+	case Var:
+		subs, err := d.decompose(n.Sub)
+		if err != nil {
+			return nil, err
+		}
+		var out []component
+		for _, c := range subs {
+			if c.vars[n.Name] {
+				continue // x bound inside itself can never output
+			}
+			vars := copyVarSet(c.vars)
+			vars[n.Name] = true
+			out = append(out, component{node: Var{Name: n.Name, Sub: c.node}, vars: vars})
+		}
+		if err := d.charge(len(out)); err != nil {
+			return nil, err
+		}
+		return out, nil
+
+	case Alt:
+		var out []component
+		for _, p := range n.Parts {
+			sub, err := d.decompose(p)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, sub...)
+		}
+		if err := d.charge(len(out)); err != nil {
+			return nil, err
+		}
+		return out, nil
+
+	case Concat:
+		acc := []component{{node: Empty{}, vars: map[span.Var]bool{}}}
+		for _, p := range n.Parts {
+			sub, err := d.decompose(p)
+			if err != nil {
+				return nil, err
+			}
+			var next []component
+			for _, left := range acc {
+				for _, right := range sub {
+					if overlap(left.vars, right.vars) {
+						continue // same variable on both sides: no output
+					}
+					next = append(next, component{
+						node: Seq(left.node, right.node),
+						vars: unionVarSets(left.vars, right.vars),
+					})
+				}
+			}
+			if err := d.charge(len(next)); err != nil {
+				return nil, err
+			}
+			acc = next
+		}
+		return acc, nil
+
+	case Star:
+		subs, err := d.decompose(n.Sub)
+		if err != nil {
+			return nil, err
+		}
+		var novar []Node
+		var withvar []component
+		for _, c := range subs {
+			if len(c.vars) == 0 {
+				novar = append(novar, c.node)
+			} else {
+				withvar = append(withvar, c)
+			}
+		}
+		// pad is the variable-free remainder of the star: any number
+		// of iterations that bind nothing.
+		var pad Node = Empty{}
+		if len(novar) > 0 {
+			pad = Star{Sub: Or(novar...)}
+		}
+		// Every mapping-producing parse is pad · w1 · pad · ... · pad
+		// for a sequence of distinct, variable-disjoint components
+		// with variables: a component reused would re-bind its
+		// variables, which concatenation forbids.
+		var out []component
+		var rec func(prefix []component, vars map[span.Var]bool) error
+		rec = func(prefix []component, vars map[span.Var]bool) error {
+			parts := []Node{pad}
+			for _, c := range prefix {
+				parts = append(parts, c.node, pad)
+			}
+			out = append(out, component{node: Seq(parts...), vars: copyVarSet(vars)})
+			if err := d.charge(1); err != nil {
+				return err
+			}
+			for _, c := range withvar {
+				if overlap(vars, c.vars) {
+					continue
+				}
+				if err := rec(append(prefix, c), unionVarSets(vars, c.vars)); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		if err := rec(nil, map[span.Var]bool{}); err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("rgx: unknown node type %T", n)
+}
+
+func copyVarSet(s map[span.Var]bool) map[span.Var]bool {
+	out := make(map[span.Var]bool, len(s))
+	for v := range s {
+		out[v] = true
+	}
+	return out
+}
+
+func unionVarSets(a, b map[span.Var]bool) map[span.Var]bool {
+	out := copyVarSet(a)
+	for v := range b {
+		out[v] = true
+	}
+	return out
+}
+
+func overlap(a, b map[span.Var]bool) bool {
+	small, large := a, b
+	if len(large) < len(small) {
+		small, large = large, small
+	}
+	for v := range small {
+		if large[v] {
+			return true
+		}
+	}
+	return false
+}
+
+// Simplify applies semantics-preserving cleanups: flattening nested
+// concatenations and disjunctions, removing ε from concatenations,
+// collapsing (R*)* to R* and ()* to (), and deduplicating identical
+// disjuncts. It never changes JγK_d.
+func Simplify(n Node) Node {
+	switch n := n.(type) {
+	case Empty, Class:
+		return n
+	case Var:
+		return Var{Name: n.Name, Sub: Simplify(n.Sub)}
+	case Star:
+		sub := Simplify(n.Sub)
+		switch sub := sub.(type) {
+		case Empty:
+			return Empty{}
+		case Star:
+			return sub
+		}
+		return Star{Sub: sub}
+	case Concat:
+		parts := make([]Node, 0, len(n.Parts))
+		for _, p := range n.Parts {
+			parts = append(parts, Simplify(p))
+		}
+		return Seq(parts...)
+	case Alt:
+		var parts []Node
+		for _, p := range n.Parts {
+			sp := Simplify(p)
+			dup := false
+			for _, q := range parts {
+				if Equal(sp, q) {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				parts = append(parts, sp)
+			}
+		}
+		return Or(parts...)
+	}
+	return n
+}

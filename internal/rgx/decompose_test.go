@@ -1,0 +1,112 @@
+package rgx
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestDecomposeAllFunctional(t *testing.T) {
+	exprs := []string{
+		"x{a}|b",
+		"(x{a}|y{b})*",
+		"x{a*}y{b*}",
+		"(x{(a|b)*}|y{(a|b)*})*",
+		"x{a}x{b}",      // unsatisfiable: no components
+		"x{x{a}}",       // unsatisfiable: no components
+		"(a|b)*x{c?}d*", // optional body inside capture
+	}
+	for _, in := range exprs {
+		comps, err := Decompose(MustParse(in), DefaultDecomposeBudget)
+		if err != nil {
+			t.Fatalf("Decompose(%q): %v", in, err)
+		}
+		for _, c := range comps {
+			if !IsFunctional(c) {
+				t.Errorf("Decompose(%q) produced non-functional component %v", in, c)
+			}
+		}
+	}
+}
+
+func TestDecomposeUnsatisfiable(t *testing.T) {
+	for _, in := range []string{"x{a}x{b}", "x{x{a}}", "x{a}(b|x{c})x{d}"} {
+		comps, err := Decompose(MustParse(in), DefaultDecomposeBudget)
+		if err != nil {
+			t.Fatalf("Decompose(%q): %v", in, err)
+		}
+		if len(comps) != 0 {
+			t.Errorf("Decompose(%q) = %v, want empty (unsatisfiable)", in, comps)
+		}
+	}
+}
+
+func TestDecomposeStarExample(t *testing.T) {
+	// (x{a}|b)*: components are b*-padding alone, or one x-binding
+	// iteration surrounded by padding.
+	comps, err := Decompose(MustParse("(x{a}|b)*"), DefaultDecomposeBudget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(comps) != 2 {
+		t.Fatalf("got %d components: %v", len(comps), comps)
+	}
+}
+
+func TestDecomposeBudget(t *testing.T) {
+	// Each starred group doubles the component count; 2^40 certainly
+	// exceeds a budget of 1000.
+	in := ""
+	for i := 0; i < 40; i++ {
+		in += "(v" + string(rune('a'+i%26)) + string(rune('a'+i/26)) + "{x}|y)*"
+	}
+	_, err := Decompose(MustParse(in), 1000)
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+}
+
+func TestSequentializeAlreadySequential(t *testing.T) {
+	n := MustParse("x{a}|y{b}")
+	got, err := Sequentialize(n, DefaultDecomposeBudget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(got, n) {
+		t.Errorf("sequential input should be returned unchanged")
+	}
+}
+
+func TestSequentializeProducesSequential(t *testing.T) {
+	for _, in := range []string{"(x{a}|b)*", "(x{a}|y{b})*", "(x{a*})*c"} {
+		got, err := Sequentialize(MustParse(in), DefaultDecomposeBudget)
+		if err != nil {
+			t.Fatalf("Sequentialize(%q): %v", in, err)
+		}
+		if !IsSequential(got) {
+			t.Errorf("Sequentialize(%q) = %v is not sequential", in, got)
+		}
+	}
+}
+
+func TestSequentializeUnsatisfiable(t *testing.T) {
+	if _, err := Sequentialize(MustParse("x{a}x{b}"), DefaultDecomposeBudget); err == nil {
+		t.Error("unsatisfiable expression has no sequential equivalent; want error")
+	}
+}
+
+func TestSimplify(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"(()a())b", "ab"},
+		{"(a|a)b", "ab"},
+		{"(a*)*", "a*"},
+		{"()*", "()"},
+		{"x{()a}", "x{a}"},
+	}
+	for _, c := range cases {
+		got := Simplify(MustParse(c.in))
+		want := MustParse(c.want)
+		if !Equal(got, want) {
+			t.Errorf("Simplify(%q) = %v, want %v", c.in, got, want)
+		}
+	}
+}

@@ -1,0 +1,253 @@
+package rgx
+
+import (
+	"strings"
+	"testing"
+
+	"spanners/internal/span"
+)
+
+func TestParseBasics(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Node
+	}{
+		{"", Empty{}},
+		{"()", Empty{}},
+		{"a", Lit('a')},
+		{"ab", Seq(Lit('a'), Lit('b'))},
+		{"a|b", Or(Lit('a'), Lit('b'))},
+		{"a*", Kleene(Lit('a'))},
+		{"a+", Plus(Lit('a'))},
+		{"a?", Opt(Lit('a'))},
+		{".", AnyChar()},
+		{"(a|b)c", Seq(Or(Lit('a'), Lit('b')), Lit('c'))},
+		{"x{a}", Capture("x", Lit('a'))},
+		{"x{a|b}", Capture("x", Or(Lit('a'), Lit('b')))},
+		{"x{.*}", SpanVar("x")},
+		{"name_1{a}", Capture("name_1", Lit('a'))},
+		{"\\.", Lit('.')},
+		{"\\n", Lit('\n')},
+		{"a b", Seq(Lit('a'), Lit(' '), Lit('b'))},
+	}
+	for _, c := range cases {
+		got, err := Parse(c.in)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.in, err)
+			continue
+		}
+		if !Equal(got, c.want) {
+			t.Errorf("Parse(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	// Star binds tighter than concat, which binds tighter than alt.
+	got := MustParse("ab*|c")
+	want := Or(Seq(Lit('a'), Kleene(Lit('b'))), Lit('c'))
+	if !Equal(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestParseIdentifierMaximalMunch(t *testing.T) {
+	// "ab{...}" is the variable named ab.
+	got := MustParse("ab{c}")
+	want := Capture("ab", Lit('c'))
+	if !Equal(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+	// "ab" with no brace is two literals.
+	got = MustParse("ab")
+	if !Equal(got, Seq(Lit('a'), Lit('b'))) {
+		t.Errorf("got %v", got)
+	}
+	// Literal a followed by variable b needs parentheses.
+	got = MustParse("a(b{c})")
+	want = Seq(Lit('a'), Capture("b", Lit('c')))
+	if !Equal(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestParseClasses(t *testing.T) {
+	n := MustParse("[a-c]")
+	c, ok := n.(Class)
+	if !ok {
+		t.Fatalf("got %T", n)
+	}
+	for _, r := range "abc" {
+		if !c.C.Contains(r) {
+			t.Errorf("missing %q", r)
+		}
+	}
+	if c.C.Contains('d') {
+		t.Error("should not contain d")
+	}
+
+	neg := MustParse("[^,\\n]").(Class)
+	if neg.C.Contains(',') || neg.C.Contains('\n') {
+		t.Error("negated class contains excluded rune")
+	}
+	if !neg.C.Contains('x') {
+		t.Error("negated class should contain x")
+	}
+
+	multi := MustParse("[a-cx-z]").(Class)
+	if !multi.C.Contains('y') || multi.C.Contains('m') {
+		t.Error("multi-range broken")
+	}
+
+	digit := MustParse("[\\d_]").(Class)
+	if !digit.C.Contains('5') || !digit.C.Contains('_') || digit.C.Contains('a') {
+		t.Error("class escape in class broken")
+	}
+}
+
+func TestParseEscapeClasses(t *testing.T) {
+	d := MustParse("\\d").(Class)
+	if !d.C.Contains('7') || d.C.Contains('a') {
+		t.Error("\\d broken")
+	}
+	w := MustParse("\\w").(Class)
+	if !w.C.Contains('q') || !w.C.Contains('_') || w.C.Contains('-') {
+		t.Error("\\w broken")
+	}
+	s := MustParse("\\s").(Class)
+	if !s.C.Contains(' ') || !s.C.Contains('\t') || s.C.Contains('x') {
+		t.Error("\\s broken")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"(",
+		"(a",
+		"x{a",
+		"[a",
+		"[z-a]",
+		"*",
+		"a|*",
+		"\\",
+		"\\q",
+		"a)",
+		"{a}",
+		"[]",
+		"[a-\\d]",
+		"x{a}}",
+		"\\u00zz",
+	}
+	for _, in := range bad {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q) should fail", in)
+		} else if _, ok := err.(*ParseError); !ok {
+			t.Errorf("Parse(%q) error type %T", in, err)
+		}
+	}
+}
+
+func TestParseErrorPosition(t *testing.T) {
+	_, err := Parse("abc(de")
+	pe, ok := err.(*ParseError)
+	if !ok {
+		t.Fatalf("got %T", err)
+	}
+	if pe.Pos != 6 {
+		t.Errorf("Pos = %d, want 6", pe.Pos)
+	}
+	if !strings.Contains(pe.Error(), "position 6") {
+		t.Errorf("Error = %q", pe.Error())
+	}
+}
+
+func TestPrintParseRoundTrip(t *testing.T) {
+	exprs := []string{
+		"a",
+		"abc",
+		"a|b|c",
+		"(a|b)*c",
+		"x{a*}y{b*}",
+		"x{a(y{b})c}",
+		"[a-z]*",
+		"[^,]*",
+		".*Seller: (x{[^,]*}),.*",
+		"\\.\\*\\\\",
+		"a?b+c*",
+		"()",
+		"(a|())b",
+	}
+	for _, in := range exprs {
+		n1 := MustParse(in)
+		printed := n1.String()
+		n2, err := Parse(printed)
+		if err != nil {
+			t.Errorf("reparse of %q (printed %q): %v", in, printed, err)
+			continue
+		}
+		if !Equal(n1, n2) {
+			t.Errorf("round trip %q -> %q: trees differ:\n  %v\n  %v", in, printed, n1, n2)
+		}
+	}
+}
+
+func TestPrintVarGuard(t *testing.T) {
+	// Concat(Lit a, Var b) must not print as "ab{...}".
+	n := Seq(Lit('a'), Capture("b", Lit('c')))
+	printed := n.String()
+	back := MustParse(printed)
+	if !Equal(n, back) {
+		t.Errorf("guard failed: printed %q, reparsed %v", printed, back)
+	}
+}
+
+func TestQuoteMeta(t *testing.T) {
+	raw := "a.b*c\\d(e)"
+	quoted := QuoteMeta(raw)
+	n := MustParse(quoted)
+	// The parse must be the literal sequence of raw's runes.
+	want := Literal(raw)
+	if !Equal(Simplify(n), Simplify(want)) {
+		t.Errorf("QuoteMeta parse = %v, want %v", n, want)
+	}
+}
+
+func TestVarsAndHasVars(t *testing.T) {
+	n := MustParse("x{a}(y{b}|c)*z{d}")
+	_ = n
+	// Note: starred variables are not sequential but Vars must still
+	// report them.
+	got := Vars(n)
+	want := []span.Var{"x", "y", "z"}
+	if len(got) != len(want) {
+		t.Fatalf("Vars = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Vars = %v, want %v", got, want)
+		}
+	}
+	if !HasVars(n) || HasVars(MustParse("a*b")) {
+		t.Error("HasVars broken")
+	}
+}
+
+func TestLiteralHelper(t *testing.T) {
+	if !Equal(Literal(""), Empty{}) {
+		t.Error("empty Literal should be ε")
+	}
+	if !Equal(Literal("a"), Lit('a')) {
+		t.Error("single Literal should be a letter")
+	}
+	if !Equal(Literal("ab"), Seq(Lit('a'), Lit('b'))) {
+		t.Error("Literal broken")
+	}
+}
+
+func TestSizeMonotone(t *testing.T) {
+	small := MustParse("ab")
+	big := MustParse("x{ab}|cd*")
+	if Size(small) >= Size(big) {
+		t.Errorf("Size(%v) = %d, Size(%v) = %d", small, Size(small), big, Size(big))
+	}
+}

@@ -1,0 +1,127 @@
+package rgx
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"spanners/internal/span"
+)
+
+// genNode produces a random RGX for testing/quick.
+func genNode(rng *rand.Rand, depth int) Node {
+	if depth == 0 {
+		switch rng.Intn(4) {
+		case 0:
+			return Lit('a')
+		case 1:
+			return Lit(rune('a' + rng.Intn(26)))
+		case 2:
+			return Empty{}
+		default:
+			return AnyChar()
+		}
+	}
+	switch rng.Intn(7) {
+	case 0, 1:
+		return Seq(genNode(rng, depth-1), genNode(rng, depth-1))
+	case 2, 3:
+		return Or(genNode(rng, depth-1), genNode(rng, depth-1))
+	case 4:
+		return Kleene(genNode(rng, depth-1))
+	case 5:
+		vars := []span.Var{"x", "y", "zz", "v_1"}
+		return Capture(vars[rng.Intn(len(vars))], genNode(rng, depth-1))
+	default:
+		return genNode(rng, depth-1)
+	}
+}
+
+// nodeBox wraps Node so testing/quick can generate values.
+type nodeBox struct{ n Node }
+
+func (nodeBox) Generate(rng *rand.Rand, size int) reflect.Value {
+	d := size % 4
+	return reflect.ValueOf(nodeBox{n: genNode(rng, d+1)})
+}
+
+func TestQuickPrintParseRoundTrip(t *testing.T) {
+	f := func(b nodeBox) bool {
+		printed := b.n.String()
+		back, err := Parse(printed)
+		if err != nil {
+			t.Logf("printed %q failed to parse: %v", printed, err)
+			return false
+		}
+		// Printing is not injective up to Simplify (ε-elision in
+		// Seq), so compare the normal forms.
+		return Equal(Simplify(b.n), Simplify(back))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickVarsClosedUnderSimplify(t *testing.T) {
+	f := func(b nodeBox) bool {
+		before := Vars(b.n)
+		after := Vars(Simplify(b.n))
+		if len(after) > len(before) {
+			return false
+		}
+		// Simplify may drop unsatisfiable or duplicate branches but
+		// never invents variables.
+		set := map[span.Var]bool{}
+		for _, v := range before {
+			set[v] = true
+		}
+		for _, v := range after {
+			if !set[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickFunctionalImpliesSequential(t *testing.T) {
+	f := func(b nodeBox) bool {
+		if IsFunctional(b.n) && !IsSequential(b.n) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDecomposeComponentsFunctional(t *testing.T) {
+	f := func(b nodeBox) bool {
+		comps, err := Decompose(b.n, 5000)
+		if err != nil {
+			return true // budget overruns are fine for random trees
+		}
+		for _, c := range comps {
+			if !IsFunctional(c) {
+				t.Logf("non-functional component %v of %v", c, b.n)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSizePositive(t *testing.T) {
+	f := func(b nodeBox) bool { return Size(b.n) >= 1 }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

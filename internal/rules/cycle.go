@@ -1,0 +1,369 @@
+package rules
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"spanners/internal/rgx"
+	"spanners/internal/span"
+)
+
+// AuxPrefix marks auxiliary variables introduced by the rewriting
+// algorithms (cycle elimination's u-variables, the canonical
+// unsatisfiable rule). The prefix cannot appear in parsed rules, so
+// auxiliaries never collide with user variables. Equivalence results
+// such as Theorem 4.7 hold modulo these variables: project them away
+// to compare against the original rule.
+const AuxPrefix = "⊢aux"
+
+// IsAuxVar reports whether v was introduced by a rewriting algorithm.
+func IsAuxVar(v span.Var) bool { return strings.HasPrefix(string(v), AuxPrefix) }
+
+// NonAuxVars filters aux variables out of a variable list.
+func NonAuxVars(vars []span.Var) []span.Var {
+	out := make([]span.Var, 0, len(vars))
+	for _, v := range vars {
+		if !IsAuxVar(v) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// ErrUnsatisfiable reports that a rewriting algorithm detected the
+// rule can never produce a mapping (e.g. a red cycle in
+// Theorem 4.7).
+var ErrUnsatisfiable = fmt.Errorf("rules: rule is unsatisfiable")
+
+// ErrNotFunctional reports that an algorithm requiring functional
+// expressions was given a non-functional rule.
+var ErrNotFunctional = fmt.Errorf("rules: rule is not functional (decompose it first with ToFunctionalUnion)")
+
+// ErrNotSimple reports a rule with repeated conjunct variables.
+var ErrNotSimple = fmt.Errorf("rules: rule is not simple")
+
+// UnsatRule returns a canonical unsatisfiable functional dag-like
+// rule: doc = x, x.(y·z), y.(z·a) forces z to start both at the start
+// and at the end of y, so y must be empty — contradicting the letter
+// inside it.
+func UnsatRule() *Rule {
+	x, y, z := span.Var(AuxPrefix+"_x"), span.Var(AuxPrefix+"_y"), span.Var(AuxPrefix+"_z")
+	return &Rule{
+		Doc: rgx.SpanVar(x),
+		Conjuncts: []Conjunct{
+			{Var: x, Expr: rgx.Seq(rgx.SpanVar(y), rgx.SpanVar(z))},
+			{Var: y, Expr: rgx.Seq(rgx.SpanVar(z), rgx.Lit('a'))},
+			{Var: z, Expr: rgx.Kleene(rgx.AnyChar())},
+		},
+	}
+}
+
+// RemoveUnreachable drops conjuncts whose variables are unreachable
+// from the document node: they can never be instantiated, so their
+// constraints are vacuous. The result is semantically identical.
+func RemoveUnreachable(r *Rule) *Rule {
+	g := BuildGraph(r)
+	reach := g.Reachable(DocNode)
+	out := &Rule{Doc: r.Doc}
+	for _, c := range r.Conjuncts {
+		if reach[c.Var] {
+			out.Conjuncts = append(out.Conjuncts, c)
+		}
+	}
+	return out
+}
+
+// EliminateCycles implements Theorem 4.7: every simple functional
+// rule is equivalent — modulo auxiliary variables — to a functional
+// dag-like rule, computable in polynomial time. Unsatisfiability
+// discovered on the way (a red cycle) is reported as
+// ErrUnsatisfiable; callers who need the paper's literal statement
+// can substitute UnsatRule().
+//
+// The algorithm follows the appendix proof: colour variables
+// black/red/green with the ν analysis, walk the strongly connected
+// components in topological order, replace each green cycle by an
+// auxiliary variable plus a ν-rewritten chain (simple cycles keep
+// their members equal; knotted components force them all to ε), and
+// force everything reachable from a cycle to ε.
+func EliminateCycles(r *Rule) (*Rule, error) {
+	if !r.IsSimple() {
+		return nil, ErrNotSimple
+	}
+	r = RemoveUnreachable(r.Normalize())
+	if !r.IsFunctional() {
+		return nil, ErrNotFunctional
+	}
+
+	for pass := 0; ; pass++ {
+		if pass > len(r.Conjuncts)+2 {
+			return nil, fmt.Errorf("rules: cycle elimination failed to converge")
+		}
+		out, changed, err := eliminateOnePass(r, pass)
+		if err != nil {
+			return nil, err
+		}
+		if !changed {
+			return out, nil
+		}
+		r = out
+	}
+}
+
+// eliminateOnePass performs one round of SCC elimination; cycles
+// whose rewriting exposes new structure (an upgraded type-3
+// component) are finished in subsequent rounds.
+func eliminateOnePass(r *Rule, pass int) (*Rule, bool, error) {
+	g := BuildGraph(r)
+	coloring := Color(r, g)
+
+	// Collect cyclic SCCs in topological order.
+	type cycleInfo struct {
+		members []span.Var
+		inCycle map[span.Var]bool
+		aux     span.Var
+		simple  bool       // single directed cycle, no extra edges
+		order   []span.Var // members in cycle order (for simple)
+		forced  bool       // members forced to ε (type 3)
+	}
+	var cycles []*cycleInfo
+	forcedEmpty := map[span.Var]bool{}
+
+	markReachable := func(from []span.Var, except map[span.Var]bool) {
+		var stack []span.Var
+		stack = append(stack, from...)
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, s := range g.Succ[v] {
+				if except[s] || forcedEmpty[s] {
+					continue
+				}
+				forcedEmpty[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+
+	for _, scc := range g.TopoSCCs() {
+		if len(scc) == 1 {
+			v := scc[0]
+			selfLoop := false
+			for _, s := range g.Succ[v] {
+				if s == v {
+					selfLoop = true
+				}
+			}
+			if !selfLoop {
+				continue
+			}
+			// A reachable self-loop x.(…x…) binds x inside its own
+			// capture: the conjunct is unsatisfiable whenever x is
+			// instantiated, and x is always instantiated in a
+			// functional reachable rule.
+			return nil, false, ErrUnsatisfiable
+		}
+		for _, v := range scc {
+			if coloring.Red[v] {
+				return nil, false, ErrUnsatisfiable
+			}
+		}
+		info := &cycleInfo{members: scc, inCycle: map[span.Var]bool{}}
+		for _, v := range scc {
+			info.inCycle[v] = true
+		}
+		info.aux = span.Var(fmt.Sprintf("%s%d_%d", AuxPrefix, pass, len(cycles)))
+		info.simple, info.order = simpleCycleOrder(g, scc)
+		info.forced = forcedEmpty[scc[0]]
+		for _, v := range scc {
+			if forcedEmpty[v] {
+				info.forced = true
+			}
+		}
+		cycles = append(cycles, info)
+		markReachable(scc, info.inCycle)
+	}
+
+	if len(cycles) == 0 {
+		// No directed cycles left: apply forced-ε rewriting (from
+		// earlier passes nothing is pending; forcedEmpty is empty
+		// here) and stop.
+		return r, false, nil
+	}
+
+	memberOf := func(v span.Var) *cycleInfo {
+		for _, c := range cycles {
+			if c.inCycle[v] {
+				return c
+			}
+		}
+		return nil
+	}
+
+	// Substitution of cycle members in an expression outside their
+	// own component; except identifies the component whose recipe is
+	// being emitted, since the recipe's intra-component references
+	// (the equality chain) must survive. If one derivation branch
+	// references ≥2 members of a component, those references must all
+	// be empty: keep the first as the auxiliary and force the
+	// component to ε.
+	substitute := func(n rgx.Node, except *cycleInfo) rgx.Node {
+		for _, c := range cycles {
+			if c == except {
+				continue
+			}
+			touched := false
+			for _, v := range rgx.Vars(n) {
+				if c.inCycle[v] {
+					touched = true
+					break
+				}
+			}
+			if !touched {
+				continue
+			}
+			plain := SubstVar(n, c.inCycle, c.aux, false)
+			if rgx.IsFunctional(plain) {
+				n = plain
+				continue
+			}
+			// Multiple members in one branch: empty them all.
+			c.forced = true
+			n = SubstVar(n, c.inCycle, c.aux, true)
+		}
+		return n
+	}
+
+	out := &Rule{Doc: substitute(r.Doc, nil)}
+
+	// Emit non-cycle conjuncts, ν-rewritten when forced empty.
+	for _, conj := range r.Conjuncts {
+		if memberOf(conj.Var) != nil {
+			continue
+		}
+		expr := conj.Expr
+		if forcedEmpty[conj.Var] {
+			ne, ok := Nu(expr)
+			if !ok {
+				return nil, false, ErrUnsatisfiable
+			}
+			expr = ne
+		}
+		out.Conjuncts = append(out.Conjuncts, Conjunct{Var: conj.Var, Expr: substitute(expr, nil)})
+	}
+
+	// Emit cycle recipes.
+	for _, c := range cycles {
+		if c.simple && !c.forced {
+			// Type 2: keep the equality chain, break it at the last
+			// member by relaxing its back-reference to Σ*.
+			y1 := c.order[0]
+			out.Conjuncts = append(out.Conjuncts, Conjunct{Var: c.aux, Expr: rgx.SpanVar(y1)})
+			for i, y := range c.order {
+				expr := exprOf(r, y)
+				ne, ok := Nu(expr)
+				if !ok {
+					return nil, false, ErrUnsatisfiable // black member: red cycle, caught above
+				}
+				if i == len(c.order)-1 {
+					ne = substOneVar(ne, y1, rgx.Kleene(rgx.AnyChar()))
+				}
+				out.Conjuncts = append(out.Conjuncts, Conjunct{Var: y, Expr: substitute(ne, c)})
+			}
+			continue
+		}
+		// Type 3: all members empty at one position.
+		atoms := make([]rgx.Node, len(c.members))
+		for i, y := range c.members {
+			atoms[i] = rgx.SpanVar(y)
+		}
+		out.Conjuncts = append(out.Conjuncts, Conjunct{Var: c.aux, Expr: rgx.Seq(atoms...)})
+		for _, y := range c.members {
+			ne, ok := Nu(exprOf(r, y))
+			if !ok {
+				return nil, false, ErrUnsatisfiable
+			}
+			ne = SubstToEmpty(ne, c.inCycle)
+			out.Conjuncts = append(out.Conjuncts, Conjunct{Var: y, Expr: substitute(ne, c)})
+		}
+	}
+
+	sortConjuncts(out)
+	return out, true, nil
+}
+
+// simpleCycleOrder reports whether the SCC is a single directed cycle
+// (each member has exactly one successor within the SCC, forming one
+// loop) and returns the members in cycle order starting from the
+// lexicographically smallest.
+func simpleCycleOrder(g *Graph, scc []span.Var) (bool, []span.Var) {
+	in := map[span.Var]bool{}
+	for _, v := range scc {
+		in[v] = true
+	}
+	next := map[span.Var]span.Var{}
+	for _, v := range scc {
+		cnt := 0
+		for _, s := range g.Succ[v] {
+			if in[s] {
+				cnt++
+				next[v] = s
+			}
+		}
+		if cnt != 1 {
+			return false, nil
+		}
+	}
+	start := scc[0] // scc is sorted; take the smallest
+	order := []span.Var{start}
+	for cur := next[start]; cur != start; cur = next[cur] {
+		order = append(order, cur)
+		if len(order) > len(scc) {
+			return false, nil
+		}
+	}
+	if len(order) != len(scc) {
+		return false, nil
+	}
+	return true, order
+}
+
+func exprOf(r *Rule, v span.Var) rgx.Node {
+	if c := r.ConjunctFor(v); c != nil {
+		return c.Expr
+	}
+	return rgx.Kleene(rgx.AnyChar())
+}
+
+// substOneVar replaces the atom occurrences of v with repl.
+func substOneVar(n rgx.Node, v span.Var, repl rgx.Node) rgx.Node {
+	switch n := n.(type) {
+	case rgx.Var:
+		if n.Name == v {
+			return repl
+		}
+		return n
+	case rgx.Concat:
+		parts := make([]rgx.Node, len(n.Parts))
+		for i, p := range n.Parts {
+			parts[i] = substOneVar(p, v, repl)
+		}
+		return rgx.Simplify(rgx.Seq(parts...))
+	case rgx.Alt:
+		parts := make([]rgx.Node, len(n.Parts))
+		for i, p := range n.Parts {
+			parts[i] = substOneVar(p, v, repl)
+		}
+		return rgx.Simplify(rgx.Or(parts...))
+	}
+	return n
+}
+
+// sortConjuncts orders conjuncts by variable name for deterministic
+// output.
+func sortConjuncts(r *Rule) {
+	sort.SliceStable(r.Conjuncts, func(i, j int) bool {
+		return r.Conjuncts[i].Var < r.Conjuncts[j].Var
+	})
+}

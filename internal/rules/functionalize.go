@@ -1,0 +1,87 @@
+package rules
+
+import (
+	"spanners/internal/rgx"
+)
+
+// DefaultRuleBudget bounds the sizes of the worst-case-exponential
+// rule constructions (Propositions 4.8 and 4.9 are exponential and
+// double-exponential respectively).
+const DefaultRuleBudget = 50_000
+
+// ToFunctionalUnion implements the first half of Proposition 4.8:
+// every simple rule is equivalent to a union of functional rules,
+// obtained by decomposing each expression into its functional
+// components (package rgx's Decompose, the paper's PUstk argument)
+// and taking one component per conjunct in every combination. The
+// union's size is the product of the component counts; budget caps
+// it, with rgx.ErrBudget reported on overrun.
+func ToFunctionalUnion(r *Rule, budget int) (Union, error) {
+	if !r.IsSimple() {
+		return nil, ErrNotSimple
+	}
+	r = r.Normalize()
+	docComps, err := rgx.Decompose(r.Doc, budget)
+	if err != nil {
+		return nil, err
+	}
+	conjComps := make([][]rgx.Node, len(r.Conjuncts))
+	for i, c := range r.Conjuncts {
+		comps, err := rgx.Decompose(c.Expr, budget)
+		if err != nil {
+			return nil, err
+		}
+		conjComps[i] = comps
+	}
+
+	var out Union
+	var build func(i int, cur *Rule) error
+	build = func(i int, cur *Rule) error {
+		if i == len(r.Conjuncts) {
+			if len(out) >= budget {
+				return rgx.ErrBudget
+			}
+			out = append(out, cur.Clone())
+			return nil
+		}
+		for _, comp := range conjComps[i] {
+			cur.Conjuncts = append(cur.Conjuncts, Conjunct{Var: r.Conjuncts[i].Var, Expr: comp})
+			if err := build(i+1, cur); err != nil {
+				return err
+			}
+			cur.Conjuncts = cur.Conjuncts[:len(cur.Conjuncts)-1]
+		}
+		return nil
+	}
+	for _, doc := range docComps {
+		if err := build(0, &Rule{Doc: doc}); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// ToDagUnion implements Proposition 4.8 in full: every simple rule is
+// equivalent (modulo auxiliary variables) to a union of functional
+// dag-like rules. Unsatisfiable members are dropped rather than
+// replaced by UnsatRule(), so an empty union means the rule is
+// unsatisfiable.
+func ToDagUnion(r *Rule, budget int) (Union, error) {
+	fns, err := ToFunctionalUnion(r, budget)
+	if err != nil {
+		return nil, err
+	}
+	var out Union
+	for _, f := range fns {
+		dag, err := EliminateCycles(f)
+		switch err {
+		case nil:
+			out = append(out, dag)
+		case ErrUnsatisfiable:
+			// This disjunct contributes nothing.
+		default:
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,197 @@
+package rules
+
+import (
+	"sort"
+
+	"spanners/internal/rgx"
+	"spanners/internal/span"
+)
+
+// DocNode is the distinguished graph node standing for the document
+// formula ϕ0 in the rule graph Gϕ.
+const DocNode = span.Var("⊢doc")
+
+// Graph is the rule graph Gϕ of Section 4.3: one node per conjunct
+// variable plus DocNode, with an edge (x, y) when y occurs in x's
+// expression, and (DocNode, x) when x occurs in ϕ0.
+type Graph struct {
+	Nodes []span.Var
+	Succ  map[span.Var][]span.Var
+	Pred  map[span.Var][]span.Var
+}
+
+// BuildGraph constructs Gϕ for a normalized rule (every mentioned
+// variable has a conjunct; call Normalize first when unsure).
+func BuildGraph(r *Rule) *Graph {
+	g := &Graph{
+		Succ: map[span.Var][]span.Var{},
+		Pred: map[span.Var][]span.Var{},
+	}
+	g.Nodes = append(g.Nodes, DocNode)
+	seen := map[span.Var]bool{DocNode: true}
+	for _, c := range r.Conjuncts {
+		if !seen[c.Var] {
+			seen[c.Var] = true
+			g.Nodes = append(g.Nodes, c.Var)
+		}
+	}
+	addEdge := func(from, to span.Var) {
+		for _, t := range g.Succ[from] {
+			if t == to {
+				return
+			}
+		}
+		g.Succ[from] = append(g.Succ[from], to)
+		g.Pred[to] = append(g.Pred[to], from)
+	}
+	for _, y := range rgx.Vars(r.Doc) {
+		if seen[y] {
+			addEdge(DocNode, y)
+		}
+	}
+	for _, c := range r.Conjuncts {
+		for _, y := range rgx.Vars(c.Expr) {
+			if seen[y] {
+				addEdge(c.Var, y)
+			}
+		}
+	}
+	for v := range g.Succ {
+		sort.Slice(g.Succ[v], func(i, j int) bool { return g.Succ[v][i] < g.Succ[v][j] })
+	}
+	for v := range g.Pred {
+		sort.Slice(g.Pred[v], func(i, j int) bool { return g.Pred[v][i] < g.Pred[v][j] })
+	}
+	return g
+}
+
+// HasCycle reports whether the graph has a directed cycle.
+func (g *Graph) HasCycle() bool {
+	for _, scc := range g.SCCs() {
+		if len(scc) > 1 {
+			return true
+		}
+		v := scc[0]
+		for _, s := range g.Succ[v] {
+			if s == v {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// IsDagLike reports whether the rule is simple with an acyclic graph
+// (Section 4.3).
+func IsDagLike(r *Rule) bool {
+	if !r.IsSimple() {
+		return false
+	}
+	return !BuildGraph(r.Normalize()).HasCycle()
+}
+
+// IsTreeLike reports whether the rule is simple and its graph is a
+// tree rooted at the document node: every variable is reachable from
+// DocNode and has exactly one predecessor.
+func IsTreeLike(r *Rule) bool {
+	if !r.IsSimple() {
+		return false
+	}
+	g := BuildGraph(r.Normalize())
+	if g.HasCycle() {
+		return false
+	}
+	reach := g.Reachable(DocNode)
+	for _, v := range g.Nodes {
+		if v == DocNode {
+			if len(g.Pred[v]) != 0 {
+				return false
+			}
+			continue
+		}
+		if !reach[v] || len(g.Pred[v]) != 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// Reachable returns the nodes reachable from start (inclusive).
+func (g *Graph) Reachable(start span.Var) map[span.Var]bool {
+	seen := map[span.Var]bool{start: true}
+	stack := []span.Var{start}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range g.Succ[v] {
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return seen
+}
+
+// SCCs computes the strongly connected components with Tarjan's
+// algorithm [26], returned in reverse topological order of the
+// condensation (successors before predecessors), which is the order
+// Theorem 4.7's elimination consumes reversed.
+func (g *Graph) SCCs() [][]span.Var {
+	index := map[span.Var]int{}
+	low := map[span.Var]int{}
+	onStack := map[span.Var]bool{}
+	var stack []span.Var
+	var out [][]span.Var
+	next := 0
+
+	var strongconnect func(v span.Var)
+	strongconnect = func(v span.Var) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range g.Succ[v] {
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var comp []span.Var
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp = append(comp, w)
+				if w == v {
+					break
+				}
+			}
+			sort.Slice(comp, func(i, j int) bool { return comp[i] < comp[j] })
+			out = append(out, comp)
+		}
+	}
+	for _, v := range g.Nodes {
+		if _, seen := index[v]; !seen {
+			strongconnect(v)
+		}
+	}
+	return out
+}
+
+// TopoSCCs returns the SCCs in topological order (predecessors before
+// successors), the order in which Theorem 4.7 processes them.
+func (g *Graph) TopoSCCs() [][]span.Var {
+	rev := g.SCCs()
+	out := make([][]span.Var, len(rev))
+	for i := range rev {
+		out[i] = rev[len(rev)-1-i]
+	}
+	return out
+}

@@ -1,0 +1,12 @@
+package rules
+
+import (
+	"spanners/internal/eval"
+	"spanners/internal/rgx"
+	"spanners/internal/span"
+)
+
+// rgxEval evaluates an RGX over a document text via the eval engine.
+func rgxEval(n rgx.Node, text string) *span.Set {
+	return eval.CompileRGX(n).All(span.NewDocument(text))
+}

@@ -1,0 +1,338 @@
+package rules
+
+import (
+	"spanners/internal/rgx"
+	"spanners/internal/span"
+)
+
+// Nu implements the ν function from the proof of Theorem 4.7: it
+// rewrites a spanRGX to the expression describing its ε-content
+// parses — letters become the empty language H, starred
+// subexpressions become ε, variables survive. The boolean result is
+// false when ν(ϕ) = H, i.e. every word derivable from ϕ contains a
+// letter, so the captured span can never have empty content; such
+// variables are painted black by the colouring below.
+func Nu(n rgx.Node) (rgx.Node, bool) {
+	switch n := n.(type) {
+	case rgx.Empty:
+		return n, true
+	case rgx.Class:
+		return nil, false // a letter: H
+	case rgx.Var:
+		return n, true // spanRGX variables are atoms and survive ν
+	case rgx.Star:
+		// ν(ϕ*) = ε: zero iterations always derive ε. (SpanRGX stars
+		// may contain variables only in non-functional rules; ν is
+		// applied to functional expressions where stars are
+		// variable-free, so nothing is lost.)
+		return rgx.Empty{}, true
+	case rgx.Concat:
+		parts := make([]rgx.Node, 0, len(n.Parts))
+		for _, p := range n.Parts {
+			np, ok := Nu(p)
+			if !ok {
+				return nil, false // H is absorbing for concatenation
+			}
+			parts = append(parts, np)
+		}
+		return rgx.Simplify(rgx.Seq(parts...)), true
+	case rgx.Alt:
+		var parts []rgx.Node
+		for _, p := range n.Parts {
+			if np, ok := Nu(p); ok {
+				parts = append(parts, np)
+			}
+			// H branches vanish: H ∨ α = α.
+		}
+		if len(parts) == 0 {
+			return nil, false
+		}
+		return rgx.Simplify(rgx.Or(parts...)), true
+	}
+	return nil, false
+}
+
+// Coloring is the black/red/green analysis of Theorem 4.7's proof:
+// black variables must capture non-empty content (ν(ϕx) = H); red
+// variables are black or can reach a black variable in the rule
+// graph; all others are green. A cycle containing a red variable
+// makes the rule unsatisfiable.
+type Coloring struct {
+	Black map[span.Var]bool
+	Red   map[span.Var]bool
+}
+
+// Color computes the colouring of a normalized rule over its graph.
+func Color(r *Rule, g *Graph) *Coloring {
+	c := &Coloring{Black: map[span.Var]bool{}, Red: map[span.Var]bool{}}
+	for _, conj := range r.Conjuncts {
+		if _, ok := Nu(conj.Expr); !ok {
+			c.Black[conj.Var] = true
+		}
+	}
+	// Red floods backwards from black nodes along reversed edges.
+	var stack []span.Var
+	for v := range c.Black {
+		c.Red[v] = true
+		stack = append(stack, v)
+	}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, p := range g.Pred[v] {
+			if p != DocNode && !c.Red[p] {
+				c.Red[p] = true
+				stack = append(stack, p)
+			}
+		}
+	}
+	return c
+}
+
+// ForceRight rewrites a functional spanRGX so that everything to the
+// right of the (unique per parse) occurrence of v derives only ε:
+// letters there kill the branch, stars collapse to ε, variables
+// survive (their contents are forced empty separately). It returns
+// false when no branch survives. This is the "everything to the right
+// of u3 in ϕ_{u2} must be ε" step of Proposition 4.9's proof.
+func ForceRight(n rgx.Node, v span.Var) (rgx.Node, bool) {
+	return forceSide(n, v, true)
+}
+
+// ForceLeft is the mirror image of ForceRight.
+func ForceLeft(n rgx.Node, v span.Var) (rgx.Node, bool) {
+	return forceSide(n, v, false)
+}
+
+func forceSide(n rgx.Node, v span.Var, right bool) (rgx.Node, bool) {
+	switch n := n.(type) {
+	case rgx.Var:
+		if n.Name == v {
+			return n, true
+		}
+		return nil, false // v does not occur here
+	case rgx.Concat:
+		idx := -1
+		for i, p := range n.Parts {
+			if varOccurs(p, v) {
+				idx = i
+				break
+			}
+		}
+		if idx == -1 {
+			return nil, false
+		}
+		mid, ok := forceSide(n.Parts[idx], v, right)
+		if !ok {
+			return nil, false
+		}
+		parts := make([]rgx.Node, 0, len(n.Parts))
+		if right {
+			parts = append(parts, n.Parts[:idx]...)
+			parts = append(parts, mid)
+			for _, p := range n.Parts[idx+1:] {
+				np, ok := Nu(p)
+				if !ok {
+					return nil, false
+				}
+				parts = append(parts, np)
+			}
+		} else {
+			for _, p := range n.Parts[:idx] {
+				np, ok := Nu(p)
+				if !ok {
+					return nil, false
+				}
+				parts = append(parts, np)
+			}
+			parts = append(parts, mid)
+			parts = append(parts, n.Parts[idx+1:]...)
+		}
+		return rgx.Simplify(rgx.Seq(parts...)), true
+	case rgx.Alt:
+		var parts []rgx.Node
+		for _, p := range n.Parts {
+			if np, ok := forceSide(p, v, right); ok {
+				parts = append(parts, np)
+			}
+		}
+		if len(parts) == 0 {
+			return nil, false
+		}
+		return rgx.Simplify(rgx.Or(parts...)), true
+	}
+	// Empty, Class, Star (variable-free in functional expressions):
+	// v cannot occur.
+	return nil, false
+}
+
+// ForceBetween rewrites a functional spanRGX so that everything
+// strictly between the occurrences of a and b derives only ε. Since
+// disjunction branches may order a and b differently, the result is
+// split by orientation: aFirst collects the branches where a precedes
+// b, bFirst the rest. Either may be nil when no branch survives with
+// that orientation.
+func ForceBetween(n rgx.Node, a, b span.Var) (aFirst, bFirst rgx.Node) {
+	switch n := n.(type) {
+	case rgx.Concat:
+		ia, ib := -1, -1
+		for i, p := range n.Parts {
+			if varOccurs(p, a) {
+				ia = i
+			}
+			if varOccurs(p, b) {
+				ib = i
+			}
+		}
+		if ia == -1 || ib == -1 {
+			return nil, nil
+		}
+		if ia == ib {
+			// Both inside one part: recurse and splice the two
+			// orientations back into the concatenation.
+			subA, subB := ForceBetween(n.Parts[ia], a, b)
+			return spliceConcat(n.Parts, ia, subA), spliceConcat(n.Parts, ia, subB)
+		}
+		first, second, swapped := ia, ib, false
+		va, vb := a, b
+		if ib < ia {
+			first, second, swapped = ib, ia, true
+			va, vb = b, a
+		}
+		left, okL := ForceRight(n.Parts[first], va)
+		right, okR := ForceLeft(n.Parts[second], vb)
+		if !okL || !okR {
+			return nil, nil
+		}
+		parts := make([]rgx.Node, 0, len(n.Parts))
+		parts = append(parts, n.Parts[:first]...)
+		parts = append(parts, left)
+		for _, p := range n.Parts[first+1 : second] {
+			np, ok := Nu(p)
+			if !ok {
+				return nil, nil
+			}
+			parts = append(parts, np)
+		}
+		parts = append(parts, right)
+		parts = append(parts, n.Parts[second+1:]...)
+		out := rgx.Simplify(rgx.Seq(parts...))
+		if swapped {
+			return nil, out
+		}
+		return out, nil
+	case rgx.Alt:
+		var aParts, bParts []rgx.Node
+		for _, p := range n.Parts {
+			pa, pb := ForceBetween(p, a, b)
+			if pa != nil {
+				aParts = append(aParts, pa)
+			}
+			if pb != nil {
+				bParts = append(bParts, pb)
+			}
+		}
+		if len(aParts) > 0 {
+			aFirst = rgx.Simplify(rgx.Or(aParts...))
+		}
+		if len(bParts) > 0 {
+			bFirst = rgx.Simplify(rgx.Or(bParts...))
+		}
+		return aFirst, bFirst
+	}
+	return nil, nil
+}
+
+// spliceConcat rebuilds a concatenation with part idx replaced; nil
+// propagates (the orientation died inside the part).
+func spliceConcat(parts []rgx.Node, idx int, repl rgx.Node) rgx.Node {
+	if repl == nil {
+		return nil
+	}
+	out := make([]rgx.Node, 0, len(parts))
+	out = append(out, parts[:idx]...)
+	out = append(out, repl)
+	out = append(out, parts[idx+1:]...)
+	return rgx.Simplify(rgx.Seq(out...))
+}
+
+func varOccurs(n rgx.Node, v span.Var) bool {
+	for _, u := range rgx.Vars(n) {
+		if u == v {
+			return true
+		}
+	}
+	return false
+}
+
+// SubstVar replaces every occurrence of the spanRGX variable atoms in
+// from with the atom for to. It is the parent-expression rewriting of
+// Theorem 4.7 (cycle members replaced by the auxiliary variable). The
+// boolean "first occurrence only" mode replaces the first occurrence
+// per derivation branch with to and subsequent ones with ε, which is
+// needed when one branch references several cycle members (all of
+// which then must have empty content).
+func SubstVar(n rgx.Node, from map[span.Var]bool, to span.Var, firstOnly bool) rgx.Node {
+	out, _ := substVar(n, from, to, firstOnly, false)
+	return rgx.Simplify(out)
+}
+
+func substVar(n rgx.Node, from map[span.Var]bool, to span.Var, firstOnly, placed bool) (rgx.Node, bool) {
+	switch n := n.(type) {
+	case rgx.Var:
+		if !from[n.Name] {
+			return n, placed
+		}
+		if firstOnly && placed {
+			return rgx.Empty{}, placed
+		}
+		return rgx.SpanVar(to), true
+	case rgx.Concat:
+		parts := make([]rgx.Node, 0, len(n.Parts))
+		for _, p := range n.Parts {
+			var np rgx.Node
+			np, placed = substVar(p, from, to, firstOnly, placed)
+			parts = append(parts, np)
+		}
+		return rgx.Seq(parts...), placed
+	case rgx.Alt:
+		parts := make([]rgx.Node, 0, len(n.Parts))
+		any := placed
+		for _, p := range n.Parts {
+			np, after := substVar(p, from, to, firstOnly, placed)
+			parts = append(parts, np)
+			any = any || after
+		}
+		return rgx.Or(parts...), any
+	case rgx.Star:
+		// Functional spanRGX stars are variable-free; pass through.
+		return n, placed
+	}
+	return n, placed
+}
+
+// SubstToEmpty replaces every occurrence of the given variable atoms
+// with ε (used by the type-3 recipe of Theorem 4.7 and the edge
+// removal of Proposition 4.9).
+func SubstToEmpty(n rgx.Node, vars map[span.Var]bool) rgx.Node {
+	switch n := n.(type) {
+	case rgx.Var:
+		if vars[n.Name] {
+			return rgx.Empty{}
+		}
+		return n
+	case rgx.Concat:
+		parts := make([]rgx.Node, 0, len(n.Parts))
+		for _, p := range n.Parts {
+			parts = append(parts, SubstToEmpty(p, vars))
+		}
+		return rgx.Simplify(rgx.Seq(parts...))
+	case rgx.Alt:
+		parts := make([]rgx.Node, 0, len(n.Parts))
+		for _, p := range n.Parts {
+			parts = append(parts, SubstToEmpty(p, vars))
+		}
+		return rgx.Simplify(rgx.Or(parts...))
+	}
+	return n
+}

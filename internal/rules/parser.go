@@ -1,0 +1,125 @@
+package rules
+
+import (
+	"fmt"
+	"strings"
+
+	"spanners/internal/rgx"
+	"spanners/internal/span"
+)
+
+// Parse reads a rule in the concrete syntax
+//
+//	docExpr && x.(expr) && y.(expr) …
+//
+// where each expr is a spanRGX in the syntax of package rgx, with one
+// extension: inside rule expressions a bare identifier wrapped as
+// name{.*} is usually wanted, so the spanRGX variable atom may be
+// written either x{.*} or, following the paper, as the shorthand
+// <x>. Conjuncts after the first must be of the form VAR.(EXPR); the
+// parentheses around the body are required, which keeps the '.' of
+// the conjunct separator unambiguous with the any-letter dot.
+func Parse(input string) (*Rule, error) {
+	parts := strings.Split(input, "&&")
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("rules: empty rule")
+	}
+	doc, err := parseSpanExpr(strings.TrimSpace(parts[0]))
+	if err != nil {
+		return nil, fmt.Errorf("rules: document formula: %w", err)
+	}
+	r := &Rule{Doc: doc}
+	for _, raw := range parts[1:] {
+		c, err := parseConjunct(strings.TrimSpace(raw))
+		if err != nil {
+			return nil, err
+		}
+		r.Conjuncts = append(r.Conjuncts, c)
+	}
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// MustParse is Parse that panics on error, for tests and examples.
+func MustParse(input string) *Rule {
+	r, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+func parseConjunct(raw string) (Conjunct, error) {
+	dot := strings.Index(raw, ".")
+	if dot <= 0 {
+		return Conjunct{}, fmt.Errorf("rules: conjunct %q must have the form var.(expr)", raw)
+	}
+	name := strings.TrimSpace(raw[:dot])
+	for _, r := range name {
+		if !isIdent(r) {
+			return Conjunct{}, fmt.Errorf("rules: invalid conjunct variable %q", name)
+		}
+	}
+	body := strings.TrimSpace(raw[dot+1:])
+	if len(body) < 2 || body[0] != '(' || body[len(body)-1] != ')' {
+		return Conjunct{}, fmt.Errorf("rules: conjunct body %q must be parenthesized", body)
+	}
+	expr, err := parseSpanExpr(body[1 : len(body)-1])
+	if err != nil {
+		return Conjunct{}, fmt.Errorf("rules: conjunct %s: %w", name, err)
+	}
+	return Conjunct{Var: span.Var(name), Expr: expr}, nil
+}
+
+// parseSpanExpr parses an rgx expression after expanding the <x>
+// shorthand for the spanRGX variable atom x{.*}.
+func parseSpanExpr(input string) (rgx.Node, error) {
+	expanded, err := expandShorthand(input)
+	if err != nil {
+		return nil, err
+	}
+	return rgx.Parse(expanded)
+}
+
+// expandShorthand rewrites <ident> to ident{.*} outside of escapes.
+func expandShorthand(input string) (string, error) {
+	var b strings.Builder
+	runes := []rune(input)
+	for i := 0; i < len(runes); i++ {
+		r := runes[i]
+		if r == '\\' && i+1 < len(runes) {
+			b.WriteRune(r)
+			b.WriteRune(runes[i+1])
+			i++
+			continue
+		}
+		if r != '<' {
+			b.WriteRune(r)
+			continue
+		}
+		j := i + 1
+		for j < len(runes) && isIdent(runes[j]) {
+			j++
+		}
+		if j == i+1 || j >= len(runes) || runes[j] != '>' || !isIdentStart(runes[i+1]) {
+			return "", fmt.Errorf("malformed variable shorthand at offset %d (expected <name>)", i)
+		}
+		// Parenthesize so a preceding letter cannot merge with the
+		// variable name under the rgx parser's maximal-munch rule.
+		b.WriteString("(")
+		b.WriteString(string(runes[i+1 : j]))
+		b.WriteString("{.*})")
+		i = j
+	}
+	return b.String(), nil
+}
+
+func isIdent(r rune) bool {
+	return r == '_' || ('a' <= r && r <= 'z') || ('A' <= r && r <= 'Z') || ('0' <= r && r <= '9')
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || ('a' <= r && r <= 'z') || ('A' <= r && r <= 'Z')
+}

@@ -1,0 +1,199 @@
+// Package rules implements the extraction rules of Arenas et al. as
+// redefined in Section 3.3: conjunctions
+//
+//	ϕ = ϕ0 ∧ x1.ϕ1 ∧ … ∧ xm.ϕm
+//
+// of span regular expressions (spanRGX), where ϕ0 constrains the
+// whole document and x.ϕ constrains the span captured by x. The
+// semantics uses instantiated variables: a conjunct x.ϕ applies only
+// when x was assigned by the document formula or by another applied
+// conjunct, which is how rules handle nondeterministic choices such
+// as (x|y) ∧ x.(ab*) ∧ y.(ba*).
+//
+// The package also implements the expressiveness toolbox of
+// Section 4.3: rule graphs and the simple / dag-like / tree-like
+// hierarchy, cycle elimination for functional rules (Theorem 4.7),
+// decomposition into unions of functional dag-like rules
+// (Proposition 4.8), conversion of dag-like rules to unions of
+// tree-like rules (Proposition 4.9), the tree-like ↔ RGX translations
+// (Lemma B.1, Theorem 4.10), and rule satisfiability via that
+// pipeline (Theorem 6.3).
+package rules
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"spanners/internal/rgx"
+	"spanners/internal/span"
+)
+
+// Conjunct is one x.ϕ constraint: the span assigned to Var must parse
+// as Expr (a spanRGX) when the conjunct applies.
+type Conjunct struct {
+	Var  span.Var
+	Expr rgx.Node
+}
+
+// Rule is an extraction rule ϕ0 ∧ x1.ϕ1 ∧ … ∧ xm.ϕm.
+type Rule struct {
+	Doc       rgx.Node   // ϕ0, evaluated over the whole document
+	Conjuncts []Conjunct // the x.ϕ constraints, in syntactic order
+}
+
+// New builds a rule and validates that every expression is a
+// spanRGX.
+func New(doc rgx.Node, conjuncts ...Conjunct) (*Rule, error) {
+	r := &Rule{Doc: doc, Conjuncts: conjuncts}
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// Validate checks that all expressions are spanRGX, as the rule
+// syntax of the paper requires.
+func (r *Rule) Validate() error {
+	if r.Doc == nil {
+		return fmt.Errorf("rules: missing document formula")
+	}
+	if !rgx.IsSpanRGX(r.Doc) {
+		return fmt.Errorf("rules: document formula %v is not a spanRGX", r.Doc)
+	}
+	for _, c := range r.Conjuncts {
+		if c.Var == "" {
+			return fmt.Errorf("rules: conjunct with empty variable")
+		}
+		if !rgx.IsSpanRGX(c.Expr) {
+			return fmt.Errorf("rules: conjunct %s has non-spanRGX body %v", c.Var, c.Expr)
+		}
+	}
+	return nil
+}
+
+// IsSimple reports whether all conjunct variables are pairwise
+// distinct (Section 4.3). Only simple rules participate in the
+// dag-like / tree-like hierarchy.
+func (r *Rule) IsSimple() bool {
+	seen := map[span.Var]bool{}
+	for _, c := range r.Conjuncts {
+		if seen[c.Var] {
+			return false
+		}
+		seen[c.Var] = true
+	}
+	return true
+}
+
+// IsFunctional reports whether every expression of the rule is a
+// functional spanRGX, the precondition of Theorem 4.7.
+func (r *Rule) IsFunctional() bool {
+	if !rgx.IsFunctional(r.Doc) {
+		return false
+	}
+	for _, c := range r.Conjuncts {
+		if !rgx.IsFunctional(c.Expr) {
+			return false
+		}
+	}
+	return true
+}
+
+// IsSequential reports whether every expression of the rule is
+// sequential, the precondition of the tractable evaluation of
+// Theorem 5.9.
+func (r *Rule) IsSequential() bool {
+	if !rgx.IsSequential(r.Doc) {
+		return false
+	}
+	for _, c := range r.Conjuncts {
+		if !rgx.IsSequential(c.Expr) {
+			return false
+		}
+	}
+	return true
+}
+
+// Vars returns every variable mentioned anywhere in the rule, sorted.
+func (r *Rule) Vars() []span.Var {
+	set := map[span.Var]bool{}
+	for _, v := range rgx.Vars(r.Doc) {
+		set[v] = true
+	}
+	for _, c := range r.Conjuncts {
+		set[c.Var] = true
+		for _, v := range rgx.Vars(c.Expr) {
+			set[v] = true
+		}
+	}
+	out := make([]span.Var, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ConjunctFor returns the (first) conjunct for x, or nil.
+func (r *Rule) ConjunctFor(x span.Var) *Conjunct {
+	for i := range r.Conjuncts {
+		if r.Conjuncts[i].Var == x {
+			return &r.Conjuncts[i]
+		}
+	}
+	return nil
+}
+
+// Normalize returns an equivalent rule in which every mentioned
+// variable has a conjunct, adding x.Σ* where missing. The appendix
+// proofs assume this form, and the graph algorithms rely on it.
+func (r *Rule) Normalize() *Rule {
+	out := &Rule{Doc: r.Doc, Conjuncts: append([]Conjunct(nil), r.Conjuncts...)}
+	have := map[span.Var]bool{}
+	for _, c := range r.Conjuncts {
+		have[c.Var] = true
+	}
+	for _, v := range r.Vars() {
+		if !have[v] {
+			out.Conjuncts = append(out.Conjuncts, Conjunct{
+				Var:  v,
+				Expr: rgx.Kleene(rgx.AnyChar()),
+			})
+			have[v] = true
+		}
+	}
+	return out
+}
+
+// Clone returns a deep-enough copy (expressions are immutable and
+// shared).
+func (r *Rule) Clone() *Rule {
+	return &Rule{Doc: r.Doc, Conjuncts: append([]Conjunct(nil), r.Conjuncts...)}
+}
+
+// String renders the rule in the package's concrete syntax,
+// re-parseable by Parse. Variable atoms x{.*} print as the spanRGX
+// shorthand; other forms print as full RGX.
+func (r *Rule) String() string {
+	var b strings.Builder
+	b.WriteString(r.Doc.String())
+	for _, c := range r.Conjuncts {
+		fmt.Fprintf(&b, " && %s.(%s)", c.Var, c.Expr)
+	}
+	return b.String()
+}
+
+// Union is a union of rules (Section 4.3): ⟦A⟧_d = ⋃ ⟦ϕ⟧_d. Several
+// constructions (Propositions 4.8 and 4.9, Theorem 4.10) produce
+// unions rather than single rules.
+type Union []*Rule
+
+// String renders each member on its own line.
+func (u Union) String() string {
+	parts := make([]string, len(u))
+	for i, r := range u {
+		parts[i] = r.String()
+	}
+	return strings.Join(parts, "\n")
+}

@@ -1,0 +1,244 @@
+package runeclass
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNormalization(t *testing.T) {
+	c := FromRanges(Range{'c', 'f'}, Range{'a', 'd'}, Range{'g', 'h'})
+	// 'a'..'f' merges with adjacent 'g'..'h'.
+	if got := len(c.Ranges()); got != 1 {
+		t.Fatalf("ranges = %v", c.Ranges())
+	}
+	if c.Ranges()[0] != (Range{'a', 'h'}) {
+		t.Fatalf("merged = %v", c.Ranges()[0])
+	}
+}
+
+func TestContains(t *testing.T) {
+	c := FromRanges(Range{'a', 'c'}, Range{'x', 'z'})
+	for _, r := range "abcxyz" {
+		if !c.Contains(r) {
+			t.Errorf("should contain %q", r)
+		}
+	}
+	for _, r := range "dwA0" {
+		if c.Contains(r) {
+			t.Errorf("should not contain %q", r)
+		}
+	}
+}
+
+func TestEmptyAndAny(t *testing.T) {
+	if !Empty().IsEmpty() {
+		t.Error("Empty not empty")
+	}
+	if Any().IsEmpty() || !Any().Contains('č') || !Any().Contains(0) {
+		t.Error("Any broken")
+	}
+	if !Any().Negate().IsEmpty() {
+		t.Error("¬Σ must be empty")
+	}
+	if !Empty().Negate().Equal(Any()) {
+		t.Error("¬∅ must be Σ")
+	}
+}
+
+func TestBooleanOps(t *testing.T) {
+	a := FromRanges(Range{'a', 'm'})
+	b := FromRanges(Range{'h', 'z'})
+	inter := a.Intersect(b)
+	if !inter.Equal(FromRanges(Range{'h', 'm'})) {
+		t.Errorf("Intersect = %v", inter)
+	}
+	uni := a.Union(b)
+	if !uni.Equal(FromRanges(Range{'a', 'z'})) {
+		t.Errorf("Union = %v", uni)
+	}
+	diff := a.Minus(b)
+	if !diff.Equal(FromRanges(Range{'a', 'g'})) {
+		t.Errorf("Minus = %v", diff)
+	}
+}
+
+func TestNegateInvolution(t *testing.T) {
+	f := func(lo1, hi1, lo2, hi2 uint16) bool {
+		c := FromRanges(
+			Range{rune(lo1 % 500), rune(hi1 % 500)},
+			Range{rune(lo2%500 + 300), rune(hi2%500 + 300)},
+		)
+		return c.Negate().Negate().Equal(c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeMorgan(t *testing.T) {
+	f := func(a1, a2, b1, b2 uint16) bool {
+		a := FromRanges(Range{rune(a1 % 200), rune(a2 % 200)})
+		b := FromRanges(Range{rune(b1 % 200), rune(b2 % 200)})
+		lhs := a.Union(b).Negate()
+		rhs := a.Negate().Intersect(b.Negate())
+		return lhs.Equal(rhs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSample(t *testing.T) {
+	if _, ok := Empty().Sample(); ok {
+		t.Error("empty class has no sample")
+	}
+	c := FromRanges(Range{'q', 't'})
+	r, ok := c.Sample()
+	if !ok || !c.Contains(r) {
+		t.Errorf("Sample = %q, %v", r, ok)
+	}
+}
+
+func TestRepresentatives(t *testing.T) {
+	classes := []Class{
+		FromRanges(Range{'a', 'f'}),
+		FromRanges(Range{'d', 'k'}),
+	}
+	reps := Representatives(classes)
+	// Signatures: outside both, in first only, in both, in second only.
+	sigs := map[[2]bool]bool{}
+	for _, r := range reps {
+		sigs[[2]bool{classes[0].Contains(r), classes[1].Contains(r)}] = true
+	}
+	want := [][2]bool{{false, false}, {true, false}, {true, true}, {false, true}}
+	for _, w := range want {
+		if !sigs[w] {
+			t.Errorf("missing signature %v in representatives %q", w, string(reps))
+		}
+	}
+}
+
+func TestRepresentativesCoverAllSignatures(t *testing.T) {
+	// Property: for random classes, every rune's signature is realized
+	// by some representative (checked on a sample of runes).
+	f := func(a1, a2, b1, b2, probe uint16) bool {
+		classes := []Class{
+			FromRanges(Range{rune(a1 % 300), rune(a2 % 300)}),
+			FromRanges(Range{rune(b1 % 300), rune(b2 % 300)}).Negate(),
+		}
+		reps := Representatives(classes)
+		target := [2]bool{
+			classes[0].Contains(rune(probe % 400)),
+			classes[1].Contains(rune(probe % 400)),
+		}
+		for _, r := range reps {
+			if [2]bool{classes[0].Contains(r), classes[1].Contains(r)} == target {
+				return true
+			}
+		}
+		return false
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringForms(t *testing.T) {
+	if Any().String() != "." {
+		t.Errorf("Any = %q", Any().String())
+	}
+	if Single('a').String() != "a" {
+		t.Errorf("Single = %q", Single('a').String())
+	}
+	if Single('*').String() != "\\*" {
+		t.Errorf("meta = %q", Single('*').String())
+	}
+	// A co-small class prints negated.
+	c := Single(',').Negate()
+	if c.String() != "[^,]" {
+		t.Errorf("negated = %q", c.String())
+	}
+}
+
+func TestAtoms(t *testing.T) {
+	classes := []Class{
+		FromRanges(Range{'a', 'f'}),
+		FromRanges(Range{'d', 'k'}),
+	}
+	atoms := Atoms(classes)
+	// Expected atoms: [a-c], [d-f], [g-k].
+	if len(atoms) != 3 {
+		t.Fatalf("atoms = %v", atoms)
+	}
+	// Pairwise disjoint.
+	for i := range atoms {
+		for j := i + 1; j < len(atoms); j++ {
+			if !atoms[i].Intersect(atoms[j]).IsEmpty() {
+				t.Errorf("atoms %d and %d overlap", i, j)
+			}
+		}
+	}
+	// Union of atoms = union of classes.
+	var union Class
+	for _, a := range atoms {
+		union = union.Union(a)
+	}
+	if !union.Equal(classes[0].Union(classes[1])) {
+		t.Errorf("atom union = %v", union)
+	}
+	// Every input class is a union of whole atoms.
+	for _, c := range classes {
+		for _, a := range atoms {
+			inter := c.Intersect(a)
+			if !inter.IsEmpty() && !inter.Equal(a) {
+				t.Errorf("atom %v straddles class %v", a, c)
+			}
+		}
+	}
+}
+
+func TestAtomsProperties(t *testing.T) {
+	f := func(a1, a2, b1, b2, probe uint16) bool {
+		classes := []Class{
+			FromRanges(Range{rune(a1 % 200), rune(a2 % 200)}),
+			FromRanges(Range{rune(b1 % 200), rune(b2 % 200)}),
+		}
+		atoms := Atoms(classes)
+		r := rune(probe % 250)
+		inAny := classes[0].Contains(r) || classes[1].Contains(r)
+		inAtoms := false
+		for _, a := range atoms {
+			if a.Contains(r) {
+				inAtoms = true
+			}
+		}
+		return inAny == inAtoms
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSizeAndMinus(t *testing.T) {
+	c := FromRanges(Range{'a', 'e'})
+	if c.Size() != 5 {
+		t.Errorf("Size = %d", c.Size())
+	}
+	if Any().Size() != int64(MaxRune)+1 {
+		t.Errorf("Any Size = %d", Any().Size())
+	}
+	d := c.Minus(FromRunes('c'))
+	if d.Contains('c') || !d.Contains('b') || !d.Contains('d') {
+		t.Errorf("Minus = %v", d)
+	}
+}
+
+func TestFromRangesClampsAndIgnoresInvalid(t *testing.T) {
+	c := FromRanges(Range{'z', 'a'}, Range{-5, 'b'})
+	if c.IsEmpty() {
+		t.Fatal("clamped range should survive")
+	}
+	if !c.Contains(0) || !c.Contains('b') || c.Contains('c') {
+		t.Errorf("clamp broken: %v", c)
+	}
+}

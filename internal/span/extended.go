@@ -1,0 +1,137 @@
+package span
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Extended is an extended mapping in the sense of Section 5.1: a
+// partial function from variables to spans ∪ {⊥}. An entry with
+// Bottom set records the obligation that the variable must remain
+// unassigned in any completion; a missing entry leaves the variable
+// free. Extended mappings are the inputs of the Eval decision problem
+// that drives polynomial-delay enumeration.
+type Extended map[Var]OptSpan
+
+// OptSpan is either a concrete span or the symbol ⊥ ("never assign").
+type OptSpan struct {
+	Span   Span
+	Bottom bool
+}
+
+// Assigned builds the optional value holding a concrete span.
+func Assigned(s Span) OptSpan { return OptSpan{Span: s} }
+
+// Unassigned is the optional value ⊥.
+func Unassigned() OptSpan { return OptSpan{Bottom: true} }
+
+// String renders the optional span, using the conventional ⊥ symbol.
+func (o OptSpan) String() string {
+	if o.Bottom {
+		return "⊥"
+	}
+	return o.Span.String()
+}
+
+// Copy returns an independent copy of the extended mapping.
+func (e Extended) Copy() Extended {
+	out := make(Extended, len(e))
+	for v, o := range e {
+		out[v] = o
+	}
+	return out
+}
+
+// With returns a copy of e with variable v set to o, the µ[x → s]
+// operation of Algorithm 1.
+func (e Extended) With(v Var, o OptSpan) Extended {
+	out := e.Copy()
+	out[v] = o
+	return out
+}
+
+// Domain returns the constrained variables in sorted order.
+func (e Extended) Domain() []Var {
+	vars := make([]Var, 0, len(e))
+	for v := range e {
+		vars = append(vars, v)
+	}
+	sort.Slice(vars, func(i, j int) bool { return vars[i] < vars[j] })
+	return vars
+}
+
+// Mapping returns the ordinary mapping obtained by dropping every
+// ⊥ entry, i.e. treating x with µ(x) = ⊥ as not in dom(µ).
+func (e Extended) Mapping() Mapping {
+	out := make(Mapping)
+	for v, o := range e {
+		if !o.Bottom {
+			out[v] = o.Span
+		}
+	}
+	return out
+}
+
+// FromMapping lifts an ordinary mapping µ to the extended mapping that
+// assigns exactly dom(µ) and sends every variable of rest not in
+// dom(µ) to ⊥. This is the translation used to reduce ModelCheck to
+// Eval: the completion must assign exactly what µ assigns.
+func FromMapping(m Mapping, rest []Var) Extended {
+	out := make(Extended, len(m)+len(rest))
+	for v, s := range m {
+		out[v] = Assigned(s)
+	}
+	for _, v := range rest {
+		if _, ok := m[v]; !ok {
+			out[v] = Unassigned()
+		}
+	}
+	return out
+}
+
+// ExtendedBy reports e ⊆ other pointwise on e's domain: every
+// constraint of e is present, with identical value, in other.
+func (e Extended) ExtendedBy(other Extended) bool {
+	for v, o := range e {
+		p, ok := other[v]
+		if !ok || p != o {
+			return false
+		}
+	}
+	return true
+}
+
+// SatisfiedBy reports whether an ordinary mapping µ' respects every
+// constraint of e: constrained-to-span variables have exactly that
+// span and ⊥ variables are absent from dom(µ').
+func (e Extended) SatisfiedBy(m Mapping) bool {
+	for v, o := range e {
+		s, assigned := m[v]
+		if o.Bottom {
+			if assigned {
+				return false
+			}
+			continue
+		}
+		if !assigned || s != o.Span {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the extended mapping with ⊥ entries visible.
+func (e Extended) String() string {
+	vars := e.Domain()
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, v := range vars {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s -> %s", v, e[v])
+	}
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,74 @@
+package span
+
+import "testing"
+
+func TestExtendedSatisfiedBy(t *testing.T) {
+	e := Extended{
+		"x": Assigned(Span{1, 3}),
+		"y": Unassigned(),
+	}
+	if !e.SatisfiedBy(Mapping{"x": {1, 3}}) {
+		t.Error("exact match with y absent should satisfy")
+	}
+	if !e.SatisfiedBy(Mapping{"x": {1, 3}, "z": {4, 5}}) {
+		t.Error("unconstrained extra variables are allowed")
+	}
+	if e.SatisfiedBy(Mapping{"x": {1, 3}, "y": {4, 5}}) {
+		t.Error("⊥ variable must stay unassigned")
+	}
+	if e.SatisfiedBy(Mapping{"x": {1, 4}}) {
+		t.Error("wrong span must not satisfy")
+	}
+	if e.SatisfiedBy(Mapping{}) {
+		t.Error("missing constrained variable must not satisfy")
+	}
+}
+
+func TestExtendedMappingRoundTrip(t *testing.T) {
+	m := Mapping{"x": {1, 3}}
+	e := FromMapping(m, []Var{"x", "y", "z"})
+	if len(e) != 3 {
+		t.Fatalf("FromMapping size = %d", len(e))
+	}
+	if !e["y"].Bottom || !e["z"].Bottom {
+		t.Error("rest variables must be ⊥")
+	}
+	back := e.Mapping()
+	if !back.Equal(m) {
+		t.Errorf("round trip = %v", back)
+	}
+	// A mapping satisfies its own FromMapping lift, and the lift is
+	// exactly the ModelCheck constraint: nothing else satisfies it on
+	// the declared variables.
+	if !e.SatisfiedBy(m) {
+		t.Error("mapping must satisfy its own lift")
+	}
+	if e.SatisfiedBy(Mapping{"x": {1, 3}, "y": {1, 1}}) {
+		t.Error("lift must forbid assigning the rest")
+	}
+}
+
+func TestExtendedWithAndExtendedBy(t *testing.T) {
+	e := Extended{}
+	e2 := e.With("x", Assigned(Span{2, 2}))
+	if len(e) != 0 {
+		t.Error("With must not mutate the receiver")
+	}
+	if !e.ExtendedBy(e2) {
+		t.Error("empty extends everything")
+	}
+	if e2.ExtendedBy(e) {
+		t.Error("constraint lost")
+	}
+	e3 := e2.With("x", Unassigned())
+	if e2.ExtendedBy(e3) {
+		t.Error("conflicting values are not extensions")
+	}
+}
+
+func TestExtendedString(t *testing.T) {
+	e := Extended{"b": Unassigned(), "a": Assigned(Span{1, 2})}
+	if e.String() != "{a -> (1, 2), b -> ⊥}" {
+		t.Errorf("String = %q", e.String())
+	}
+}

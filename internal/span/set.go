@@ -1,0 +1,165 @@
+package span
+
+import "sort"
+
+// Set is a deduplicated set of mappings, the output type of every
+// spanner in the mapping-based semantics. Internally it is keyed by
+// the canonical Mapping.Key form.
+type Set struct {
+	byKey map[string]Mapping
+}
+
+// NewSet builds a set containing the given mappings.
+func NewSet(ms ...Mapping) *Set {
+	s := &Set{byKey: make(map[string]Mapping, len(ms))}
+	for _, m := range ms {
+		s.Add(m)
+	}
+	return s
+}
+
+// Add inserts a mapping, ignoring duplicates. It reports whether the
+// mapping was newly inserted.
+func (s *Set) Add(m Mapping) bool {
+	k := m.Key()
+	if _, ok := s.byKey[k]; ok {
+		return false
+	}
+	s.byKey[k] = m
+	return true
+}
+
+// Contains reports whether an identical mapping is in the set.
+func (s *Set) Contains(m Mapping) bool {
+	_, ok := s.byKey[m.Key()]
+	return ok
+}
+
+// Len returns the number of distinct mappings in the set.
+func (s *Set) Len() int { return len(s.byKey) }
+
+// Mappings returns the contents in canonical (key-sorted) order.
+func (s *Set) Mappings() []Mapping {
+	keys := make([]string, 0, len(s.byKey))
+	for k := range s.byKey {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]Mapping, len(keys))
+	for i, k := range keys {
+		out[i] = s.byKey[k]
+	}
+	return out
+}
+
+// Equal reports whether two sets contain exactly the same mappings.
+func (s *Set) Equal(other *Set) bool {
+	if s.Len() != other.Len() {
+		return false
+	}
+	for k := range s.byKey {
+		if _, ok := other.byKey[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// SubsetOf reports whether every mapping of s is in other.
+func (s *Set) SubsetOf(other *Set) bool {
+	for k := range s.byKey {
+		if _, ok := other.byKey[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Union returns a new set with the mappings of both sets.
+func (s *Set) Union(other *Set) *Set {
+	out := NewSet()
+	for _, m := range s.byKey {
+		out.Add(m)
+	}
+	for _, m := range other.byKey {
+		out.Add(m)
+	}
+	return out
+}
+
+// Join returns M1 ⋈ M2 = { µ1 ∪ µ2 | µ1 ∈ M1, µ2 ∈ M2, µ1 ~ µ2 },
+// the join of two sets of mappings from Section 2.
+func (s *Set) Join(other *Set) *Set {
+	out := NewSet()
+	for _, m1 := range s.byKey {
+		for _, m2 := range other.byKey {
+			if u, ok := m1.Union(m2); ok {
+				out.Add(u)
+			}
+		}
+	}
+	return out
+}
+
+// Project returns { µ|vars : µ ∈ s }, the algebra's projection.
+func (s *Set) Project(vars []Var) *Set {
+	out := NewSet()
+	for _, m := range s.byKey {
+		out.Add(m.Project(vars))
+	}
+	return out
+}
+
+// Hierarchical reports whether every mapping in the set is
+// hierarchical (Section 2).
+func (s *Set) Hierarchical() bool {
+	for _, m := range s.byKey {
+		if !m.Hierarchical() {
+			return false
+		}
+	}
+	return true
+}
+
+// IsRelationOver reports whether the set is a relation over the given
+// variables: every mapping is total on exactly that variable set. This
+// is the property the relation-based semantics of earlier work forces.
+func (s *Set) IsRelationOver(vars []Var) bool {
+	for _, m := range s.byKey {
+		if len(m) != len(vars) {
+			return false
+		}
+		for _, v := range vars {
+			if _, ok := m[v]; !ok {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TotalMappings returns the set of all total functions from vars to
+// spans of a document of length n. It is used to recover the
+// relation-based semantics of span regular expressions (Theorem 4.2),
+// where unmatched variables take arbitrary values. The size is
+// ((n+1)(n+2)/2)^|vars|, so this is only sensible for small inputs.
+func TotalMappings(vars []Var, d *Document) *Set {
+	spans := d.Spans()
+	out := NewSet()
+	var rec func(i int, cur Mapping)
+	rec = func(i int, cur Mapping) {
+		if i == len(vars) {
+			out.Add(cur.Copy())
+			return
+		}
+		for _, s := range spans {
+			cur[vars[i]] = s
+			rec(i+1, cur)
+		}
+		delete(cur, vars[i])
+	}
+	sorted := append([]Var(nil), vars...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rec(0, make(Mapping))
+	return out
+}

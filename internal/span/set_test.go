@@ -1,0 +1,136 @@
+package span
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSetAddDedup(t *testing.T) {
+	s := NewSet()
+	m := Mapping{"x": {1, 2}}
+	if !s.Add(m) {
+		t.Fatal("first Add should insert")
+	}
+	if s.Add(Mapping{"x": {1, 2}}) {
+		t.Fatal("duplicate Add should be ignored")
+	}
+	if s.Len() != 1 || !s.Contains(m) {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func TestSetEqualSubset(t *testing.T) {
+	a := NewSet(Mapping{"x": {1, 2}}, Mapping{})
+	b := NewSet(Mapping{}, Mapping{"x": {1, 2}})
+	c := NewSet(Mapping{})
+	if !a.Equal(b) {
+		t.Error("order must not matter")
+	}
+	if !c.SubsetOf(a) || a.SubsetOf(c) {
+		t.Error("subset broken")
+	}
+}
+
+func TestSetUnionJoin(t *testing.T) {
+	m1 := NewSet(Mapping{"x": {1, 4}}, Mapping{"x": {2, 4}})
+	m2 := NewSet(Mapping{"y": {4, 7}}, Mapping{"x": {1, 4}, "y": {5, 6}})
+
+	u := m1.Union(m2)
+	if u.Len() != 4 {
+		t.Fatalf("union Len = %d, want 4", u.Len())
+	}
+
+	j := m1.Join(m2)
+	// Pairings: {x:1-4}⋈{y:4-7}, {x:2-4}⋈{y:4-7},
+	// {x:1-4}⋈{x:1-4,y:5-6} (compatible), but {x:2-4} is incompatible
+	// with {x:1-4,y:5-6}.
+	want := NewSet(
+		Mapping{"x": {1, 4}, "y": {4, 7}},
+		Mapping{"x": {2, 4}, "y": {4, 7}},
+		Mapping{"x": {1, 4}, "y": {5, 6}},
+	)
+	if !j.Equal(want) {
+		t.Fatalf("Join = %v, want %v", j.Mappings(), want.Mappings())
+	}
+}
+
+func TestSetJoinEmptyMappingIsIdentity(t *testing.T) {
+	// {∅} is the neutral element of ⋈ (TRUE in the boolean reading).
+	m := NewSet(Mapping{"x": {1, 2}}, Mapping{"y": {2, 3}})
+	id := NewSet(Mapping{})
+	if !m.Join(id).Equal(m) || !id.Join(m).Equal(m) {
+		t.Error("join with {∅} must be identity")
+	}
+	// The empty set is the absorbing element (FALSE).
+	empty := NewSet()
+	if m.Join(empty).Len() != 0 {
+		t.Error("join with ∅ must be empty")
+	}
+}
+
+func TestSetProject(t *testing.T) {
+	s := NewSet(
+		Mapping{"x": {1, 2}, "y": {2, 3}},
+		Mapping{"x": {1, 2}, "y": {3, 4}},
+	)
+	p := s.Project([]Var{"x"})
+	if p.Len() != 1 || !p.Contains(Mapping{"x": {1, 2}}) {
+		t.Fatalf("Project = %v", p.Mappings())
+	}
+}
+
+func TestSetIsRelationOver(t *testing.T) {
+	rel := NewSet(
+		Mapping{"x": {1, 2}, "y": {2, 3}},
+		Mapping{"x": {1, 3}, "y": {3, 3}},
+	)
+	if !rel.IsRelationOver([]Var{"x", "y"}) {
+		t.Error("total uniform set should be a relation")
+	}
+	part := NewSet(Mapping{"x": {1, 2}}, Mapping{"x": {1, 2}, "y": {2, 3}})
+	if part.IsRelationOver([]Var{"x", "y"}) {
+		t.Error("partial mappings cannot form a relation over {x,y}")
+	}
+}
+
+func TestTotalMappings(t *testing.T) {
+	d := NewDocument("ab")
+	// 2-length document has 6 spans; one variable -> 6 total mappings.
+	tm := TotalMappings([]Var{"x"}, d)
+	if tm.Len() != 6 {
+		t.Fatalf("Len = %d, want 6", tm.Len())
+	}
+	tm2 := TotalMappings([]Var{"x", "y"}, d)
+	if tm2.Len() != 36 {
+		t.Fatalf("Len = %d, want 36", tm2.Len())
+	}
+	for _, m := range tm2.Mappings() {
+		if len(m) != 2 {
+			t.Fatalf("non-total mapping %v", m)
+		}
+	}
+}
+
+func TestSetHierarchical(t *testing.T) {
+	ok := NewSet(Mapping{"x": {1, 5}, "y": {2, 3}})
+	bad := NewSet(Mapping{"x": {1, 4}, "y": {2, 6}})
+	if !ok.Hierarchical() || bad.Hierarchical() {
+		t.Error("Hierarchical set predicate broken")
+	}
+}
+
+func TestJoinCommutative(t *testing.T) {
+	f := func(a, b, c uint8) bool {
+		s1 := NewSet(
+			Mapping{"x": {int(a%3) + 1, int(a%3) + 2}},
+			Mapping{},
+		)
+		s2 := NewSet(
+			Mapping{"x": {int(b%3) + 1, int(b%3) + 2}, "y": {int(c%3) + 1, int(c%3) + 1}},
+		)
+		return s1.Join(s2).Equal(s2.Join(s1))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

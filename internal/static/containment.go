@@ -1,0 +1,462 @@
+package static
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"spanners/internal/span"
+	"spanners/internal/va"
+)
+
+// Counterexample witnesses non-containment: a document and a mapping
+// produced by the left automaton but not the right one.
+type Counterexample struct {
+	Doc     *span.Document
+	Mapping span.Mapping
+}
+
+func (c *Counterexample) String() string {
+	return fmt.Sprintf("document %q, mapping %s", c.Doc.Text(), c.Mapping)
+}
+
+// Contained decides whether ⟦A1⟧_d ⊆ ⟦A2⟧_d for every document d
+// (Theorem 6.4), returning a counterexample when not. The search
+// walks configurations (S1, S2, variable status) where S1 and S2 are
+// the state sets reachable in the two automata on a common label:
+// letters range over a finite witness alphabet, and at each document
+// boundary the search picks the set of variable operations fired
+// there — both automata may fire them in any order (the mapping does
+// not depend on the order), which the per-boundary subset DP
+// accounts for. The algorithm is complete but exponential, as the
+// problem is PSPACE-complete; inputs are first closing-normalized so
+// that open-without-close runs (whose labels mention operations the
+// mapping does not) cannot confuse the label synchronization.
+func Contained(a1, a2 *va.VA) (bool, *Counterexample) {
+	a1 = a1.NormalizeClosing(a1.Vars()).Trim()
+	a2 = a2.NormalizeClosing(a2.Vars()).Trim()
+
+	// The variable universe and the witness alphabet.
+	varSet := map[span.Var]bool{}
+	for _, v := range a1.Vars() {
+		varSet[v] = true
+	}
+	for _, v := range a2.Vars() {
+		varSet[v] = true
+	}
+	vars := make([]span.Var, 0, len(varSet))
+	for v := range varSet {
+		vars = append(vars, v)
+	}
+	sort.Slice(vars, func(i, j int) bool { return vars[i] < vars[j] })
+	varIdx := make(map[span.Var]int, len(vars))
+	for i, v := range vars {
+		varIdx[v] = i
+	}
+	alphabet := witnessAlphabet(a1, a2)
+
+	start := ctCfg{
+		s1:     encodeSet(epsClosure(a1, []int{a1.Start})),
+		s2:     encodeSet(epsClosure(a2, []int{a2.Start})),
+		status: strings.Repeat("a", len(vars)),
+	}
+	parent := map[ctCfg]ctStep{start: {prev: start}}
+	queue := []ctCfg{start}
+
+	for len(queue) > 0 {
+		c := queue[0]
+		queue = queue[1:]
+		s1 := decodeSet(c.s1)
+		s2 := decodeSet(c.s2)
+
+		// Enumerate boundary operation sets realizable by A1 from s1,
+		// together with the states both automata can reach with them.
+		for _, bo := range boundaryChoices(a1, a2, s1, s2, c.status, varIdx) {
+			// Counterexample test: A1 accepts here, A2 cannot.
+			if containsFinal(a1, bo.r1) && !containsFinal(a2, bo.r2) {
+				end := ctCfg{s1: encodeSet(bo.r1), s2: encodeSet(bo.r2), status: bo.status}
+				if _, ok := parent[end]; !ok {
+					parent[end] = ctStep{prev: c, ops: bo.ops, isEnd: true}
+				}
+				return false, rebuild(parent, start, end)
+			}
+			// Extend with each witness letter.
+			for _, a := range alphabet {
+				n1 := letterStep(a1, bo.r1, a)
+				if len(n1) == 0 {
+					continue // no A1 run continues: no counterexample this way
+				}
+				n2 := letterStep(a2, bo.r2, a)
+				nc := ctCfg{s1: encodeSet(n1), s2: encodeSet(n2), status: bo.status}
+				if _, ok := parent[nc]; !ok {
+					parent[nc] = ctStep{prev: c, ops: bo.ops, letter: a}
+					queue = append(queue, nc)
+				}
+			}
+		}
+	}
+	return true, nil
+}
+
+// opRef is one variable operation at a boundary.
+type opRef struct {
+	open bool
+	v    span.Var
+}
+
+func (o opRef) key() string {
+	if o.open {
+		return "o" + string(o.v)
+	}
+	return "c" + string(o.v)
+}
+
+// boundaryChoice is one realizable boundary: the operation set, the
+// resulting state sets of both automata (over all operation orders),
+// and the updated variable status.
+type boundaryChoice struct {
+	ops    []opRef
+	r1, r2 []int
+	status string
+}
+
+// boundaryChoices enumerates every operation set P such that A1 can
+// fire exactly P (in some order, interleaved with ε) at the current
+// boundary, and pairs it with the states A2 reaches using P in any
+// order. Discipline is enforced against the global variable status.
+// The enumeration is a (state, fired-set) BFS over A1, so only
+// realizable sets are materialized — never the factorially many
+// orders.
+func boundaryChoices(a1, a2 *va.VA, s1, s2 []int, status string, varIdx map[span.Var]int) []boundaryChoice {
+	// The operation universe: operations A1 could conceivably fire
+	// here. Closes of still-available variables are included because
+	// the matching open may fire earlier in the same boundary.
+	universe := opUniverse(a1, status, varIdx)
+	opBit := make(map[opRef]int, len(universe))
+	for i, o := range universe {
+		opBit[o] = i
+	}
+
+	// admissible reports whether op o may fire given the global
+	// status and the operations already fired at this boundary.
+	admissible := func(o opRef, mask int) bool {
+		i := varIdx[o.v]
+		if o.open {
+			return status[i] == 'a'
+		}
+		if status[i] == 'o' {
+			return true
+		}
+		open := opRef{open: true, v: o.v}
+		bit, ok := opBit[open]
+		return status[i] == 'a' && ok && mask&(1<<bit) != 0
+	}
+
+	type c struct {
+		q    int
+		mask int
+	}
+	seen := map[c]bool{}
+	var queue []c
+	for _, q := range epsClosure(a1, s1) {
+		cc := c{q, 0}
+		seen[cc] = true
+		queue = append(queue, cc)
+	}
+	adj := a1.Adj()
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, ti := range adj[cur.q] {
+			t := a1.Trans[ti]
+			var next c
+			switch t.Kind {
+			case va.Eps:
+				next = c{t.To, cur.mask}
+			case va.Open, va.Close:
+				o := opRef{open: t.Kind == va.Open, v: t.Var}
+				bit, ok := opBit[o]
+				if !ok || cur.mask&(1<<bit) != 0 || !admissible(o, cur.mask) {
+					continue
+				}
+				next = c{t.To, cur.mask | 1<<bit}
+			default:
+				continue
+			}
+			if !seen[next] {
+				seen[next] = true
+				queue = append(queue, next)
+			}
+		}
+	}
+
+	// Group reached states by fired set.
+	statesByMask := map[int][]int{}
+	for cc := range seen {
+		statesByMask[cc.mask] = append(statesByMask[cc.mask], cc.q)
+	}
+	masks := make([]int, 0, len(statesByMask))
+	for m := range statesByMask {
+		masks = append(masks, m)
+	}
+	sort.Ints(masks)
+
+	out := make([]boundaryChoice, 0, len(masks))
+	for _, m := range masks {
+		ops := make([]opRef, 0)
+		for i, o := range universe {
+			if m&(1<<i) != 0 {
+				ops = append(ops, o)
+			}
+		}
+		sort.Slice(ops, func(i, j int) bool { return ops[i].key() < ops[j].key() })
+		st := applyOps(status, ops, varIdx)
+		r1 := statesByMask[m]
+		sort.Ints(r1)
+		out = append(out, boundaryChoice{
+			ops:    ops,
+			r1:     r1,
+			r2:     allOrdersReach(a2, s2, ops),
+			status: st,
+		})
+	}
+	return out
+}
+
+// opUniverse lists the operations A1 might fire at a boundary with
+// the given global status.
+func opUniverse(a *va.VA, status string, varIdx map[span.Var]int) []opRef {
+	seen := map[opRef]bool{}
+	var out []opRef
+	for _, t := range a.Trans {
+		switch t.Kind {
+		case va.Open:
+			if status[varIdx[t.Var]] != 'a' {
+				continue
+			}
+		case va.Close:
+			if s := status[varIdx[t.Var]]; s != 'o' && s != 'a' {
+				continue
+			}
+		default:
+			continue
+		}
+		o := opRef{open: t.Kind == va.Open, v: t.Var}
+		if !seen[o] {
+			seen[o] = true
+			out = append(out, o)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].key() < out[j].key() })
+	return out
+}
+
+// applyOps computes the status after firing a boundary set: a close
+// wins over an open of the same variable (the span was empty).
+func applyOps(status string, ops []opRef, varIdx map[span.Var]int) string {
+	b := []byte(status)
+	for _, o := range ops {
+		if o.open {
+			b[varIdx[o.v]] = 'o'
+		}
+	}
+	for _, o := range ops {
+		if !o.open {
+			b[varIdx[o.v]] = 'c'
+		}
+	}
+	return string(b)
+}
+
+// allOrdersReach computes the states reachable from set using the
+// operations of P exactly once each, in any order, interleaved with
+// ε-transitions — the ⋃_{w ∈ Perm(P)} S(S, w) of the paper's
+// algorithm, computed by a (state, subset) BFS.
+func allOrdersReach(a *va.VA, set []int, ops []opRef) []int {
+	type c struct {
+		q    int
+		mask int
+	}
+	full := 1<<len(ops) - 1
+	var queue []c
+	seen := map[c]bool{}
+	for _, q := range epsClosure(a, set) {
+		cc := c{q, 0}
+		seen[cc] = true
+		queue = append(queue, cc)
+	}
+	adj := a.Adj()
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, ti := range adj[cur.q] {
+			t := a.Trans[ti]
+			var next c
+			switch t.Kind {
+			case va.Eps:
+				next = c{t.To, cur.mask}
+			case va.Open, va.Close:
+				idx := -1
+				for i, o := range ops {
+					if cur.mask&(1<<i) == 0 && o.open == (t.Kind == va.Open) && o.v == t.Var {
+						idx = i
+						break
+					}
+				}
+				if idx == -1 {
+					continue
+				}
+				next = c{t.To, cur.mask | 1<<idx}
+			default:
+				continue
+			}
+			if !seen[next] {
+				seen[next] = true
+				queue = append(queue, next)
+			}
+		}
+	}
+	var out []int
+	for cc := range seen {
+		if cc.mask == full {
+			out = append(out, cc.q)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// letterStep advances a state set by one letter (with ε-closure).
+func letterStep(a *va.VA, set []int, r rune) []int {
+	var out []int
+	adj := a.Adj()
+	for _, q := range set {
+		for _, ti := range adj[q] {
+			t := a.Trans[ti]
+			if t.Kind == va.Letter && t.Class.Contains(r) {
+				out = append(out, t.To)
+			}
+		}
+	}
+	return epsClosure(a, out)
+}
+
+func epsClosure(a *va.VA, set []int) []int {
+	seen := map[int]bool{}
+	stack := append([]int(nil), set...)
+	for _, q := range set {
+		seen[q] = true
+	}
+	adj := a.Adj()
+	for len(stack) > 0 {
+		q := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, ti := range adj[q] {
+			t := a.Trans[ti]
+			if t.Kind == va.Eps && !seen[t.To] {
+				seen[t.To] = true
+				stack = append(stack, t.To)
+			}
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for q := range seen {
+		out = append(out, q)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func containsFinal(a *va.VA, set []int) bool {
+	for _, q := range set {
+		if a.IsFinal(q) {
+			return true
+		}
+	}
+	return false
+}
+
+func encodeSet(set []int) string {
+	parts := make([]string, len(set))
+	for i, q := range set {
+		parts[i] = strconv.Itoa(q)
+	}
+	return strings.Join(parts, ",")
+}
+
+func decodeSet(s string) []int {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]int, len(parts))
+	for i, p := range parts {
+		out[i], _ = strconv.Atoi(p)
+	}
+	return out
+}
+
+func unionSets(a, b []int) []int {
+	seen := map[int]bool{}
+	for _, q := range a {
+		seen[q] = true
+	}
+	for _, q := range b {
+		seen[q] = true
+	}
+	out := make([]int, 0, len(seen))
+	for q := range seen {
+		out = append(out, q)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// ctCfg is one configuration of the containment search: canonical
+// encodings of both automata's reachable state sets plus the status
+// of every variable (a = available, o = open, c = closed).
+type ctCfg struct {
+	s1, s2 string
+	status string
+}
+
+// ctStep records how a configuration was reached, for counterexample
+// reconstruction.
+type ctStep struct {
+	prev   ctCfg
+	ops    []opRef // boundary operations fired before the letter
+	letter rune    // letter consumed; unused when isEnd
+	isEnd  bool    // the final boundary of a counterexample
+}
+
+// rebuild reconstructs the counterexample document and mapping from
+// the parent chain.
+func rebuild(parent map[ctCfg]ctStep, start, end ctCfg) *Counterexample {
+	var chain []ctStep
+	for at := end; at != start; {
+		st := parent[at]
+		chain = append(chain, st)
+		at = st.prev
+	}
+	// chain is reversed: walk forward assigning positions.
+	var text strings.Builder
+	mapping := span.Mapping{}
+	opens := map[span.Var]int{}
+	pos := 1
+	for i := len(chain) - 1; i >= 0; i-- {
+		st := chain[i]
+		for _, o := range st.ops {
+			if o.open {
+				opens[o.v] = pos
+			} else {
+				mapping[o.v] = span.Span{Start: opens[o.v], End: pos}
+			}
+		}
+		if !st.isEnd {
+			text.WriteRune(st.letter)
+			pos++
+		}
+	}
+	return &Counterexample{Doc: span.NewDocument(text.String()), Mapping: mapping}
+}

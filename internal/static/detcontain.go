@@ -1,0 +1,131 @@
+package static
+
+import (
+	"fmt"
+
+	"spanners/internal/runeclass"
+	"spanners/internal/va"
+)
+
+// ErrPreconditions reports that the PTIME containment algorithm was
+// given automata outside its fragment.
+type ErrPreconditions struct {
+	Reason string
+}
+
+func (e *ErrPreconditions) Error() string {
+	return "static: PTIME containment preconditions violated: " + e.Reason
+}
+
+// ContainedDetSeq decides containment for deterministic sequential
+// automata producing point-disjoint mappings (Theorem 6.7) in
+// polynomial time. On that fragment every document-mapping pair has
+// exactly one run, in both automata, with identical operation
+// sequencing (point-disjointness pins each operation's slot and
+// determinism each transition), so containment reduces to a product
+// simulation: follow every A1 transition, mirror it in A2, and look
+// for a reachable configuration where A1 accepts and A2 does not.
+func ContainedDetSeq(a1, a2 *va.VA) (bool, error) {
+	for i, a := range []*va.VA{a1, a2} {
+		if !a.IsDeterministic() {
+			return false, &ErrPreconditions{Reason: fmt.Sprintf("automaton %d is not deterministic", i+1)}
+		}
+		if err := a.CheckSequential(); err != nil {
+			return false, &ErrPreconditions{Reason: fmt.Sprintf("automaton %d: %v", i+1, err)}
+		}
+		pd, err := a.IsPointDisjoint()
+		if err != nil {
+			return false, err
+		}
+		if !pd {
+			return false, &ErrPreconditions{Reason: fmt.Sprintf("automaton %d is not point-disjoint", i+1)}
+		}
+	}
+
+	const dead = -1
+	type cfg struct{ q1, q2 int }
+	start := cfg{a1.Start, a2.Start}
+	seen := map[cfg]bool{start: true}
+	queue := []cfg{start}
+	adj1, adj2 := a1.Adj(), a2.Adj()
+
+	for len(queue) > 0 {
+		c := queue[0]
+		queue = queue[1:]
+		if a1.IsFinal(c.q1) && (c.q2 == dead || !a2.IsFinal(c.q2)) {
+			return false, nil
+		}
+		for _, ti := range adj1[c.q1] {
+			t1 := a1.Trans[ti]
+			var succs []cfg
+			switch t1.Kind {
+			case va.Letter:
+				if c.q2 == dead {
+					succs = append(succs, cfg{t1.To, dead})
+					break
+				}
+				// Split t1's class against A2's outgoing letter
+				// classes: matched parts pair up, the remainder sends
+				// A2 to the dead state.
+				remainder := t1.Class
+				for _, tj := range adj2[c.q2] {
+					t2 := a2.Trans[tj]
+					if t2.Kind != va.Letter {
+						continue
+					}
+					if inter := t1.Class.Intersect(t2.Class); !inter.IsEmpty() {
+						succs = append(succs, cfg{t1.To, t2.To})
+					}
+					remainder = remainder.Minus(t2.Class)
+				}
+				if !remainder.IsEmpty() {
+					succs = append(succs, cfg{t1.To, dead})
+				}
+			case va.Open, va.Close:
+				next := dead
+				if c.q2 != dead {
+					for _, tj := range adj2[c.q2] {
+						t2 := a2.Trans[tj]
+						if t2.Kind == t1.Kind && t2.Var == t1.Var {
+							next = t2.To
+							break
+						}
+					}
+				}
+				succs = append(succs, cfg{t1.To, next})
+			}
+			for _, n := range succs {
+				if !seen[n] {
+					seen[n] = true
+					queue = append(queue, n)
+				}
+			}
+		}
+	}
+	return true, nil
+}
+
+// EquivalentDetSeq checks two-way containment on the PTIME fragment.
+func EquivalentDetSeq(a1, a2 *va.VA) (bool, error) {
+	c1, err := ContainedDetSeq(a1, a2)
+	if err != nil {
+		return false, err
+	}
+	if !c1 {
+		return false, nil
+	}
+	return ContainedDetSeq(a2, a1)
+}
+
+// Equivalent checks two-way containment with the general algorithm.
+func Equivalent(a1, a2 *va.VA) bool {
+	if ok, _ := Contained(a1, a2); !ok {
+		return false
+	}
+	ok, _ := Contained(a2, a1)
+	return ok
+}
+
+// letterClassesOf is a tiny helper for tests: the distinct classes of
+// an automaton's letter transitions.
+func letterClassesOf(a *va.VA) []runeclass.Class { return a.LetterClasses() }

@@ -1,0 +1,7 @@
+package static
+
+import "spanners/internal/runeclass"
+
+type runeClass = runeclass.Class
+
+func runeClassSingle(r rune) runeclass.Class { return runeclass.Single(r) }

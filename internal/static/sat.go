@@ -1,0 +1,198 @@
+// Package static implements the static analysis problems of
+// Section 6 for variable-set automata and RGX formulas:
+// satisfiability (Theorems 6.1–6.3) and containment
+// (Theorems 6.4–6.7), including the deterministic and point-disjoint
+// fragments where the paper's complexity drops.
+package static
+
+import (
+	"sort"
+	"strings"
+
+	"spanners/internal/rgx"
+	"spanners/internal/runeclass"
+	"spanners/internal/span"
+	"spanners/internal/va"
+)
+
+// Satisfiable decides Sat[VA]: is there a document d with
+// ⟦A⟧_d ≠ ∅? For sequential automata it is plain final-state
+// reachability (Theorem 6.2's NLOGSPACE bound); in general it is a
+// reachability over (state, variable-status) configurations —
+// exponential in the number of variables, matching the problem's
+// NP-completeness (Theorem 6.1).
+func Satisfiable(a *va.VA) bool {
+	if a.IsSequential() {
+		return satisfiableSequential(a)
+	}
+	return satisfiableGeneral(a)
+}
+
+// satisfiableSequential: on a sequential automaton every start-final
+// path is a valid accepting run of some document (letters can always
+// be chosen since classes are non-empty), so satisfiability is graph
+// reachability.
+func satisfiableSequential(a *va.VA) bool {
+	seen := make([]bool, a.NumStates)
+	stack := []int{a.Start}
+	seen[a.Start] = true
+	adj := a.Adj()
+	for len(stack) > 0 {
+		q := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if a.IsFinal(q) {
+			return true
+		}
+		for _, ti := range adj[q] {
+			t := a.Trans[ti]
+			if !seen[t.To] {
+				seen[t.To] = true
+				stack = append(stack, t.To)
+			}
+		}
+	}
+	return false
+}
+
+// satisfiableGeneral tracks each variable's status along the path, so
+// only valid runs are explored. Open-never-close is permitted (the
+// variable ends up unassigned), exactly as in the run semantics.
+func satisfiableGeneral(a *va.VA) bool {
+	vars := a.Vars()
+	idx := make(map[span.Var]int, len(vars))
+	for i, v := range vars {
+		idx[v] = i
+	}
+	type cfg struct {
+		q  int
+		st string
+	}
+	start := cfg{a.Start, strings.Repeat("a", len(vars))} // a=avail, o=open, c=closed
+	seen := map[cfg]bool{start: true}
+	stack := []cfg{start}
+	adj := a.Adj()
+	for len(stack) > 0 {
+		c := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if a.IsFinal(c.q) {
+			return true
+		}
+		for _, ti := range adj[c.q] {
+			t := a.Trans[ti]
+			st := c.st
+			switch t.Kind {
+			case va.Open:
+				i := idx[t.Var]
+				if st[i] != 'a' {
+					continue
+				}
+				st = st[:i] + "o" + st[i+1:]
+			case va.Close:
+				i, ok := idx[t.Var]
+				if !ok || st[i] != 'o' {
+					continue
+				}
+				st = st[:i] + "c" + st[i+1:]
+			}
+			n := cfg{t.To, st}
+			if !seen[n] {
+				seen[n] = true
+				stack = append(stack, n)
+			}
+		}
+	}
+	return false
+}
+
+// SatisfiableRGX decides Sat[RGX] by compilation, or — equivalently
+// and sometimes faster — by checking that the formula has at least
+// one functional component. The compilation route is used here.
+func SatisfiableRGX(n rgx.Node) bool {
+	return Satisfiable(va.FromRGX(n))
+}
+
+// WitnessDocument returns a document d with ⟦A⟧_d ≠ ∅ when the
+// automaton is satisfiable. The search mirrors satisfiableGeneral
+// with parent tracking; letters are chosen as class samples. The
+// bound of Lemma D.1 guarantees the BFS terminates well before
+// exhausting configurations.
+func WitnessDocument(a *va.VA) (*span.Document, bool) {
+	vars := a.Vars()
+	idx := make(map[span.Var]int, len(vars))
+	for i, v := range vars {
+		idx[v] = i
+	}
+	type cfg struct {
+		q  int
+		st string
+	}
+	type edge struct {
+		prev cfg
+		text string // letters contributed by this step
+	}
+	start := cfg{a.Start, strings.Repeat("a", len(vars))}
+	parent := map[cfg]edge{start: {prev: start}}
+	queue := []cfg{start}
+	adj := a.Adj()
+	for len(queue) > 0 {
+		c := queue[0]
+		queue = queue[1:]
+		if a.IsFinal(c.q) {
+			// Reconstruct the document.
+			var parts []string
+			for at := c; at != start; at = parent[at].prev {
+				parts = append(parts, parent[at].text)
+			}
+			var b strings.Builder
+			for i := len(parts) - 1; i >= 0; i-- {
+				b.WriteString(parts[i])
+			}
+			return span.NewDocument(b.String()), true
+		}
+		for _, ti := range adj[c.q] {
+			t := a.Trans[ti]
+			st := c.st
+			text := ""
+			switch t.Kind {
+			case va.Letter:
+				r, ok := t.Class.Sample()
+				if !ok {
+					continue
+				}
+				text = string(r)
+			case va.Open:
+				i := idx[t.Var]
+				if st[i] != 'a' {
+					continue
+				}
+				st = st[:i] + "o" + st[i+1:]
+			case va.Close:
+				i, ok := idx[t.Var]
+				if !ok || st[i] != 'o' {
+					continue
+				}
+				st = st[:i] + "c" + st[i+1:]
+			}
+			n := cfg{t.To, st}
+			if _, ok := parent[n]; !ok {
+				parent[n] = edge{prev: c, text: text}
+				queue = append(queue, n)
+			}
+		}
+	}
+	return nil, false
+}
+
+// witnessAlphabet derives, from the letter classes of the given
+// automata, one representative rune per equivalence class of
+// indistinguishable letters — the finite alphabet over which
+// quantification "for all documents" is complete.
+func witnessAlphabet(as ...*va.VA) []rune {
+	var classes []runeclass.Class
+	for _, a := range as {
+		classes = append(classes, a.LetterClasses()...)
+	}
+	reps := runeclass.Representatives(classes)
+	sort.Slice(reps, func(i, j int) bool { return reps[i] < reps[j] })
+	return reps
+}

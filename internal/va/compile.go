@@ -1,0 +1,73 @@
+package va
+
+import (
+	"spanners/internal/rgx"
+)
+
+// FromRGX compiles a variable regex into an equivalent VA by the
+// Thompson construction extended with variable operations
+// (Theorem 4.3): x{γ} compiles to  open-x · A(γ) · close-x. The
+// resulting automaton has one final state, O(|γ|) states, properly
+// nested variable operations (so set and stack policies coincide),
+// and is sequential whenever γ is sequential (proof of Theorem 5.7).
+func FromRGX(n rgx.Node) *VA {
+	a := &VA{}
+	start := a.AddState()
+	final := a.AddState()
+	a.Start = start
+	a.Finals = []int{final}
+	build(a, n, start, final)
+	return a
+}
+
+// build adds the fragment for n between the states from and to.
+func build(a *VA, n rgx.Node, from, to int) {
+	switch n := n.(type) {
+	case rgx.Empty:
+		a.AddEps(from, to)
+	case rgx.Class:
+		a.AddLetter(from, to, n.C)
+	case rgx.Var:
+		s := a.AddState()
+		f := a.AddState()
+		a.AddOpen(from, s, n.Name)
+		build(a, n.Sub, s, f)
+		a.AddClose(f, to, n.Name)
+	case rgx.Concat:
+		cur := from
+		for i, p := range n.Parts {
+			next := to
+			if i < len(n.Parts)-1 {
+				next = a.AddState()
+			}
+			build(a, p, cur, next)
+			cur = next
+		}
+		if len(n.Parts) == 0 {
+			a.AddEps(from, to)
+		}
+	case rgx.Alt:
+		for _, p := range n.Parts {
+			s := a.AddState()
+			f := a.AddState()
+			a.AddEps(from, s)
+			build(a, p, s, f)
+			a.AddEps(f, to)
+		}
+		if len(n.Parts) == 0 {
+			// An empty disjunction denotes the empty language; the
+			// grammar cannot produce it but builders might: leave
+			// from and to disconnected.
+		}
+	case rgx.Star:
+		s := a.AddState()
+		f := a.AddState()
+		a.AddEps(from, s)
+		a.AddEps(from, to)
+		build(a, n.Sub, s, f)
+		a.AddEps(f, s)
+		a.AddEps(f, to)
+	default:
+		panic("va: unknown rgx node")
+	}
+}

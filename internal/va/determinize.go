@@ -1,0 +1,184 @@
+package va
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"spanners/internal/runeclass"
+	"spanners/internal/span"
+)
+
+// IsDeterministic reports whether the automaton is deterministic in
+// the sense of Section 6: no ε-transitions and, for every state and
+// every symbol of Σ ∪ {x⊢, ⊣x}, at most one applicable transition.
+// Overlapping letter classes on distinct transitions from one state
+// count as nondeterminism, since some letter would then have two
+// successors.
+func (a *VA) IsDeterministic() bool {
+	adj := a.Adj()
+	for q := 0; q < a.NumStates; q++ {
+		ops := map[string]bool{}
+		var classes []runeclass.Class
+		for _, ti := range adj[q] {
+			t := a.Trans[ti]
+			switch t.Kind {
+			case Eps:
+				return false
+			case Open, Close:
+				k := t.Label()
+				if ops[k] {
+					return false
+				}
+				ops[k] = true
+			case Letter:
+				for _, c := range classes {
+					if !c.Intersect(t.Class).IsEmpty() {
+						return false
+					}
+				}
+				classes = append(classes, t.Class)
+			}
+		}
+	}
+	return true
+}
+
+// Determinize builds a deterministic VA with the same semantics
+// (Proposition 6.5) via the subset construction, treating variable
+// operations as alphabet symbols and splitting overlapping letter
+// classes into atoms. The result can be exponentially larger.
+func Determinize(a *VA) *VA {
+	adj := a.Adj()
+
+	// ε-closure of a set of states.
+	closure := func(set []int) []int {
+		seen := map[int]bool{}
+		stack := append([]int(nil), set...)
+		for _, q := range set {
+			seen[q] = true
+		}
+		for len(stack) > 0 {
+			q := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, ti := range adj[q] {
+				t := a.Trans[ti]
+				if t.Kind == Eps && !seen[t.To] {
+					seen[t.To] = true
+					stack = append(stack, t.To)
+				}
+			}
+		}
+		out := make([]int, 0, len(seen))
+		for q := range seen {
+			out = append(out, q)
+		}
+		sort.Ints(out)
+		return out
+	}
+
+	encode := func(set []int) string {
+		parts := make([]string, len(set))
+		for i, q := range set {
+			parts[i] = strconv.Itoa(q)
+		}
+		return strings.Join(parts, ",")
+	}
+
+	out := &VA{}
+	stateOf := map[string]int{}
+	var sets [][]int
+	intern := func(set []int) int {
+		k := encode(set)
+		if s, ok := stateOf[k]; ok {
+			return s
+		}
+		s := out.AddState()
+		stateOf[k] = s
+		sets = append(sets, set)
+		return s
+	}
+
+	out.Start = intern(closure([]int{a.Start}))
+
+	for i := 0; i < len(sets); i++ {
+		set := sets[i]
+		from := i
+
+		// Variable-operation successors.
+		type opKey struct {
+			kind Kind
+			v    span.Var
+		}
+		opTargets := map[opKey][]int{}
+		var classes []runeclass.Class
+		var letterTrans []Transition
+		for _, q := range set {
+			for _, ti := range adj[q] {
+				t := a.Trans[ti]
+				switch t.Kind {
+				case Open, Close:
+					k := opKey{t.Kind, t.Var}
+					opTargets[k] = append(opTargets[k], t.To)
+				case Letter:
+					classes = append(classes, t.Class)
+					letterTrans = append(letterTrans, t)
+				}
+			}
+		}
+		var opKeys []opKey
+		for k := range opTargets {
+			opKeys = append(opKeys, k)
+		}
+		sort.Slice(opKeys, func(i, j int) bool {
+			if opKeys[i].kind != opKeys[j].kind {
+				return opKeys[i].kind < opKeys[j].kind
+			}
+			return opKeys[i].v < opKeys[j].v
+		})
+		for _, k := range opKeys {
+			to := intern(closure(opTargets[k]))
+			if k.kind == Open {
+				out.AddOpen(from, to, k.v)
+			} else {
+				out.AddClose(from, to, k.v)
+			}
+		}
+
+		// Letter successors, one per atom of the outgoing classes.
+		for _, atom := range runeclass.Atoms(classes) {
+			probe, _ := atom.Sample()
+			var targets []int
+			for _, t := range letterTrans {
+				if t.Class.Contains(probe) {
+					targets = append(targets, t.To)
+				}
+			}
+			if len(targets) == 0 {
+				continue // partial DFA: missing transitions mean reject
+			}
+			to := intern(closure(targets))
+			out.AddLetter(from, to, atom)
+		}
+	}
+
+	for k, s := range stateOf {
+		for _, part := range strings.Split(k, ",") {
+			if part == "" {
+				continue
+			}
+			q, _ := strconv.Atoi(part)
+			if a.IsFinal(q) {
+				out.Finals = append(out.Finals, s)
+				break
+			}
+		}
+	}
+	sort.Ints(out.Finals)
+	if len(out.Finals) == 0 {
+		// The automaton accepts nothing; give it an unreachable final
+		// state so that it remains structurally well formed.
+		out.Finals = []int{out.AddState()}
+	}
+	return out
+}

@@ -1,0 +1,106 @@
+package va
+
+import (
+	"testing"
+
+	"spanners/internal/rgx"
+	"spanners/internal/runeclass"
+	"spanners/internal/span"
+)
+
+func TestDeterminizePreservesSemantics(t *testing.T) {
+	// Proposition 6.5: ⟦A⟧_d = ⟦A^det⟧_d for every document.
+	for _, e := range crossCheckExprs {
+		a := FromRGX(rgx.MustParse(e))
+		det := Determinize(a)
+		if !det.IsDeterministic() {
+			t.Fatalf("Determinize(%q) is not deterministic:\n%s", e, det)
+		}
+		for _, text := range crossCheckDocs {
+			d := spanDoc(text)
+			want := a.Mappings(d)
+			got := det.Mappings(d)
+			if !got.Equal(want) {
+				t.Errorf("⟦%s⟧ on %q: det = %v, want %v",
+					e, text, got.Mappings(), want.Mappings())
+			}
+		}
+	}
+}
+
+func TestIsDeterministic(t *testing.T) {
+	det := New(3, 0, 2)
+	det.AddLetter(0, 1, runeclass.Single('a'))
+	det.AddLetter(0, 2, runeclass.Single('b'))
+	det.AddOpen(1, 2, "x")
+	if !det.IsDeterministic() {
+		t.Error("disjoint classes and unique ops are deterministic")
+	}
+
+	eps := New(2, 0, 1)
+	eps.AddEps(0, 1)
+	if eps.IsDeterministic() {
+		t.Error("ε-transitions are nondeterministic")
+	}
+
+	overlap := New(3, 0, 2)
+	overlap.AddLetter(0, 1, runeclass.FromRanges(runeclass.Range{Lo: 'a', Hi: 'm'}))
+	overlap.AddLetter(0, 2, runeclass.FromRanges(runeclass.Range{Lo: 'k', Hi: 'z'}))
+	if overlap.IsDeterministic() {
+		t.Error("overlapping letter classes are nondeterministic")
+	}
+
+	dupOp := New(3, 0, 2)
+	dupOp.AddOpen(0, 1, "x")
+	dupOp.AddOpen(0, 2, "x")
+	if dupOp.IsDeterministic() {
+		t.Error("two x⊢ successors are nondeterministic")
+	}
+}
+
+func TestDeterminizeHandlesOverlappingClasses(t *testing.T) {
+	// [a-m] vs [k-z]: atoms are [a-j], [k-m], [n-z].
+	a := New(3, 0, 2)
+	a.AddLetter(0, 1, runeclass.FromRanges(runeclass.Range{Lo: 'a', Hi: 'm'}))
+	a.AddLetter(0, 2, runeclass.FromRanges(runeclass.Range{Lo: 'k', Hi: 'z'}))
+	a.AddLetter(1, 2, runeclass.Single('!'))
+	det := Determinize(a)
+	if !det.IsDeterministic() {
+		t.Fatalf("not deterministic:\n%s", det)
+	}
+	for _, text := range []string{"k", "a!", "z", "m!", "n!"} {
+		d := spanDoc(text)
+		if !a.Mappings(d).Equal(det.Mappings(d)) {
+			t.Errorf("semantics differ on %q", text)
+		}
+	}
+}
+
+func TestDeterminizeEmptyLanguage(t *testing.T) {
+	a := New(2, 0, 1) // no transitions: accepts nothing
+	det := Determinize(a)
+	if err := det.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if det.Mappings(spanDoc("")).Len() != 0 {
+		t.Error("empty language must stay empty")
+	}
+}
+
+func TestDeterminizeVariableChoice(t *testing.T) {
+	// x{a}|y{a}: nondeterministic choice of which variable to bind;
+	// the deterministic automaton must keep both outputs. This shows
+	// determinism of the transition relation does not mean one output
+	// mapping per document.
+	a := FromRGX(rgx.MustParse("x{a}|y{a}"))
+	det := Determinize(a)
+	d := spanDoc("a")
+	got := det.Mappings(d)
+	if got.Len() != 2 {
+		t.Fatalf("got %v", got.Mappings())
+	}
+	if !got.Contains(span.Mapping{"x": span.Sp(1, 2)}) ||
+		!got.Contains(span.Mapping{"y": span.Sp(1, 2)}) {
+		t.Errorf("missing a branch: %v", got.Mappings())
+	}
+}

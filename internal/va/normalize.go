@@ -1,0 +1,156 @@
+package va
+
+import (
+	"spanners/internal/span"
+)
+
+// extStatus extends varStatus with "skipped": the run promised never
+// to touch the variable's operations (used to normalize away
+// open-without-close behaviour).
+type extStatus uint8
+
+const (
+	exAvail extStatus = iota
+	exOpen
+	exClosed
+	exSkipped
+)
+
+// statusProduct builds the product of a with the status vector of the
+// tracked variables, pruning transitions that violate the variable
+// discipline. In the result every path from the start respects the
+// discipline of the tracked variables, which is the precondition for
+// replacing their operations by ε (projection) or for synchronizing
+// them (join).
+//
+// When allowSkip is set, every open transition of a tracked variable
+// gains an ε-alternative that marks the variable "skipped": the
+// mapping produced is the same as opening and never closing, so with
+// acceptOpen == false the construction yields an equivalent automaton
+// whose accepting runs close every tracked variable they open — the
+// closing normalization used by Join.
+//
+// When acceptOpen is set, runs may end with tracked variables still
+// open (they are then unassigned, as in the paper's semantics).
+//
+// The blowup is O(|Q| · 4^|tracked|), matching the exponential cost
+// the paper assigns to the join construction (Theorem 4.5).
+func (a *VA) statusProduct(tracked []span.Var, allowSkip, acceptOpen bool) *VA {
+	idx := make(map[span.Var]int, len(tracked))
+	for i, v := range tracked {
+		idx[v] = i
+	}
+
+	type key struct {
+		q  int
+		st string
+	}
+	encode := func(st []extStatus) string {
+		b := make([]byte, len(st))
+		for i, s := range st {
+			b[i] = '0' + byte(s)
+		}
+		return string(b)
+	}
+
+	out := &VA{}
+	stateOf := map[key]int{}
+	var order []key
+	intern := func(k key) int {
+		if s, ok := stateOf[k]; ok {
+			return s
+		}
+		s := out.AddState()
+		stateOf[k] = s
+		order = append(order, k)
+		return s
+	}
+
+	start := key{a.Start, encode(make([]extStatus, len(tracked)))}
+	out.Start = intern(start)
+
+	adj := a.Adj()
+	decode := func(s string) []extStatus {
+		st := make([]extStatus, len(s))
+		for i := range s {
+			st[i] = extStatus(s[i] - '0')
+		}
+		return st
+	}
+
+	for i := 0; i < len(order); i++ {
+		k := order[i]
+		from := stateOf[k]
+		st := decode(k.st)
+		for _, ti := range adj[k.q] {
+			t := a.Trans[ti]
+			vi, isTracked := -1, false
+			if t.Kind == Open || t.Kind == Close {
+				if j, ok := idx[t.Var]; ok {
+					vi, isTracked = j, true
+				}
+			}
+			if !isTracked {
+				to := intern(key{t.To, k.st})
+				nt := t
+				nt.From, nt.To = from, to
+				out.Trans = append(out.Trans, nt)
+				out.adj = nil
+				continue
+			}
+			switch t.Kind {
+			case Open:
+				if st[vi] == exAvail {
+					next := append([]extStatus(nil), st...)
+					next[vi] = exOpen
+					to := intern(key{t.To, encode(next)})
+					out.AddOpen(from, to, t.Var)
+					if allowSkip {
+						skip := append([]extStatus(nil), st...)
+						skip[vi] = exSkipped
+						to := intern(key{t.To, encode(skip)})
+						out.AddEps(from, to)
+					}
+				}
+			case Close:
+				if st[vi] == exOpen {
+					next := append([]extStatus(nil), st...)
+					next[vi] = exClosed
+					to := intern(key{t.To, encode(next)})
+					out.AddClose(from, to, t.Var)
+				}
+			}
+		}
+	}
+
+	// Accepting configurations: original final state with every
+	// tracked variable in an allowed terminal status.
+	final := out.AddState()
+	out.Finals = []int{final}
+	for _, k := range order {
+		if !a.IsFinal(k.q) {
+			continue
+		}
+		ok := true
+		if !acceptOpen {
+			for _, s := range decode(k.st) {
+				if s == exOpen {
+					ok = false
+					break
+				}
+			}
+		}
+		if ok {
+			out.AddEps(stateOf[k], final)
+		}
+	}
+	return out.Trim()
+}
+
+// NormalizeClosing returns an equivalent automaton in which no
+// accepting run leaves one of the given variables open: runs that
+// would open x and never close it are replaced by runs that skip x's
+// operations entirely, producing the same (x-unassigned) mapping.
+func (a *VA) NormalizeClosing(vars []span.Var) *VA {
+	return a.statusProduct(vars, true, false)
+}

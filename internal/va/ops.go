@@ -1,0 +1,230 @@
+package va
+
+import (
+	"spanners/internal/span"
+)
+
+// Union returns an automaton with ⟦A ∪ B⟧_d = ⟦A⟧_d ∪ ⟦B⟧_d for every
+// document d (Theorem 4.5): a fresh start ε-branches into both
+// automata and both feed a fresh final.
+func Union(a, b *VA) *VA {
+	out := &VA{}
+	start := out.AddState()
+	final := out.AddState()
+	out.Start = start
+	out.Finals = []int{final}
+	offA := embed(out, a)
+	offB := embed(out, b)
+	out.AddEps(start, a.Start+offA)
+	out.AddEps(start, b.Start+offB)
+	for _, f := range a.Finals {
+		out.AddEps(f+offA, final)
+	}
+	for _, f := range b.Finals {
+		out.AddEps(f+offB, final)
+	}
+	return out
+}
+
+// embed copies the states and transitions of src into dst, returning
+// the state offset.
+func embed(dst *VA, src *VA) int {
+	off := dst.NumStates
+	dst.NumStates += src.NumStates
+	for _, t := range src.Trans {
+		t.From += off
+		t.To += off
+		dst.Trans = append(dst.Trans, t)
+	}
+	dst.adj = nil
+	return off
+}
+
+// Project returns an automaton computing π_keep(⟦A⟧_d): every mapping
+// of A restricted to the kept variables (Theorem 4.5). Simply
+// rewriting dropped operations to ε would be unsound — a path that
+// double-opens a dropped variable is no run of A but would become a
+// run of the rewrite — so the automaton is first normalized by the
+// status product over the dropped variables, after which their
+// operations can be erased. The blowup is exponential only in the
+// number of dropped variables.
+func Project(a *VA, keep []span.Var) *VA {
+	keepSet := make(map[span.Var]bool, len(keep))
+	for _, v := range keep {
+		keepSet[v] = true
+	}
+	var dropped []span.Var
+	for _, v := range a.Vars() {
+		if !keepSet[v] {
+			dropped = append(dropped, v)
+		}
+	}
+	// Closes without matching opens never fire but must also be
+	// tracked if their variable is dropped; Vars() only reports
+	// opened variables, so collect close-only variables too.
+	seen := map[span.Var]bool{}
+	for _, v := range dropped {
+		seen[v] = true
+	}
+	for _, t := range a.Trans {
+		if t.Kind == Close && !keepSet[t.Var] && !seen[t.Var] {
+			seen[t.Var] = true
+			dropped = append(dropped, t.Var)
+		}
+	}
+	norm := a.statusProduct(dropped, false, true)
+	out := norm.Clone()
+	for i, t := range out.Trans {
+		if (t.Kind == Open || t.Kind == Close) && !keepSet[t.Var] {
+			out.Trans[i] = Transition{From: t.From, To: t.To, Kind: Eps}
+		}
+	}
+	out.adj = nil
+	return out
+}
+
+// Join returns an automaton computing ⟦A⟧_d ⋈ ⟦B⟧_d (Theorem 4.5).
+//
+// The construction is a synchronized product. Letters synchronize on
+// the intersection of their classes; ε moves are interleaved; an
+// operation on a variable private to one side moves that side alone.
+// An operation on a shared variable may either synchronize (both
+// sides perform it — the case where both assign the variable, which
+// must agree to be compatible) or move solo (only one side assigns
+// it). Inconsistent interleavings — both sides assigning different
+// spans — make the product run open or close a variable twice, which
+// the product automaton's own run discipline rejects; no extra
+// bookkeeping is needed.
+//
+// Soundness of the solo move requires that a side which "does not
+// assign" a shared variable really leaves its operations untouched,
+// so both inputs are first closing-normalized on the shared
+// variables: open-without-close runs are replaced by skip runs. This
+// is where the paper's exponential join blowup lives.
+func Join(a, b *VA) *VA {
+	a, b = a.removeDeadCloses(), b.removeDeadCloses()
+	shared := sharedVars(a, b)
+	na := a.NormalizeClosing(shared)
+	nb := b.NormalizeClosing(shared)
+	sharedSet := make(map[span.Var]bool, len(shared))
+	for _, v := range shared {
+		sharedSet[v] = true
+	}
+
+	type key struct{ qa, qb int }
+	out := &VA{}
+	stateOf := map[key]int{}
+	var order []key
+	intern := func(k key) int {
+		if s, ok := stateOf[k]; ok {
+			return s
+		}
+		s := out.AddState()
+		stateOf[k] = s
+		order = append(order, k)
+		return s
+	}
+	out.Start = intern(key{na.Start, nb.Start})
+
+	adjA, adjB := na.Adj(), nb.Adj()
+	for i := 0; i < len(order); i++ {
+		k := order[i]
+		from := stateOf[k]
+
+		// Solo moves of side A: ε always; operations when private or
+		// (for shared variables) as the "only A assigns" choice.
+		for _, ti := range adjA[k.qa] {
+			t := na.Trans[ti]
+			switch t.Kind {
+			case Eps, Open, Close:
+				to := intern(key{t.To, k.qb})
+				nt := t
+				nt.From, nt.To = from, to
+				out.Trans = append(out.Trans, nt)
+				out.adj = nil
+			}
+		}
+		// Solo moves of side B.
+		for _, ti := range adjB[k.qb] {
+			t := nb.Trans[ti]
+			switch t.Kind {
+			case Eps, Open, Close:
+				to := intern(key{k.qa, t.To})
+				nt := t
+				nt.From, nt.To = from, to
+				out.Trans = append(out.Trans, nt)
+				out.adj = nil
+			}
+		}
+		// Synchronized moves: letters always, shared operations as
+		// the "both assign" choice.
+		for _, ti := range adjA[k.qa] {
+			ta := na.Trans[ti]
+			for _, tj := range adjB[k.qb] {
+				tb := nb.Trans[tj]
+				if ta.Kind == Letter && tb.Kind == Letter {
+					inter := ta.Class.Intersect(tb.Class)
+					if !inter.IsEmpty() {
+						to := intern(key{ta.To, tb.To})
+						out.AddLetter(from, to, inter)
+					}
+					continue
+				}
+				if ta.Kind == tb.Kind && (ta.Kind == Open || ta.Kind == Close) &&
+					ta.Var == tb.Var && sharedSet[ta.Var] {
+					to := intern(key{ta.To, tb.To})
+					if ta.Kind == Open {
+						out.AddOpen(from, to, ta.Var)
+					} else {
+						out.AddClose(from, to, ta.Var)
+					}
+				}
+			}
+		}
+	}
+
+	final := out.AddState()
+	out.Finals = []int{final}
+	for _, k := range order {
+		if na.IsFinal(k.qa) && nb.IsFinal(k.qb) {
+			out.AddEps(stateOf[k], final)
+		}
+	}
+	return out.Trim()
+}
+
+// removeDeadCloses drops close transitions on variables the
+// automaton never opens. Such transitions can never fire in the
+// automaton itself, but left in place they could fire inside a
+// product whose other side opened the variable, corrupting the join.
+func (a *VA) removeDeadCloses() *VA {
+	opened := map[span.Var]bool{}
+	for _, t := range a.Trans {
+		if t.Kind == Open {
+			opened[t.Var] = true
+		}
+	}
+	out := a.Clone()
+	out.Trans = out.Trans[:0]
+	for _, t := range a.Trans {
+		if t.Kind == Close && !opened[t.Var] {
+			continue
+		}
+		out.Trans = append(out.Trans, t)
+	}
+	return out
+}
+
+func sharedVars(a, b *VA) []span.Var {
+	inB := map[span.Var]bool{}
+	for _, v := range b.Vars() {
+		inB[v] = true
+	}
+	var out []span.Var
+	for _, v := range a.Vars() {
+		if inB[v] {
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,196 @@
+package va
+
+import (
+	"testing"
+
+	"spanners/internal/rgx"
+	"spanners/internal/runeclass"
+	"spanners/internal/span"
+)
+
+func spanDoc(text string) *span.Document { return span.NewDocument(text) }
+
+func TestUnionMatchesSetUnion(t *testing.T) {
+	pairs := [][2]string{
+		{"x{a*}", "y{b*}"},
+		{"x{a}b", "ax{b}"},
+		{"a*", "x{a}|y{b}"},
+	}
+	for _, p := range pairs {
+		a := FromRGX(rgx.MustParse(p[0]))
+		b := FromRGX(rgx.MustParse(p[1]))
+		u := Union(a, b)
+		for _, text := range crossCheckDocs {
+			d := spanDoc(text)
+			want := a.Mappings(d).Union(b.Mappings(d))
+			got := u.Mappings(d)
+			if !got.Equal(want) {
+				t.Errorf("Union(%q, %q) on %q: got %v, want %v",
+					p[0], p[1], text, got.Mappings(), want.Mappings())
+			}
+		}
+	}
+}
+
+func TestProjectMatchesSetProjection(t *testing.T) {
+	cases := []struct {
+		expr string
+		keep []span.Var
+	}{
+		{"x{a*}y{b*}", []span.Var{"x"}},
+		{"x{a*}y{b*}", []span.Var{}},
+		{"x{a(y{b})c}", []span.Var{"y"}},
+		{"(x{a}|y{b})*", []span.Var{"x"}},
+		{"x{a}|b", []span.Var{"x"}},
+	}
+	for _, c := range cases {
+		a := FromRGX(rgx.MustParse(c.expr))
+		p := Project(a, c.keep)
+		for _, text := range crossCheckDocs {
+			d := spanDoc(text)
+			want := a.Mappings(d).Project(c.keep)
+			got := p.Mappings(d)
+			if !got.Equal(want) {
+				t.Errorf("Project(%q, %v) on %q: got %v, want %v",
+					c.expr, c.keep, text, got.Mappings(), want.Mappings())
+			}
+		}
+	}
+}
+
+func TestProjectGuardsDiscipline(t *testing.T) {
+	// An automaton that double-opens x reaches its final only through
+	// an invalid run, so it accepts nothing. Projecting x away must
+	// not turn the invalid run into a valid one.
+	a := New(4, 0, 3)
+	a.AddOpen(0, 1, "x")
+	a.AddOpen(1, 2, "x")
+	a.AddOpen(2, 3, "y")
+	p := Project(a, []span.Var{"y"})
+	d := spanDoc("")
+	if got := p.Mappings(d); got.Len() != 0 {
+		t.Fatalf("projection invented runs: %v", got.Mappings())
+	}
+}
+
+func TestJoinMatchesSetJoin(t *testing.T) {
+	pairs := [][2]string{
+		{"x{a*}b*", "a*y{b*}"},   // disjoint variables: product
+		{"x{a*}b*", "x{a*}b*"},   // identical: idempotent-ish
+		{"x{a*}b*", "x{a}.*"},    // same variable, must agree
+		{"x{.*}", "ax{b*}"},      // agreement on a sub-case
+		{"x{a}|y{b}", "x{a}b*"},  // union joined with a fixed shape
+		{"x{a*}y{b*}", "y{b*}c"}, // overlap on y only
+	}
+	for _, p := range pairs {
+		a := FromRGX(rgx.MustParse(p[0]))
+		b := FromRGX(rgx.MustParse(p[1]))
+		j := Join(a, b)
+		for _, text := range crossCheckDocs {
+			d := spanDoc(text)
+			want := a.Mappings(d).Join(b.Mappings(d))
+			got := j.Mappings(d)
+			if !got.Equal(want) {
+				t.Errorf("Join(%q, %q) on %q: got %v, want %v",
+					p[0], p[1], text, got.Mappings(), want.Mappings())
+			}
+		}
+	}
+}
+
+func TestJoinProducesNonHierarchical(t *testing.T) {
+	// The signature power of join (Section 4.3): x and y overlapping
+	// properly, inexpressible by any single RGX. Build
+	// π_{y,z}( (.*y{.*}.*) ⋈ (.*z{.*}.*) ) style overlaps via rules:
+	// here directly join x{...}-shaped spanners whose variables
+	// overlap on the document.
+	a := FromRGX(rgx.MustParse(".*y{..}.*")) // y any 2-span
+	b := FromRGX(rgx.MustParse(".*z{..}.*")) // z any 2-span
+	j := Join(a, b)
+	d := spanDoc("abc")
+	got := j.Mappings(d)
+	want := span.Mapping{"y": span.Sp(1, 3), "z": span.Sp(2, 4)}
+	if !got.Contains(want) {
+		t.Fatalf("join missing overlapping mapping %v: %v", want, got.Mappings())
+	}
+	if got.Hierarchical() {
+		t.Error("expected a non-hierarchical mapping in the join output")
+	}
+}
+
+func TestJoinUnassignedSideIsCompatible(t *testing.T) {
+	// µ1 assigns x, µ2 leaves x unassigned: they are compatible and
+	// the join keeps the assignment (mapping semantics, not natural
+	// join). Here the right side assigns x only on documents in a*.
+	a := FromRGX(rgx.MustParse("x{.*}"))
+	b := FromRGX(rgx.MustParse("x{a*}|b*"))
+	j := Join(a, b)
+	d := spanDoc("bb")
+	got := j.Mappings(d)
+	want := span.Mapping{"x": span.Sp(1, 3)} // from left, right matched b* without x
+	if !got.Contains(want) {
+		t.Fatalf("missing %v in %v", want, got.Mappings())
+	}
+}
+
+func TestJoinOpenNeverCloseNormalization(t *testing.T) {
+	// Left automaton: opens x and never closes it (x unassigned) while
+	// reading "a". Right automaton assigns x = (1,2) on "a". The join
+	// must contain x = (1,2): unassigned joins with assigned.
+	left := New(3, 0, 2)
+	left.AddOpen(0, 1, "x")
+	left.AddLetter(1, 2, runeclassSingle('a'))
+	right := FromRGX(rgx.MustParse("x{a}"))
+	j := Join(left, right)
+	d := spanDoc("a")
+	got := j.Mappings(d)
+	want := span.Mapping{"x": span.Sp(1, 2)}
+	if !got.Contains(want) {
+		t.Fatalf("missing %v in %v", want, got.Mappings())
+	}
+}
+
+func TestJoinDeadCloseIsIgnored(t *testing.T) {
+	// Right automaton has a close on x but never opens it; that close
+	// must not fire against the left automaton's open.
+	left := FromRGX(rgx.MustParse("x{ab}"))
+	right := New(3, 0, 2)
+	right.AddLetter(0, 1, runeclassSingle('a'))
+	right.AddClose(1, 2, "x")
+	right.AddLetter(2, 2, runeclassSingle('b')) // self-loop keeps b readable
+	// Right accepts nothing meaningful: the close can never fire in
+	// isolation, so right's language is empty and so is the join.
+	j := Join(left, right)
+	d := spanDoc("ab")
+	if got := j.Mappings(d); got.Len() != 0 {
+		t.Fatalf("dead close fired: %v", got.Mappings())
+	}
+}
+
+func TestNormalizeClosingEquivalence(t *testing.T) {
+	// Closing normalization preserves semantics while removing
+	// open-never-close behaviour.
+	a := New(4, 0, 3)
+	a.AddOpen(0, 1, "x")
+	a.AddLetter(1, 2, runeclassSingle('a'))
+	a.AddClose(2, 3, "x")
+	a.AddEps(1, 3) // escape hatch: x stays open
+	n := a.NormalizeClosing([]span.Var{"x"})
+	for _, text := range []string{"", "a"} {
+		d := spanDoc(text)
+		if !a.Mappings(d).Equal(n.Mappings(d)) {
+			t.Errorf("normalization changed semantics on %q: %v vs %v",
+				text, a.Mappings(d).Mappings(), n.Mappings(d).Mappings())
+		}
+	}
+	// In the normalized automaton no accepting run leaves x open:
+	// sequentiality's "final with open variable" check must pass on
+	// the x dimension. (The automaton may still be non-sequential for
+	// other reasons; here it is fine.)
+	if err := n.CheckSequential(); err != nil {
+		t.Errorf("normalized automaton: %v", err)
+	}
+}
+
+// runeclassSingle is a tiny local alias to keep test tables readable.
+func runeclassSingle(r rune) runeclass.Class { return runeclass.Single(r) }

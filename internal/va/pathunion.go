@@ -1,0 +1,478 @@
+package va
+
+import (
+	"fmt"
+	"sort"
+
+	"spanners/internal/rgx"
+	"spanners/internal/span"
+)
+
+// ErrNotHierarchical is returned by ToRGX when the automaton can
+// produce a mapping with properly overlapping spans, which no RGX can
+// express (Theorem 4.4 requires hierarchical automata).
+var ErrNotHierarchical = fmt.Errorf("va: automaton produces non-hierarchical mappings; no equivalent RGX exists")
+
+// ErrEmptySpanner is returned when ⟦A⟧_d is empty for every document:
+// the RGX grammar (without ∅) has no expression for the empty
+// spanner.
+var ErrEmptySpanner = fmt.Errorf("va: automaton defines the empty spanner; the RGX grammar cannot express it")
+
+// ErrPathBudget is returned when the path-union enumeration exceeds
+// its budget; the construction is worst-case exponential (proof of
+// Theorem 4.3).
+var ErrPathBudget = fmt.Errorf("va: path-union budget exceeded")
+
+// ToRGX converts a variable-set automaton into an equivalent RGX
+// formula, implementing the path-union constructions of Theorems 4.3
+// and 4.4: the automaton is decomposed into an (up to exponential)
+// union of paths of at most 2k+1 variable operations, each path is
+// rendered as one functional formula, and the result is their
+// disjunction. Variables opened but never closed along a path are
+// erased (they contribute no binding), and consecutive operations at
+// one document position are reordered into proper nesting; if no
+// reordering exists the automaton is not hierarchical and
+// ErrNotHierarchical is returned.
+func ToRGX(a *VA, budget int) (rgx.Node, error) {
+	paths, err := PathUnion(a, budget)
+	if err != nil {
+		return nil, err
+	}
+	if len(paths) == 0 {
+		return nil, ErrEmptySpanner
+	}
+	return rgx.Simplify(rgx.Or(paths...)), nil
+}
+
+// PathUnion returns the path decomposition of the automaton as a list
+// of functional RGX formulas whose union of semantics equals ⟦A⟧.
+func PathUnion(a *VA, budget int) ([]rgx.Node, error) {
+	a = a.Trim()
+	// Trim guarantees a single connected core; merge finals into one.
+	final := a.mergedFinal()
+	table := a.kleeneTable()
+
+	// Op transitions are the meta-edges of the path enumeration.
+	var opTrans []Transition
+	for _, t := range a.Trans {
+		if t.Kind == Open || t.Kind == Close {
+			opTrans = append(opTrans, t)
+		}
+	}
+
+	e := &pathEnum{
+		a:      a,
+		table:  table,
+		final:  final,
+		ops:    opTrans,
+		budget: budget,
+	}
+	if err := e.run(); err != nil {
+		return nil, err
+	}
+	return e.out, nil
+}
+
+// mergedFinal returns a state index such that the regex table's entry
+// to it represents reaching any final state; when there are several
+// finals a fresh state joined by ε is added.
+func (a *VA) mergedFinal() int {
+	if len(a.Finals) == 1 {
+		return a.Finals[0]
+	}
+	f := a.AddState()
+	for _, q := range a.Finals {
+		a.AddEps(q, f)
+	}
+	a.Finals = []int{f}
+	return f
+}
+
+// kleeneTable computes, for every pair of states, a variable-free
+// regex matching exactly the words readable from p to q using letter
+// and ε transitions only (variable operations excluded). A nil entry
+// denotes the empty language. The diagonal always includes ε.
+func (a *VA) kleeneTable() [][]rgx.Node {
+	n := a.NumStates
+	r := make([][]rgx.Node, n)
+	for p := 0; p < n; p++ {
+		r[p] = make([]rgx.Node, n)
+	}
+	for _, t := range a.Trans {
+		switch t.Kind {
+		case Letter:
+			r[t.From][t.To] = orNil(r[t.From][t.To], rgx.Class{C: t.Class})
+		case Eps:
+			r[t.From][t.To] = orNil(r[t.From][t.To], rgx.Empty{})
+		}
+	}
+	for p := 0; p < n; p++ {
+		r[p][p] = orNil(r[p][p], rgx.Empty{})
+	}
+	for k := 0; k < n; k++ {
+		loop := starNil(r[k][k])
+		for p := 0; p < n; p++ {
+			if r[p][k] == nil {
+				continue
+			}
+			through := seqNil(r[p][k], loop)
+			for q := 0; q < n; q++ {
+				if r[k][q] == nil {
+					continue
+				}
+				r[p][q] = orNil(r[p][q], seqNil(through, r[k][q]))
+			}
+		}
+	}
+	for p := 0; p < n; p++ {
+		for q := 0; q < n; q++ {
+			if r[p][q] != nil {
+				r[p][q] = rgx.Simplify(r[p][q])
+			}
+		}
+	}
+	return r
+}
+
+// nil-aware regex combinators: nil is the empty language ∅ with
+// ∅|R = R, ∅·R = ∅, ∅* = ε.
+func orNil(a, b rgx.Node) rgx.Node {
+	switch {
+	case a == nil:
+		return b
+	case b == nil:
+		return a
+	case rgx.Equal(a, b):
+		return a
+	}
+	return rgx.Or(a, b)
+}
+
+func seqNil(a, b rgx.Node) rgx.Node {
+	if a == nil || b == nil {
+		return nil
+	}
+	return rgx.Seq(a, b)
+}
+
+func starNil(a rgx.Node) rgx.Node {
+	if a == nil {
+		return rgx.Empty{}
+	}
+	return rgx.Kleene(a)
+}
+
+// sepKind classifies a separator regex between two operations.
+type sepKind int
+
+const (
+	sepEpsOnly  sepKind = iota // matches only ε: same document position
+	sepNonEmpty                // matches only non-empty words: positions differ
+)
+
+// pathItem is one element of an enumerated path: either an operation
+// or a separator regex.
+type pathItem struct {
+	op    *Transition // nil for separators
+	sep   rgx.Node    // separator expression (for separators)
+	kind  sepKind     // separator classification
+	class int         // position class, assigned during nesting
+}
+
+type pathEnum struct {
+	a      *VA
+	table  [][]rgx.Node
+	final  int
+	ops    []Transition
+	budget int
+	used   int
+	out    []rgx.Node
+}
+
+func (e *pathEnum) run() error {
+	return e.dfs(e.a.Start, nil, map[span.Var]varStatus{})
+}
+
+// dfs extends the current path (items) from automaton state cur.
+// status tracks each variable's open/closed discipline along the
+// path.
+func (e *pathEnum) dfs(cur int, items []pathItem, status map[span.Var]varStatus) error {
+	e.used++
+	if e.used > e.budget {
+		return ErrPathBudget
+	}
+	// Option 1: finish the path at the final state. The trailing
+	// separator needs no ε/non-empty split: no operation follows it,
+	// so its position classification is irrelevant.
+	if fin := e.table[cur][e.final]; fin != nil {
+		full := append(append([]pathItem(nil), items...), pathItem{sep: fin, kind: sepNonEmpty})
+		expr, err := renderPath(full, status)
+		if err != nil {
+			return err
+		}
+		if expr != nil {
+			e.out = append(e.out, expr)
+		}
+	}
+	// Option 2: take another operation edge.
+	for i := range e.ops {
+		t := &e.ops[i]
+		sep := e.table[cur][t.From]
+		if sep == nil {
+			continue
+		}
+		st := status[t.Var]
+		switch t.Kind {
+		case Open:
+			if st != stAvail {
+				continue // would open twice: not a valid run
+			}
+		case Close:
+			if st != stOpen {
+				continue // close before open: not a valid run
+			}
+		}
+		for _, mode := range separatorModes(sep) {
+			next := append(append([]pathItem(nil), items...), mode, pathItem{op: t})
+			newStatus := copyStatus(status)
+			if t.Kind == Open {
+				newStatus[t.Var] = stOpen
+			} else {
+				newStatus[t.Var] = stClosed
+			}
+			if err := e.dfs(t.To, next, newStatus); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// separatorModes splits a separator regex by whether it matches the
+// empty word: a nullable-but-larger separator is explored both as ε
+// (the two operations land on the same position) and as its
+// non-empty part (they are genuinely apart). This split is what makes
+// the hierarchy analysis of renderPath exact.
+func separatorModes(sep rgx.Node) []pathItem {
+	nonEmpty := nonEmptyPart(sep)
+	nullable := isNullable(sep)
+	var out []pathItem
+	if nullable {
+		out = append(out, pathItem{sep: rgx.Empty{}, kind: sepEpsOnly})
+	}
+	if nonEmpty != nil {
+		out = append(out, pathItem{sep: rgx.Simplify(nonEmpty), kind: sepNonEmpty})
+	}
+	return out
+}
+
+// isNullable reports whether the variable-free regex matches ε.
+func isNullable(n rgx.Node) bool {
+	switch n := n.(type) {
+	case rgx.Empty:
+		return true
+	case rgx.Class:
+		return false
+	case rgx.Star:
+		return true
+	case rgx.Concat:
+		for _, p := range n.Parts {
+			if !isNullable(p) {
+				return false
+			}
+		}
+		return true
+	case rgx.Alt:
+		for _, p := range n.Parts {
+			if isNullable(p) {
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}
+
+// nonEmptyPart returns a regex for L(n) \ {ε}, or nil when that
+// language is empty.
+func nonEmptyPart(n rgx.Node) rgx.Node {
+	switch n := n.(type) {
+	case rgx.Empty:
+		return nil
+	case rgx.Class:
+		return n
+	case rgx.Star:
+		ne := nonEmptyPart(n.Sub)
+		if ne == nil {
+			return nil
+		}
+		return rgx.Seq(ne, n)
+	case rgx.Alt:
+		var parts []rgx.Node
+		for _, p := range n.Parts {
+			if ne := nonEmptyPart(p); ne != nil {
+				parts = append(parts, ne)
+			}
+		}
+		if len(parts) == 0 {
+			return nil
+		}
+		return rgx.Or(parts...)
+	case rgx.Concat:
+		// Some part contributes a non-empty word. Split on the first
+		// part: either it is non-empty (rest arbitrary), or it
+		// matches ε and the rest must be non-empty.
+		if len(n.Parts) == 0 {
+			return nil
+		}
+		head, tail := n.Parts[0], rgx.Seq(n.Parts[1:]...)
+		var alts []rgx.Node
+		if ne := nonEmptyPart(head); ne != nil {
+			alts = append(alts, rgx.Seq(ne, tail))
+		}
+		if isNullable(head) {
+			if ne := nonEmptyPart(tail); ne != nil {
+				alts = append(alts, ne)
+			}
+		}
+		if len(alts) == 0 {
+			return nil
+		}
+		return rgx.Or(alts...)
+	}
+	return nil
+}
+
+func copyStatus(s map[span.Var]varStatus) map[span.Var]varStatus {
+	out := make(map[span.Var]varStatus, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+// renderPath converts one enumerated path into a functional RGX,
+// nesting variable captures properly. Operations separated only by
+// ε-only separators share a document position ("position class") and
+// may be reordered freely; operations in different classes may not.
+// Variables opened but never closed are erased. The function returns
+// ErrNotHierarchical when a close is blocked by a variable from a
+// strictly earlier position class, which is exactly when the path
+// realizes a properly overlapping pair of spans.
+func renderPath(items []pathItem, status map[span.Var]varStatus) (rgx.Node, error) {
+	// Erase opens of variables never closed on this path.
+	var kept []pathItem
+	for _, it := range items {
+		if it.op != nil && it.op.Kind == Open && status[it.op.Var] == stOpen {
+			continue
+		}
+		kept = append(kept, it)
+	}
+
+	// Assign position classes: ε-only separators keep the class,
+	// non-empty separators advance it.
+	class := 0
+	type opRef struct {
+		t     *Transition
+		class int
+	}
+	var ops []opRef
+	closeClass := map[span.Var]int{}
+	openClass := map[span.Var]int{}
+	// Separator expressions per class boundary, in order.
+	var seps []rgx.Node
+	cur := []rgx.Node{}
+	for _, it := range kept {
+		if it.op == nil {
+			if it.kind == sepNonEmpty {
+				seps = append(seps, rgx.Seq(cur...))
+				// Remember: the class boundary expression is the
+				// separator itself.
+				seps[len(seps)-1] = rgx.Seq(seps[len(seps)-1], it.sep)
+				cur = nil
+				class++
+			}
+			continue
+		}
+		ops = append(ops, opRef{t: it.op, class: class})
+		if it.op.Kind == Open {
+			openClass[it.op.Var] = class
+		} else {
+			closeClass[it.op.Var] = class
+		}
+	}
+	seps = append(seps, rgx.Seq(cur...))
+	numClasses := class + 1
+
+	// Group operations by class.
+	opensAt := make([][]span.Var, numClasses)
+	closesAt := make([][]span.Var, numClasses)
+	for _, o := range ops {
+		if o.t.Kind == Open {
+			opensAt[o.class] = append(opensAt[o.class], o.t.Var)
+		} else {
+			closesAt[o.class] = append(closesAt[o.class], o.t.Var)
+		}
+	}
+
+	// Build the nested expression class by class.
+	type frame struct {
+		v   span.Var
+		buf []rgx.Node
+	}
+	stack := []frame{{v: "", buf: nil}} // frame 0 is the root
+	push := func(v span.Var) { stack = append(stack, frame{v: v}) }
+	appendTop := func(n rgx.Node) {
+		stack[len(stack)-1].buf = append(stack[len(stack)-1].buf, n)
+	}
+	popWrap := func() {
+		top := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		appendTop(rgx.Capture(top.v, rgx.Seq(top.buf...)))
+	}
+
+	for ci := 0; ci < numClasses; ci++ {
+		// Close variables opened in earlier classes.
+		pending := map[span.Var]bool{}
+		for _, v := range closesAt[ci] {
+			if openClass[v] < ci {
+				pending[v] = true
+			}
+		}
+		for len(pending) > 0 {
+			top := stack[len(stack)-1]
+			if !pending[top.v] {
+				return nil, ErrNotHierarchical
+			}
+			delete(pending, top.v)
+			popWrap()
+		}
+		// Open this class's variables, outermost (latest-closing)
+		// first so the eventual closes nest.
+		opens := append([]span.Var(nil), opensAt[ci]...)
+		sort.Slice(opens, func(i, j int) bool {
+			return closeClass[opens[i]] > closeClass[opens[j]]
+		})
+		for _, v := range opens {
+			push(v)
+		}
+		// Close the variables that both open and close here (they
+		// were pushed last, so they are on top in reverse order).
+		for len(stack) > 1 {
+			top := stack[len(stack)-1]
+			if openClass[top.v] == ci && closeClass[top.v] == ci {
+				popWrap()
+				continue
+			}
+			break
+		}
+		// Append this class's trailing separator expression.
+		appendTop(seps[ci])
+	}
+	if len(stack) != 1 {
+		// Cannot happen: every kept open has a close and every close
+		// was processed in its class.
+		return nil, fmt.Errorf("va: internal error: unbalanced capture stack")
+	}
+	return rgx.Simplify(rgx.Seq(stack[0].buf...)), nil
+}

@@ -1,0 +1,187 @@
+package va
+
+import (
+	"errors"
+	"testing"
+
+	"spanners/internal/naive"
+	"spanners/internal/rgx"
+	"spanners/internal/runeclass"
+)
+
+const testBudget = 200_000
+
+func TestToRGXRoundTrip(t *testing.T) {
+	// RGX -> VA -> RGX must preserve ⟦·⟧ on every corpus document
+	// (Theorem 4.3). The syntactic form may differ wildly; only the
+	// semantics is compared, using the naive evaluator as the oracle.
+	for _, e := range crossCheckExprs {
+		n := rgx.MustParse(e)
+		a := FromRGX(n)
+		back, err := ToRGX(a, testBudget)
+		if errors.Is(err, ErrEmptySpanner) {
+			// Unsatisfiable inputs (x{a}x{b}, x{x{a}}) have no RGX
+			// equivalent in the mapping semantics; confirm with naive.
+			for _, text := range crossCheckDocs {
+				if naive.Eval(n, spanDoc(text)).Len() != 0 {
+					t.Errorf("%q: ToRGX claims empty but naive disagrees on %q", e, text)
+				}
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("ToRGX(FromRGX(%q)): %v", e, err)
+		}
+		for _, text := range crossCheckDocs {
+			d := spanDoc(text)
+			want := naive.Eval(n, d)
+			got := naive.Eval(back, d)
+			if !got.Equal(want) {
+				t.Errorf("round trip of %q on %q: got %v, want %v\nback = %v",
+					e, text, got.Mappings(), want.Mappings(), back)
+			}
+		}
+	}
+}
+
+func TestToRGXProducesFunctionalComponents(t *testing.T) {
+	a := FromRGX(rgx.MustParse("(x{a}|y{b})*"))
+	paths, err := PathUnion(a, testBudget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no paths")
+	}
+	for _, p := range paths {
+		if !rgx.IsFunctional(p) {
+			t.Errorf("path component %v is not functional", p)
+		}
+	}
+}
+
+func TestToRGXNonHierarchical(t *testing.T) {
+	_, err := ToRGX(nonHierarchicalVA(), testBudget)
+	if !errors.Is(err, ErrNotHierarchical) {
+		t.Fatalf("err = %v, want ErrNotHierarchical", err)
+	}
+}
+
+func TestToRGXHandlesSharedPositionInterleaving(t *testing.T) {
+	// x⊢ y⊢ a ⊣x ⊣y: operations interleave but share positions, so
+	// the mapping x=(1,2) ⊆ y=(1,2) is hierarchical and a nesting
+	// reorder exists (Theorem 4.4's reordering step).
+	a := New(6, 0, 5)
+	a.AddOpen(0, 1, "x")
+	a.AddOpen(1, 2, "y")
+	a.AddLetter(2, 3, runeclass.Single('a'))
+	a.AddClose(3, 4, "x")
+	a.AddClose(4, 5, "y")
+	back, err := ToRGX(a, testBudget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, text := range []string{"", "a", "aa"} {
+		d := spanDoc(text)
+		want := a.Mappings(d)
+		got := naive.Eval(back, d)
+		if !got.Equal(want) {
+			t.Errorf("on %q: got %v, want %v (back = %v)",
+				text, got.Mappings(), want.Mappings(), back)
+		}
+	}
+}
+
+func TestToRGXNullableGapSplit(t *testing.T) {
+	// x⊢ a* y⊢ b ⊣x c* ⊣y: when the a*/c* gaps are empty the spans
+	// nest or coincide; when non-empty they properly overlap. The
+	// conversion must detect the non-hierarchical possibility.
+	a := New(8, 0, 7)
+	a.AddOpen(0, 1, "x")
+	a.AddLetter(1, 1, runeclass.Single('a'))
+	a.AddEps(1, 2)
+	a.AddOpen(2, 3, "y")
+	a.AddLetter(3, 4, runeclass.Single('b'))
+	a.AddClose(4, 5, "x")
+	a.AddLetter(5, 5, runeclass.Single('c'))
+	a.AddEps(5, 6)
+	a.AddClose(6, 7, "y")
+	_, err := ToRGX(a, testBudget)
+	if !errors.Is(err, ErrNotHierarchical) {
+		t.Fatalf("err = %v, want ErrNotHierarchical", err)
+	}
+}
+
+func TestToRGXOpenNeverClosedErased(t *testing.T) {
+	// Opens with no matching close contribute no binding and must be
+	// erased rather than produce malformed RGX.
+	a := New(3, 0, 2)
+	a.AddOpen(0, 1, "x")
+	a.AddLetter(1, 2, runeclass.Single('a'))
+	back, err := ToRGX(a, testBudget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rgx.Vars(back)) != 0 {
+		t.Errorf("erased variable resurfaced: %v", back)
+	}
+	d := spanDoc("a")
+	if !naive.Eval(back, d).Equal(a.Mappings(d)) {
+		t.Errorf("semantics differ: %v", back)
+	}
+}
+
+func TestToRGXEmpty(t *testing.T) {
+	a := New(2, 0, 1) // accepts nothing
+	if _, err := ToRGX(a, testBudget); !errors.Is(err, ErrEmptySpanner) {
+		t.Fatalf("err = %v, want ErrEmptySpanner", err)
+	}
+}
+
+func TestToRGXBudget(t *testing.T) {
+	// A generous variable count explodes the path enumeration.
+	expr := "(x0{a}|x1{a}|x2{a}|x3{a}|x4{a}|x5{a}|x6{a}|x7{a})*"
+	a := FromRGX(rgx.MustParse(expr))
+	_, err := ToRGX(a, 50)
+	if !errors.Is(err, ErrPathBudget) {
+		t.Fatalf("err = %v, want ErrPathBudget", err)
+	}
+}
+
+func TestToRGXMultipleFinals(t *testing.T) {
+	a := New(3, 0, 1)
+	a.Finals = []int{1, 2}
+	a.AddLetter(0, 1, runeclass.Single('a'))
+	a.AddLetter(0, 2, runeclass.Single('b'))
+	back, err := ToRGX(a, testBudget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, text := range []string{"a", "b", "c", ""} {
+		d := spanDoc(text)
+		if !naive.Eval(back, d).Equal(a.Mappings(d)) {
+			t.Errorf("on %q: differ (back = %v)", text, back)
+		}
+	}
+}
+
+func TestKleeneTableRegularLanguage(t *testing.T) {
+	// A variable-free automaton converts to a plain regular
+	// expression with identical boolean semantics.
+	a := FromRGX(rgx.MustParse("(ab|c)*d"))
+	back, err := ToRGX(a, testBudget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rgx.HasVars(back) {
+		t.Fatal("variable-free automaton produced variables")
+	}
+	for _, text := range []string{"d", "abd", "ccd", "abccabd", "", "ab", "da"} {
+		d := spanDoc(text)
+		want := a.Mappings(d).Len() > 0
+		got := naive.Eval(back, d).Len() > 0
+		if got != want {
+			t.Errorf("boolean semantics differ on %q (back = %v)", text, back)
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package va
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"spanners/internal/rgx"
+	"spanners/internal/span"
+)
+
+// exprBox generates random RGX expressions for testing/quick.
+type exprBox struct{ n rgx.Node }
+
+func (exprBox) Generate(rng *rand.Rand, size int) reflect.Value {
+	return reflect.ValueOf(exprBox{n: genExpr(rng, size%3+1)})
+}
+
+func genExpr(rng *rand.Rand, depth int) rgx.Node {
+	if depth == 0 {
+		switch rng.Intn(3) {
+		case 0:
+			return rgx.Lit('a')
+		case 1:
+			return rgx.Lit('b')
+		default:
+			return rgx.Empty{}
+		}
+	}
+	switch rng.Intn(6) {
+	case 0, 1:
+		return rgx.Seq(genExpr(rng, depth-1), genExpr(rng, depth-1))
+	case 2:
+		return rgx.Or(genExpr(rng, depth-1), genExpr(rng, depth-1))
+	case 3:
+		return rgx.Kleene(genExpr(rng, depth-1))
+	case 4:
+		vars := []span.Var{"x", "y"}
+		return rgx.Capture(vars[rng.Intn(2)], genExpr(rng, depth-1))
+	default:
+		return genExpr(rng, depth-1)
+	}
+}
+
+func TestQuickSequentialityAgreement(t *testing.T) {
+	// The syntactic sequentiality of an expression coincides with the
+	// automaton-level sequentiality of its Thompson compilation: the
+	// compiled automaton realizes exactly the expression's paths.
+	f := func(b exprBox) bool {
+		return rgx.IsSequential(b.n) == FromRGX(b.n).IsSequential()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickStackPolicySubsetOfSetPolicy(t *testing.T) {
+	// VAstk runs are VA runs with an extra discipline, so on any
+	// automaton the stack-policy output is contained in the
+	// set-policy output.
+	rng := rand.New(rand.NewSource(77))
+	docs := []string{"", "a", "ab", "ba"}
+	for trial := 0; trial < 60; trial++ {
+		a := randomVA(rng, 4, 7)
+		for _, text := range docs {
+			d := spanDoc(text)
+			stk := a.StackMappings(d)
+			set := a.Mappings(d)
+			if !stk.SubsetOf(set) {
+				t.Fatalf("trial %d on %q: stack %v ⊄ set %v\n%s",
+					trial, text, stk.Mappings(), set.Mappings(), a)
+			}
+		}
+	}
+}
+
+func TestQuickTrimInvariant(t *testing.T) {
+	// Trim never changes semantics, on arbitrary (even junk) automata.
+	rng := rand.New(rand.NewSource(78))
+	docs := []string{"", "a", "ab"}
+	for trial := 0; trial < 60; trial++ {
+		a := randomVA(rng, 5, 9)
+		tr := a.Trim()
+		for _, text := range docs {
+			d := spanDoc(text)
+			if !a.Mappings(d).Equal(tr.Mappings(d)) {
+				t.Fatalf("trial %d: Trim changed semantics on %q\n%s", trial, text, a)
+			}
+		}
+	}
+}
+
+func TestQuickDeterminizeInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(79))
+	docs := []string{"", "a", "b", "ab", "ba"}
+	for trial := 0; trial < 40; trial++ {
+		a := randomVA(rng, 4, 6)
+		det := Determinize(a)
+		if !det.IsDeterministic() {
+			t.Fatalf("trial %d: not deterministic", trial)
+		}
+		for _, text := range docs {
+			d := spanDoc(text)
+			if !a.Mappings(d).Equal(det.Mappings(d)) {
+				t.Fatalf("trial %d: determinize changed semantics on %q\n%s", trial, text, a)
+			}
+		}
+	}
+}
+
+func TestQuickUnionProjectInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(80))
+	docs := []string{"", "a", "ab"}
+	for trial := 0; trial < 40; trial++ {
+		a := randomVA(rng, 4, 6)
+		b := randomVA(rng, 4, 6)
+		u := Union(a, b)
+		p := Project(a, []span.Var{"x"})
+		for _, text := range docs {
+			d := spanDoc(text)
+			if !u.Mappings(d).Equal(a.Mappings(d).Union(b.Mappings(d))) {
+				t.Fatalf("trial %d: union broken on %q", trial, text)
+			}
+			if !p.Mappings(d).Equal(a.Mappings(d).Project([]span.Var{"x"})) {
+				t.Fatalf("trial %d: projection broken on %q\n%s", trial, text, a)
+			}
+		}
+	}
+}
+
+func TestQuickJoinAgainstSetJoin(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	docs := []string{"", "a", "ab"}
+	for trial := 0; trial < 25; trial++ {
+		a := randomVA(rng, 3, 5)
+		b := randomVA(rng, 3, 5)
+		j := Join(a, b)
+		for _, text := range docs {
+			d := spanDoc(text)
+			want := a.Mappings(d).Join(b.Mappings(d))
+			if !j.Mappings(d).Equal(want) {
+				t.Fatalf("trial %d: join broken on %q:\ngot  %v\nwant %v\nA:\n%s\nB:\n%s",
+					trial, text, j.Mappings(d).Mappings(), want.Mappings(), a, b)
+			}
+		}
+	}
+}

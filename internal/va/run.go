@@ -1,0 +1,164 @@
+package va
+
+import (
+	"strconv"
+	"strings"
+
+	"spanners/internal/span"
+)
+
+// status of a variable during a run.
+type varStatus uint8
+
+const (
+	stAvail varStatus = iota
+	stOpen
+	stClosed
+)
+
+// Policy selects the run discipline: set semantics (VA) lets
+// variables close in any order, stack semantics (VAstk) forces
+// last-opened-first-closed, which restricts the automaton to
+// hierarchical mappings exactly as in Section 3.2.
+type Policy int
+
+const (
+	// SetPolicy is the unrestricted variable-set discipline.
+	SetPolicy Policy = iota
+	// StackPolicy is the variable-stack discipline of VAstk.
+	StackPolicy
+)
+
+// Mappings computes ⟦A⟧_d by direct enumeration of accepting runs
+// under the set policy. It is the reference semantics for VAs —
+// exhaustive, exponential in the worst case — and is used to validate
+// the optimized engines; use package eval for large inputs.
+func (a *VA) Mappings(d *span.Document) *span.Set {
+	return a.runMappings(d, SetPolicy)
+}
+
+// StackMappings computes ⟦A⟧_d under the stack policy (VAstk
+// semantics). On automata compiled from RGX the two policies agree;
+// on automata with non-nested variable operations the stack policy
+// refuses the non-hierarchical runs.
+func (a *VA) StackMappings(d *span.Document) *span.Set {
+	return a.runMappings(d, StackPolicy)
+}
+
+// runConfig is the DFS state of the run enumerator.
+type runConfig struct {
+	state int
+	pos   int // 1..|d|+1
+}
+
+func (a *VA) runMappings(d *span.Document, pol Policy) *span.Set {
+	out := span.NewSet()
+	vars := a.Vars()
+	varIndex := make(map[span.Var]int, len(vars))
+	for i, v := range vars {
+		varIndex[v] = i
+	}
+
+	status := make([]varStatus, len(vars))
+	openPos := make([]int, len(vars))
+	closedAt := make(map[span.Var]span.Span)
+	var stack []int // open-variable stack for StackPolicy
+
+	// onPath guards against ε-cycles: a configuration with identical
+	// (state, pos, statuses) revisited along one DFS path can only be
+	// the result of a pure ε-loop and is skipped.
+	onPath := map[string]bool{}
+	key := func(q, pos int) string {
+		var b strings.Builder
+		b.WriteString(strconv.Itoa(q))
+		b.WriteByte(':')
+		b.WriteString(strconv.Itoa(pos))
+		b.WriteByte(':')
+		for _, s := range status {
+			b.WriteByte('0' + byte(s))
+		}
+		return b.String()
+	}
+
+	adj := a.Adj()
+	var dfs func(q, pos int)
+	dfs = func(q, pos int) {
+		k := key(q, pos)
+		if onPath[k] {
+			return
+		}
+		onPath[k] = true
+		defer delete(onPath, k)
+
+		if pos == d.Len()+1 && a.IsFinal(q) {
+			m := make(span.Mapping, len(closedAt))
+			for v, s := range closedAt {
+				m[v] = s
+			}
+			out.Add(m)
+			// Continue exploring: other transitions may still fire
+			// from a final state mid-run only if pos advances, which
+			// it cannot here, but ε/op moves can lead to different
+			// mappings accepted at other finals.
+		}
+
+		for _, ti := range adj[q] {
+			t := a.Trans[ti]
+			switch t.Kind {
+			case Eps:
+				dfs(t.To, pos)
+			case Letter:
+				if pos <= d.Len() && t.Class.Contains(d.RuneAt(pos)) {
+					dfs(t.To, pos+1)
+				}
+			case Open:
+				vi := varIndex[t.Var]
+				if status[vi] != stAvail {
+					continue
+				}
+				status[vi] = stOpen
+				openPos[vi] = pos
+				if pol == StackPolicy {
+					stack = append(stack, vi)
+				}
+				dfs(t.To, pos)
+				if pol == StackPolicy {
+					stack = stack[:len(stack)-1]
+				}
+				status[vi] = stAvail
+			case Close:
+				vi, known := varIndex[t.Var]
+				if !known || status[vi] != stOpen {
+					continue
+				}
+				if pol == StackPolicy && (len(stack) == 0 || stack[len(stack)-1] != vi) {
+					continue
+				}
+				var popped int
+				if pol == StackPolicy {
+					popped = stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+				}
+				status[vi] = stClosed
+				closedAt[t.Var] = span.Span{Start: openPos[vi], End: pos}
+				dfs(t.To, pos)
+				delete(closedAt, t.Var)
+				status[vi] = stOpen
+				if pol == StackPolicy {
+					stack = append(stack, popped)
+				}
+			}
+		}
+	}
+	dfs(a.Start, 1)
+	return out
+}
+
+// AcceptsBoolean reports whether the variable-free reading of the
+// automaton accepts the document: ⟦A⟧_d is non-empty. For automata
+// without variables this is plain NFA membership; with variables it
+// is the NonEmp check by exhaustive runs (prefer package eval for a
+// polynomial algorithm on sequential automata).
+func (a *VA) AcceptsBoolean(d *span.Document) bool {
+	return a.Mappings(d).Len() > 0
+}

@@ -1,0 +1,258 @@
+package va
+
+import (
+	"fmt"
+
+	"spanners/internal/span"
+)
+
+// IsSequential implements Proposition 5.5: it decides, one variable
+// at a time, whether any path from the start state can perform a
+// variable operation incompatible with the variable's status (double
+// open, close before open, reopen after close) or reach a final state
+// with the variable still open. The check runs in O(|vars|·|Q|·|δ|)
+// — the determinized analogue of the paper's NLOGSPACE algorithm.
+//
+// On a sequential automaton every path from the start is a valid run
+// prefix, which is what makes the polynomial Eval algorithm of
+// Theorem 5.7 sound.
+func (a *VA) IsSequential() bool {
+	return a.firstSequentialViolation() == nil
+}
+
+// SequentialViolation describes why an automaton is not sequential.
+type SequentialViolation struct {
+	Var    span.Var
+	Reason string
+}
+
+func (v *SequentialViolation) Error() string {
+	return fmt.Sprintf("va: not sequential: variable %s: %s", v.Var, v.Reason)
+}
+
+// CheckSequential returns nil for sequential automata and a
+// *SequentialViolation explaining the first problem found otherwise.
+func (a *VA) CheckSequential() error {
+	if v := a.firstSequentialViolation(); v != nil {
+		return v
+	}
+	return nil
+}
+
+func (a *VA) firstSequentialViolation() *SequentialViolation {
+	adj := a.Adj()
+	vars := map[span.Var]bool{}
+	for _, t := range a.Trans {
+		if t.Kind == Open || t.Kind == Close {
+			vars[t.Var] = true
+		}
+	}
+	for x := range vars {
+		// BFS over (state, status of x).
+		type cfg struct {
+			q  int
+			st varStatus
+		}
+		seen := map[cfg]bool{}
+		queue := []cfg{{a.Start, stAvail}}
+		seen[queue[0]] = true
+		for len(queue) > 0 {
+			c := queue[0]
+			queue = queue[1:]
+			if c.st == stOpen && a.IsFinal(c.q) {
+				return &SequentialViolation{Var: x, Reason: "a final state is reachable with the variable open"}
+			}
+			for _, ti := range adj[c.q] {
+				t := a.Trans[ti]
+				next := c.st
+				switch {
+				case t.Kind == Open && t.Var == x:
+					switch c.st {
+					case stOpen:
+						return &SequentialViolation{Var: x, Reason: "opened twice on a path"}
+					case stClosed:
+						return &SequentialViolation{Var: x, Reason: "reopened after closing"}
+					}
+					next = stOpen
+				case t.Kind == Close && t.Var == x:
+					if c.st != stOpen {
+						return &SequentialViolation{Var: x, Reason: "closed while not open"}
+					}
+					next = stClosed
+				}
+				n := cfg{t.To, next}
+				if !seen[n] {
+					seen[n] = true
+					queue = append(queue, n)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// IsHierarchical decides, for a sequential automaton, whether every
+// producible mapping is hierarchical (Theorem 4.4's precondition).
+// Sequentiality makes the check exact: every start-to-final path is a
+// valid run, so a mapping with properly overlapping spans exists iff
+// some path realizes the pattern x⊢ ⋯ y⊢ ⋯ ⊣x ⋯ ⊣y with at least one
+// letter inside each gap. Non-sequential automata are rejected with
+// an error since path existence no longer implies run existence.
+func (a *VA) IsHierarchical() (bool, error) {
+	if err := a.CheckSequential(); err != nil {
+		return false, fmt.Errorf("va: IsHierarchical requires a sequential automaton: %w", err)
+	}
+	vars := a.Vars()
+	for _, x := range vars {
+		for _, y := range vars {
+			if x == y {
+				continue
+			}
+			if a.hasOverlapPattern(x, y) {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}
+
+// hasOverlapPattern searches for a start-to-final path of the shape
+//
+//	… x⊢ …letter… y⊢ …letter… ⊣x …letter… ⊣y … final
+//
+// using a 7-phase layered reachability: phases advance on the four
+// pattern operations and on the required intermediate letters, and
+// the four pattern operations may not fire outside their slot (on a
+// sequential automaton each can fire at most once per path anyway).
+func (a *VA) hasOverlapPattern(x, y span.Var) bool {
+	const phases = 8
+	adj := a.Adj()
+	type cfg struct{ q, ph int }
+	seen := map[cfg]bool{}
+	queue := []cfg{{a.Start, 0}}
+	seen[queue[0]] = true
+	for len(queue) > 0 {
+		c := queue[0]
+		queue = queue[1:]
+		if c.ph == phases-1 && a.IsFinal(c.q) {
+			return true
+		}
+		for _, ti := range adj[c.q] {
+			t := a.Trans[ti]
+			for _, n := range overlapSteps(c.ph, t, x, y) {
+				nc := cfg{t.To, n}
+				if !seen[nc] {
+					seen[nc] = true
+					queue = append(queue, nc)
+				}
+			}
+		}
+	}
+	return false
+}
+
+// overlapSteps returns the phases reachable by taking t from phase
+// ph. Phase meanings: 0 before x⊢; 1 after x⊢; 2 letter seen; 3
+// after y⊢; 4 letter seen; 5 after ⊣x; 6 letter seen; 7 after ⊣y.
+func overlapSteps(ph int, t Transition, x, y span.Var) []int {
+	isPattern := (t.Kind == Open || t.Kind == Close) && (t.Var == x || t.Var == y)
+	switch t.Kind {
+	case Letter:
+		// Letters advance the "gap" phases and otherwise stay.
+		switch ph {
+		case 1:
+			return []int{2}
+		case 3:
+			return []int{4}
+		case 5:
+			return []int{6}
+		}
+		return []int{ph}
+	case Open:
+		if t.Var == x && ph == 0 {
+			return []int{1}
+		}
+		if t.Var == y && ph == 2 {
+			return []int{3}
+		}
+		if isPattern {
+			return nil // pattern op outside its slot: path cannot be a witness
+		}
+		return []int{ph}
+	case Close:
+		if t.Var == x && ph == 4 {
+			return []int{5}
+		}
+		if t.Var == y && ph == 6 {
+			return []int{7}
+		}
+		if isPattern {
+			return nil
+		}
+		return []int{ph}
+	default: // Eps
+		return []int{ph}
+	}
+}
+
+// IsPointDisjoint decides, for a sequential automaton, whether every
+// producible mapping is point-disjoint (Theorem 6.7's precondition):
+// no two operations on distinct variables may fire at the same
+// document position on any accepting path. As with IsHierarchical,
+// sequentiality makes path existence coincide with run existence.
+func (a *VA) IsPointDisjoint() (bool, error) {
+	if err := a.CheckSequential(); err != nil {
+		return false, fmt.Errorf("va: IsPointDisjoint requires a sequential automaton: %w", err)
+	}
+	fromStart := a.reachable(a.Start)
+	toFinal := a.coReachable()
+	// noLetterReach[q] = states reachable from q using no letter
+	// transitions (operations and ε only), i.e. staying at one
+	// document position.
+	for i, t1 := range a.Trans {
+		if t1.Kind != Open && t1.Kind != Close {
+			continue
+		}
+		if !fromStart[t1.From] {
+			continue
+		}
+		_ = i
+		stay := a.noLetterReachable(t1.To)
+		for _, t2 := range a.Trans {
+			if t2.Kind != Open && t2.Kind != Close {
+				continue
+			}
+			if t2.Var == t1.Var {
+				continue
+			}
+			if stay[t2.From] && toFinal[t2.To] {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}
+
+// noLetterReachable returns the states reachable from q without
+// consuming a letter.
+func (a *VA) noLetterReachable(q int) []bool {
+	seen := make([]bool, a.NumStates)
+	seen[q] = true
+	stack := []int{q}
+	adj := a.Adj()
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, ti := range adj[s] {
+			t := a.Trans[ti]
+			if t.Kind == Letter {
+				continue
+			}
+			if !seen[t.To] {
+				seen[t.To] = true
+				stack = append(stack, t.To)
+			}
+		}
+	}
+	return seen
+}

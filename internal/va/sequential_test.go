@@ -1,0 +1,177 @@
+package va
+
+import (
+	"testing"
+
+	"spanners/internal/rgx"
+	"spanners/internal/runeclass"
+)
+
+func TestIsSequentialOnCompiled(t *testing.T) {
+	// Sequential RGX compile to sequential automata (proof of
+	// Theorem 5.7); non-sequential RGX compile to non-sequential
+	// automata whenever the offending operations are reachable.
+	cases := []struct {
+		expr string
+		want bool
+	}{
+		{"a*", true},
+		{"x{a*}y{b*}", true},
+		{"x{a}|y{b}", true},
+		{"(x{(a|b)*}|y{(a|b)*})", true},
+		{"x{a}x{b}", false}, // reuse in concatenation
+		{"(x{a})*", false},  // star over a variable
+		{"x{x{a}}", false},  // self-nesting
+	}
+	for _, c := range cases {
+		a := FromRGX(rgx.MustParse(c.expr))
+		if got := a.IsSequential(); got != c.want {
+			t.Errorf("IsSequential(FromRGX(%q)) = %v, want %v", c.expr, got, c.want)
+		}
+		if rgx.IsSequential(rgx.MustParse(c.expr)) != c.want {
+			t.Errorf("rgx.IsSequential(%q) disagrees with plan", c.expr)
+		}
+	}
+}
+
+func TestCheckSequentialReasons(t *testing.T) {
+	a := New(3, 0, 2)
+	a.AddOpen(0, 1, "x")
+	a.AddOpen(1, 2, "x")
+	err := a.CheckSequential()
+	if err == nil {
+		t.Fatal("double open must not be sequential")
+	}
+	v, ok := err.(*SequentialViolation)
+	if !ok || v.Var != "x" {
+		t.Fatalf("err = %v", err)
+	}
+
+	b := New(3, 0, 2)
+	b.AddOpen(0, 1, "y")
+	b.AddLetter(1, 2, runeclass.Single('a'))
+	if err := b.CheckSequential(); err == nil {
+		t.Fatal("final reachable with open variable must not be sequential")
+	}
+
+	c := New(2, 0, 1)
+	c.AddClose(0, 1, "z")
+	if err := c.CheckSequential(); err == nil {
+		t.Fatal("close before open must not be sequential")
+	}
+}
+
+func TestIsHierarchical(t *testing.T) {
+	// Compiled RGX are hierarchical.
+	for _, e := range []string{"x{a*}y{b*}", "x{a(y{b})c}", "x{a}|y{b}"} {
+		a := FromRGX(rgx.MustParse(e))
+		h, err := a.IsHierarchical()
+		if err != nil {
+			t.Fatalf("%q: %v", e, err)
+		}
+		if !h {
+			t.Errorf("FromRGX(%q) must be hierarchical", e)
+		}
+	}
+	// The interleaved automaton is sequential but not hierarchical.
+	a := nonHierarchicalVA()
+	if !a.IsSequential() {
+		t.Fatal("test automaton should be sequential")
+	}
+	h, err := a.IsHierarchical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h {
+		t.Error("interleaved automaton must not be hierarchical")
+	}
+}
+
+func TestIsHierarchicalEmptyGapIsFine(t *testing.T) {
+	// x⊢ y⊢ a ⊣x ⊣y: the opens share a position, so the spans nest
+	// even though the operation order interleaves.
+	a := New(6, 0, 5)
+	a.AddOpen(0, 1, "x")
+	a.AddOpen(1, 2, "y")
+	a.AddLetter(2, 3, runeclass.Single('a'))
+	a.AddClose(3, 4, "x")
+	a.AddClose(4, 5, "y")
+	h, err := a.IsHierarchical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h {
+		t.Error("shared-endpoint interleaving is still hierarchical")
+	}
+}
+
+func TestIsHierarchicalRequiresSequential(t *testing.T) {
+	a := New(3, 0, 2)
+	a.AddOpen(0, 1, "x")
+	a.AddOpen(1, 2, "x")
+	if _, err := a.IsHierarchical(); err == nil {
+		t.Error("non-sequential automata must be rejected")
+	}
+}
+
+func TestIsPointDisjoint(t *testing.T) {
+	// x{a}by{c}: x = (1,2), y = (3,4): endpoints 1,2 vs 3,4 disjoint.
+	a := FromRGX(rgx.MustParse("x{a}b(y{c})"))
+	pd, err := a.IsPointDisjoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pd {
+		t.Error("separated captures must be point-disjoint")
+	}
+	// x{a}y{b}: x = (1,2), y = (2,3) share endpoint 2.
+	b := FromRGX(rgx.MustParse("x{a}y{b}"))
+	pd, err = b.IsPointDisjoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pd {
+		t.Error("adjacent captures share an endpoint")
+	}
+	// Nested captures share endpoints as well.
+	c := FromRGX(rgx.MustParse("x{y{a}}"))
+	pd, err = c.IsPointDisjoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pd {
+		t.Error("nested captures share endpoints")
+	}
+}
+
+func TestPointDisjointMatchesSemantics(t *testing.T) {
+	// Cross-check the static analysis against the run semantics on a
+	// corpus: if the analysis says point-disjoint, no produced mapping
+	// may violate it.
+	exprs := []string{"x{a}b(y{c})", "x{a}y{b}", "x{a*}.*(y{b*})", "x{a}|y{b}"}
+	docs := []string{"", "a", "ab", "abc", "acb", "aXc"}
+	for _, e := range exprs {
+		a := FromRGX(rgx.MustParse(e))
+		pd, err := a.IsPointDisjoint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		violated := false
+		for _, text := range docs {
+			d := spanDoc(text)
+			for _, m := range a.Mappings(d).Mappings() {
+				if !m.PointDisjoint() {
+					violated = true
+				}
+			}
+		}
+		if pd && violated {
+			t.Errorf("%q: analysis says point-disjoint but a violating mapping exists", e)
+		}
+		if !pd && !violated {
+			// The corpus may simply not include a witness document;
+			// only log, don't fail.
+			t.Logf("%q: analysis says not point-disjoint; no witness in corpus", e)
+		}
+	}
+}

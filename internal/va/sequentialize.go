@@ -1,0 +1,237 @@
+package va
+
+import (
+	"spanners/internal/span"
+)
+
+// Sequentialize returns a sequential automaton with the same
+// semantics (Proposition 5.6). Sequential inputs are returned as-is
+// (trimmed); otherwise the automaton is decomposed into its
+// disciplined operation paths — sequences of variable operations with
+// each variable opened at most once and closed only after opening —
+// and each path becomes one branch built from copies of the
+// letter/ε-only subgraph stitched together by the path's operations.
+// Unlike ToRGX this works for non-hierarchical automata too, since no
+// capture nesting has to be synthesized. The construction is
+// worst-case exponential in the number of variables; budget caps the
+// number of explored paths (ErrPathBudget on overrun).
+//
+// Opens that a path never closes are dropped: they contribute no
+// binding, and removing them is exactly the adjustment the paper's
+// path-union proof makes for partial mappings.
+func Sequentialize(a *VA, budget int) (*VA, error) {
+	a = a.Trim()
+	if a.IsSequential() {
+		return a, nil
+	}
+	final := a.mergedFinal()
+
+	// letterReach[p][q]: q reachable from p via letter/ε transitions
+	// only — whether a segment automaton between two anchors is
+	// non-empty.
+	letterReach := a.letterOnlyReachability()
+
+	var opTrans []Transition
+	for _, t := range a.Trans {
+		if t.Kind == Open || t.Kind == Close {
+			opTrans = append(opTrans, t)
+		}
+	}
+
+	out := &VA{}
+	outStart := out.AddState()
+	outFinal := out.AddState()
+	out.Start = outStart
+	out.Finals = []int{outFinal}
+
+	// Each accepted path contributes a chain of segment copies.
+	type pathStep struct {
+		t *Transition
+	}
+	used := 0
+	var emit func(steps []pathStep) // add one path automaton branch
+	emit = func(steps []pathStep) {
+		// Drop opens whose close never follows on this path.
+		closed := map[span.Var]bool{}
+		for _, s := range steps {
+			if s.t.Kind == Close {
+				closed[s.t.Var] = true
+			}
+		}
+		cur := outStart
+		from := a.Start
+		for _, s := range steps {
+			// Segment: letter/ε subgraph from `from` to s.t.From.
+			next := out.AddState()
+			out.copySegment(a, from, s.t.From, cur, next)
+			if s.t.Kind == Open && !closed[s.t.Var] {
+				// Erased open: behave as ε.
+				tgt := out.AddState()
+				out.AddEps(next, tgt)
+				cur = tgt
+			} else {
+				tgt := out.AddState()
+				if s.t.Kind == Open {
+					out.AddOpen(next, tgt, s.t.Var)
+				} else {
+					out.AddClose(next, tgt, s.t.Var)
+				}
+				cur = tgt
+			}
+			from = s.t.To
+		}
+		last := out.AddState()
+		out.copySegment(a, from, final, cur, last)
+		out.AddEps(last, outFinal)
+	}
+
+	status := map[span.Var]varStatus{}
+	var dfs func(cur int, steps []pathStep) error
+	dfs = func(cur int, steps []pathStep) error {
+		used++
+		if used > budget {
+			return ErrPathBudget
+		}
+		if letterReach[cur][final] {
+			emit(append([]pathStep(nil), steps...))
+		}
+		for i := range opTrans {
+			t := &opTrans[i]
+			if !letterReach[cur][t.From] {
+				continue
+			}
+			st := status[t.Var]
+			switch t.Kind {
+			case Open:
+				if st != stAvail {
+					continue
+				}
+				status[t.Var] = stOpen
+			case Close:
+				if st != stOpen {
+					continue
+				}
+				status[t.Var] = stClosed
+			}
+			err := dfs(t.To, append(steps, pathStep{t}))
+			status[t.Var] = st
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := dfs(a.Start, nil); err != nil {
+		return nil, err
+	}
+	return out.Trim(), nil
+}
+
+// letterOnlyReachability computes pairwise reachability over letter
+// and ε transitions only.
+func (a *VA) letterOnlyReachability() [][]bool {
+	n := a.NumStates
+	reach := make([][]bool, n)
+	adj := a.Adj()
+	for p := 0; p < n; p++ {
+		reach[p] = make([]bool, n)
+		reach[p][p] = true
+		stack := []int{p}
+		for len(stack) > 0 {
+			q := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, ti := range adj[q] {
+				t := a.Trans[ti]
+				if t.Kind == Open || t.Kind == Close {
+					continue
+				}
+				if !reach[p][t.To] {
+					reach[p][t.To] = true
+					stack = append(stack, t.To)
+				}
+			}
+		}
+	}
+	return reach
+}
+
+// copySegment copies the letter/ε-only subgraph of src that lies on
+// some path from segStart to segEnd into dst, entering at dstIn and
+// leaving at dstOut. If segStart == segEnd the segment still allows
+// the empty traversal.
+func (dst *VA) copySegment(src *VA, segStart, segEnd, dstIn, dstOut int) {
+	// States on a letter/ε path segStart → segEnd.
+	fwd := src.letterOnlyFrom(segStart)
+	bwd := src.letterOnlyTo(segEnd)
+	stateOf := map[int]int{}
+	get := func(q int) int {
+		if s, ok := stateOf[q]; ok {
+			return s
+		}
+		s := dst.AddState()
+		stateOf[q] = s
+		return s
+	}
+	for _, t := range src.Trans {
+		if t.Kind == Open || t.Kind == Close {
+			continue
+		}
+		if fwd[t.From] && bwd[t.From] && fwd[t.To] && bwd[t.To] {
+			nt := t
+			nt.From, nt.To = get(t.From), get(t.To)
+			dst.Trans = append(dst.Trans, nt)
+			dst.adj = nil
+		}
+	}
+	if fwd[segStart] && bwd[segStart] {
+		dst.AddEps(dstIn, get(segStart))
+	}
+	if fwd[segEnd] && bwd[segEnd] {
+		dst.AddEps(get(segEnd), dstOut)
+	}
+}
+
+// letterOnlyFrom returns states reachable from q via letter/ε moves.
+func (a *VA) letterOnlyFrom(q int) []bool {
+	out := make([]bool, a.NumStates)
+	out[q] = true
+	adj := a.Adj()
+	stack := []int{q}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, ti := range adj[s] {
+			t := a.Trans[ti]
+			if t.Kind == Open || t.Kind == Close || out[t.To] {
+				continue
+			}
+			out[t.To] = true
+			stack = append(stack, t.To)
+		}
+	}
+	return out
+}
+
+// letterOnlyTo returns states that reach q via letter/ε moves.
+func (a *VA) letterOnlyTo(q int) []bool {
+	radj := make([][]int, a.NumStates)
+	for i, t := range a.Trans {
+		radj[t.To] = append(radj[t.To], i)
+	}
+	out := make([]bool, a.NumStates)
+	out[q] = true
+	stack := []int{q}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, ti := range radj[s] {
+			t := a.Trans[ti]
+			if t.Kind == Open || t.Kind == Close || out[t.From] {
+				continue
+			}
+			out[t.From] = true
+			stack = append(stack, t.From)
+		}
+	}
+	return out
+}

@@ -1,0 +1,147 @@
+package va
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"spanners/internal/rgx"
+	"spanners/internal/runeclass"
+	"spanners/internal/span"
+)
+
+func TestSequentializePreservesSemantics(t *testing.T) {
+	// Proposition 5.6 on the compiled corpus, including the
+	// non-sequential members.
+	for _, e := range crossCheckExprs {
+		a := FromRGX(rgx.MustParse(e))
+		s, err := Sequentialize(a, testBudget)
+		if err != nil {
+			t.Fatalf("Sequentialize(%q): %v", e, err)
+		}
+		if !s.IsSequential() {
+			t.Fatalf("Sequentialize(%q) is not sequential", e)
+		}
+		for _, text := range crossCheckDocs {
+			d := spanDoc(text)
+			if !a.Mappings(d).Equal(s.Mappings(d)) {
+				t.Errorf("%q on %q: %v vs %v", e, text,
+					a.Mappings(d).Mappings(), s.Mappings(d).Mappings())
+			}
+		}
+	}
+}
+
+func TestSequentializeNonHierarchical(t *testing.T) {
+	// The interleaved automaton is beyond RGX (ToRGX rejects it) but
+	// Proposition 5.6 still applies: sequentialization works at the
+	// automaton level. Here the input is already sequential, so make
+	// it non-sequential by adding a second, conflicting open of x,
+	// reachable only through a different branch.
+	base := nonHierarchicalVA()
+	a := base.Clone()
+	// Branch: from start, open x twice then give up (never accepting)
+	// — the automaton stops being sequential but keeps its semantics.
+	s1 := a.AddState()
+	s2 := a.AddState()
+	a.AddOpen(0, s1, "x")
+	a.AddOpen(s1, s2, "x")
+	if a.IsSequential() {
+		t.Fatal("test automaton should be non-sequential")
+	}
+	seq, err := Sequentialize(a, testBudget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !seq.IsSequential() {
+		t.Fatal("result must be sequential")
+	}
+	for _, text := range []string{"", "a", "aa", "aaa", "aaaa"} {
+		d := spanDoc(text)
+		if !a.Mappings(d).Equal(seq.Mappings(d)) {
+			t.Errorf("on %q: %v vs %v", text,
+				a.Mappings(d).Mappings(), seq.Mappings(d).Mappings())
+		}
+	}
+	// The non-hierarchical output survives sequentialization.
+	d := spanDoc("aaa")
+	want := span.Mapping{"x": span.Sp(1, 3), "y": span.Sp(2, 4)}
+	if !seq.Mappings(d).Contains(want) {
+		t.Errorf("lost the overlap mapping: %v", seq.Mappings(d).Mappings())
+	}
+}
+
+func TestSequentializeOpenNeverClose(t *testing.T) {
+	// Open-without-close is erased, not lost: the path still exists,
+	// with the dangling open as ε.
+	a := New(3, 0, 2)
+	a.AddOpen(0, 1, "x")
+	a.AddLetter(1, 2, runeclass.Single('a'))
+	if a.IsSequential() {
+		t.Fatal("dangling open is not sequential (final reachable while open)")
+	}
+	seq, err := Sequentialize(a, testBudget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := spanDoc("a")
+	if got := seq.Mappings(d); got.Len() != 1 || !got.Contains(span.Mapping{}) {
+		t.Errorf("got %v", got.Mappings())
+	}
+}
+
+func TestSequentializeBudget(t *testing.T) {
+	expr := "(x0{a}|x1{a}|x2{a}|x3{a}|x4{a}|x5{a})*"
+	a := FromRGX(rgx.MustParse(expr))
+	_, err := Sequentialize(a, 10)
+	if !errors.Is(err, ErrPathBudget) {
+		t.Fatalf("err = %v, want ErrPathBudget", err)
+	}
+}
+
+func TestSequentializeRandomAutomata(t *testing.T) {
+	// Random small automata, including invalid-run structures: the
+	// sequentialized form must agree with the reference run semantics
+	// on a document corpus.
+	rng := rand.New(rand.NewSource(21))
+	docs := []string{"", "a", "b", "ab", "ba", "aab"}
+	for trial := 0; trial < 40; trial++ {
+		a := randomVA(rng, 5, 8)
+		seq, err := Sequentialize(a, 100_000)
+		if err != nil {
+			continue // budget blowups are acceptable for random junk
+		}
+		if !seq.IsSequential() {
+			t.Fatalf("trial %d: result not sequential:\n%s", trial, seq)
+		}
+		for _, text := range docs {
+			d := spanDoc(text)
+			if !a.Mappings(d).Equal(seq.Mappings(d)) {
+				t.Fatalf("trial %d on %q: %v vs %v\nautomaton:\n%s", trial, text,
+					a.Mappings(d).Mappings(), seq.Mappings(d).Mappings(), a)
+			}
+		}
+	}
+}
+
+// randomVA builds a small random automaton over {a, b} and variables
+// {x, y}, with no structural guarantees whatsoever.
+func randomVA(rng *rand.Rand, states, transitions int) *VA {
+	a := New(states, 0, states-1)
+	vars := []span.Var{"x", "y"}
+	letters := []rune{'a', 'b'}
+	for i := 0; i < transitions; i++ {
+		from, to := rng.Intn(states), rng.Intn(states)
+		switch rng.Intn(4) {
+		case 0:
+			a.AddEps(from, to)
+		case 1:
+			a.AddLetter(from, to, runeclass.Single(letters[rng.Intn(2)]))
+		case 2:
+			a.AddOpen(from, to, vars[rng.Intn(2)])
+		case 3:
+			a.AddClose(from, to, vars[rng.Intn(2)])
+		}
+	}
+	return a
+}

@@ -1,0 +1,327 @@
+// Package va implements variable-set automata (VA), the automaton
+// counterpart of variable regex from Section 3.2: finite automata
+// whose transitions read letters or open/close capture variables.
+// A run over a document d walks the document left to right, firing
+// variable operations between letters; an accepting run induces a
+// partial mapping sending every variable that was opened and closed
+// to the span between the two operations. Variables opened but never
+// closed stay unassigned, which is one of the places the incomplete-
+// information semantics shows up.
+//
+// The package provides the Thompson construction from RGX
+// (Theorem 4.3), the sequentiality test of Proposition 5.5, the
+// algebra (union, projection, join — Theorem 4.5), determinization
+// (Proposition 6.5), the path-union decomposition back to RGX
+// (Theorems 4.3/4.4), and the variable-stack (VAstk) run semantics.
+package va
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"spanners/internal/runeclass"
+	"spanners/internal/span"
+)
+
+// Kind discriminates transition labels.
+type Kind int
+
+const (
+	// Eps is an ε-transition: no letter consumed, no operation.
+	Eps Kind = iota
+	// Letter consumes one document letter matching the class.
+	Letter
+	// Open performs the variable operation x⊢ (start capturing x).
+	Open
+	// Close performs the variable operation ⊣x (stop capturing x).
+	Close
+)
+
+// Transition is a single transition of a VA.
+type Transition struct {
+	From, To int
+	Kind     Kind
+	Class    runeclass.Class // letter predicate; meaningful for Kind == Letter
+	Var      span.Var        // variable; meaningful for Kind == Open/Close
+}
+
+// Label renders the transition label in the paper's notation.
+func (t Transition) Label() string {
+	switch t.Kind {
+	case Eps:
+		return "ε"
+	case Letter:
+		return t.Class.String()
+	case Open:
+		return string(t.Var) + "⊢"
+	case Close:
+		return "⊣" + string(t.Var)
+	}
+	return "?"
+}
+
+// VA is a variable-set automaton (Q, q0, F, δ). States are the
+// integers 0..NumStates-1. The paper uses a single final state; the
+// determinization of Proposition 6.5 naturally yields several, so the
+// type allows a set.
+type VA struct {
+	NumStates int
+	Start     int
+	Finals    []int
+	Trans     []Transition
+
+	adj [][]int // lazily built adjacency: state -> indices into Trans
+}
+
+// New returns an automaton with n states and no transitions, with
+// start state 0 and final state given.
+func New(n, start, final int) *VA {
+	return &VA{NumStates: n, Start: start, Finals: []int{final}}
+}
+
+// AddState adds a fresh state and returns its index.
+func (a *VA) AddState() int {
+	a.NumStates++
+	a.adj = nil
+	return a.NumStates - 1
+}
+
+// AddEps adds an ε-transition.
+func (a *VA) AddEps(from, to int) {
+	a.add(Transition{From: from, To: to, Kind: Eps})
+}
+
+// AddLetter adds a letter transition guarded by the class.
+func (a *VA) AddLetter(from, to int, c runeclass.Class) {
+	a.add(Transition{From: from, To: to, Kind: Letter, Class: c})
+}
+
+// AddOpen adds the variable operation x⊢.
+func (a *VA) AddOpen(from, to int, x span.Var) {
+	a.add(Transition{From: from, To: to, Kind: Open, Var: x})
+}
+
+// AddClose adds the variable operation ⊣x.
+func (a *VA) AddClose(from, to int, x span.Var) {
+	a.add(Transition{From: from, To: to, Kind: Close, Var: x})
+}
+
+func (a *VA) add(t Transition) {
+	a.Trans = append(a.Trans, t)
+	a.adj = nil
+}
+
+// IsFinal reports whether q is a final state.
+func (a *VA) IsFinal(q int) bool {
+	for _, f := range a.Finals {
+		if f == q {
+			return true
+		}
+	}
+	return false
+}
+
+// Adj returns, for each state, the indices of its outgoing
+// transitions. The structure is cached until the automaton mutates.
+func (a *VA) Adj() [][]int {
+	if a.adj == nil {
+		a.adj = make([][]int, a.NumStates)
+		for i, t := range a.Trans {
+			a.adj[t.From] = append(a.adj[t.From], i)
+		}
+	}
+	return a.adj
+}
+
+// Vars returns the variables opened anywhere in the automaton,
+// sorted. Following the paper, var(A) is defined by open operations;
+// a close without a matching open simply never fires.
+func (a *VA) Vars() []span.Var {
+	set := map[span.Var]bool{}
+	for _, t := range a.Trans {
+		if t.Kind == Open {
+			set[t.Var] = true
+		}
+	}
+	out := make([]span.Var, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Validate checks structural well-formedness: state indices in range
+// and classes non-empty on letter transitions.
+func (a *VA) Validate() error {
+	inRange := func(q int) bool { return 0 <= q && q < a.NumStates }
+	if !inRange(a.Start) {
+		return fmt.Errorf("va: start state %d out of range", a.Start)
+	}
+	if len(a.Finals) == 0 {
+		return fmt.Errorf("va: no final states")
+	}
+	for _, f := range a.Finals {
+		if !inRange(f) {
+			return fmt.Errorf("va: final state %d out of range", f)
+		}
+	}
+	for i, t := range a.Trans {
+		if !inRange(t.From) || !inRange(t.To) {
+			return fmt.Errorf("va: transition %d endpoints out of range", i)
+		}
+		if t.Kind == Letter && t.Class.IsEmpty() {
+			return fmt.Errorf("va: transition %d has empty letter class", i)
+		}
+		if (t.Kind == Open || t.Kind == Close) && t.Var == "" {
+			return fmt.Errorf("va: transition %d has empty variable", i)
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the automaton.
+func (a *VA) Clone() *VA {
+	return &VA{
+		NumStates: a.NumStates,
+		Start:     a.Start,
+		Finals:    append([]int(nil), a.Finals...),
+		Trans:     append([]Transition(nil), a.Trans...),
+	}
+}
+
+// String renders a compact textual description, mainly for debugging
+// and error messages.
+func (a *VA) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "VA(states=%d, start=%d, finals=%v)\n", a.NumStates, a.Start, a.Finals)
+	for _, t := range a.Trans {
+		fmt.Fprintf(&b, "  %d --%s--> %d\n", t.From, t.Label(), t.To)
+	}
+	return b.String()
+}
+
+// Dot renders the automaton in Graphviz DOT format.
+func (a *VA) Dot(name string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=LR;\n  node [shape=circle];\n", name)
+	for _, f := range a.Finals {
+		fmt.Fprintf(&b, "  %d [shape=doublecircle];\n", f)
+	}
+	fmt.Fprintf(&b, "  __start [shape=point];\n  __start -> %d;\n", a.Start)
+	for _, t := range a.Trans {
+		fmt.Fprintf(&b, "  %d -> %d [label=%q];\n", t.From, t.To, t.Label())
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// LetterClasses returns every distinct letter class mentioned by the
+// automaton, used by decision procedures to derive witness alphabets.
+func (a *VA) LetterClasses() []runeclass.Class {
+	var out []runeclass.Class
+	for _, t := range a.Trans {
+		if t.Kind != Letter {
+			continue
+		}
+		dup := false
+		for _, c := range out {
+			if c.Equal(t.Class) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, t.Class)
+		}
+	}
+	return out
+}
+
+// reachable returns the set of states reachable from q following all
+// transitions regardless of labels.
+func (a *VA) reachable(from int) []bool {
+	seen := make([]bool, a.NumStates)
+	stack := []int{from}
+	seen[from] = true
+	adj := a.Adj()
+	for len(stack) > 0 {
+		q := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, ti := range adj[q] {
+			to := a.Trans[ti].To
+			if !seen[to] {
+				seen[to] = true
+				stack = append(stack, to)
+			}
+		}
+	}
+	return seen
+}
+
+// coReachable returns the states from which some final state is
+// reachable.
+func (a *VA) coReachable() []bool {
+	radj := make([][]int, a.NumStates)
+	for i, t := range a.Trans {
+		radj[t.To] = append(radj[t.To], i)
+	}
+	seen := make([]bool, a.NumStates)
+	var stack []int
+	for _, f := range a.Finals {
+		if !seen[f] {
+			seen[f] = true
+			stack = append(stack, f)
+		}
+	}
+	for len(stack) > 0 {
+		q := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, ti := range radj[q] {
+			from := a.Trans[ti].From
+			if !seen[from] {
+				seen[from] = true
+				stack = append(stack, from)
+			}
+		}
+	}
+	return seen
+}
+
+// Trim removes states that are not both reachable from the start and
+// co-reachable to a final state, renumbering the rest. Trimming
+// preserves ⟦A⟧_d for every document and is applied by the algebraic
+// constructions to keep blowups in check. If the language is empty
+// the result is a two-state automaton with no transitions.
+func (a *VA) Trim() *VA {
+	fwd := a.reachable(a.Start)
+	bwd := a.coReachable()
+	keep := make([]int, a.NumStates)
+	n := 0
+	for q := 0; q < a.NumStates; q++ {
+		if fwd[q] && bwd[q] {
+			keep[q] = n
+			n++
+		} else {
+			keep[q] = -1
+		}
+	}
+	if n == 0 || keep[a.Start] == -1 {
+		empty := New(2, 0, 1)
+		return empty
+	}
+	out := &VA{NumStates: n, Start: keep[a.Start]}
+	for _, f := range a.Finals {
+		if keep[f] != -1 {
+			out.Finals = append(out.Finals, keep[f])
+		}
+	}
+	for _, t := range a.Trans {
+		if keep[t.From] != -1 && keep[t.To] != -1 {
+			t.From, t.To = keep[t.From], keep[t.To]
+			out.Trans = append(out.Trans, t)
+		}
+	}
+	return out
+}

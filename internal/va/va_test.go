@@ -1,0 +1,215 @@
+package va
+
+import (
+	"strings"
+	"testing"
+
+	"spanners/internal/naive"
+	"spanners/internal/rgx"
+	"spanners/internal/runeclass"
+	"spanners/internal/span"
+)
+
+// crossCheckExprs is a shared corpus of RGX expressions exercising
+// every construct; many tests compile them and compare engines.
+var crossCheckExprs = []string{
+	"",
+	"a",
+	"ab",
+	"a*",
+	"(a|b)*",
+	"x{a}",
+	"x{a*}",
+	"x{a*}y{b*}",
+	"x{a}|b",
+	"x{a}|y{b}",
+	"(x{a}|b)*",
+	"(x{a}|y{b})*",
+	"x{(a|b)*}",
+	"x{a(y{b})c}",
+	"x{y{a}b}c",
+	"a?b+c*",
+	"x{a?}b",
+	"x{a}x{b}",
+	"x{x{a}}",
+	"(a|aa)*",
+	".b.",
+	"[ab]x{[^b]*}",
+}
+
+// crossCheckDocs is the document corpus the corpus is evaluated on.
+var crossCheckDocs = []string{"", "a", "b", "ab", "ba", "aab", "abc", "aaabbb", "abab"}
+
+func TestFromRGXMatchesNaive(t *testing.T) {
+	for _, e := range crossCheckExprs {
+		n := rgx.MustParse(e)
+		a := FromRGX(n)
+		if err := a.Validate(); err != nil {
+			t.Fatalf("FromRGX(%q) invalid: %v", e, err)
+		}
+		for _, text := range crossCheckDocs {
+			d := span.NewDocument(text)
+			want := naive.Eval(n, d)
+			got := a.Mappings(d)
+			if !got.Equal(want) {
+				t.Errorf("⟦%s⟧ on %q: va = %v, naive = %v",
+					e, text, got.Mappings(), want.Mappings())
+			}
+		}
+	}
+}
+
+func TestStackPolicyAgreesOnCompiled(t *testing.T) {
+	// Automata compiled from RGX have properly nested operations, so
+	// VAstk semantics coincides with VA semantics (Theorem 4.3).
+	for _, e := range crossCheckExprs {
+		n := rgx.MustParse(e)
+		a := FromRGX(n)
+		for _, text := range crossCheckDocs {
+			d := span.NewDocument(text)
+			set := a.Mappings(d)
+			stk := a.StackMappings(d)
+			if !set.Equal(stk) {
+				t.Errorf("⟦%s⟧ on %q: set %v vs stack %v",
+					e, text, set.Mappings(), stk.Mappings())
+			}
+		}
+	}
+}
+
+// nonHierarchicalVA builds a VA that outputs the properly
+// overlapping mapping x=(1,3), y=(2,4) on document "aaa":
+// x⊢ a y⊢ a ⊣x a ⊣y.
+func nonHierarchicalVA() *VA {
+	a := New(8, 0, 7)
+	cls := runeclass.Single('a')
+	a.AddOpen(0, 1, "x")
+	a.AddLetter(1, 2, cls)
+	a.AddOpen(2, 3, "y")
+	a.AddLetter(3, 4, cls)
+	a.AddClose(4, 5, "x")
+	a.AddLetter(5, 6, cls)
+	a.AddClose(6, 7, "y")
+	return a
+}
+
+func TestStackPolicyRejectsNonHierarchical(t *testing.T) {
+	a := nonHierarchicalVA()
+	d := span.NewDocument("aaa")
+	set := a.Mappings(d)
+	want := span.Mapping{"x": span.Sp(1, 3), "y": span.Sp(2, 4)}
+	if !set.Contains(want) {
+		t.Fatalf("set semantics missing %v: %v", want, set.Mappings())
+	}
+	if set.Hierarchical() {
+		t.Fatal("mapping should be non-hierarchical")
+	}
+	stk := a.StackMappings(d)
+	if stk.Len() != 0 {
+		t.Fatalf("stack semantics must reject interleaved closes, got %v", stk.Mappings())
+	}
+}
+
+func TestOpenWithoutCloseIsUnassigned(t *testing.T) {
+	// q0 -x⊢-> q1 -a-> q2(final): x opens but never closes, so the
+	// accepted mapping leaves x unassigned.
+	a := New(3, 0, 2)
+	a.AddOpen(0, 1, "x")
+	a.AddLetter(1, 2, runeclass.Single('a'))
+	d := span.NewDocument("a")
+	got := a.Mappings(d)
+	if got.Len() != 1 || !got.Contains(span.Mapping{}) {
+		t.Fatalf("got %v, want just the empty mapping", got.Mappings())
+	}
+}
+
+func TestRunDisciplineRejectsDoubleOpen(t *testing.T) {
+	a := New(3, 0, 2)
+	a.AddOpen(0, 1, "x")
+	a.AddOpen(1, 2, "x")
+	d := span.NewDocument("")
+	if got := a.Mappings(d); got.Len() != 0 {
+		t.Fatalf("double open must yield no runs, got %v", got.Mappings())
+	}
+}
+
+func TestRunDisciplineRejectsCloseBeforeOpen(t *testing.T) {
+	a := New(2, 0, 1)
+	a.AddClose(0, 1, "x")
+	d := span.NewDocument("")
+	if got := a.Mappings(d); got.Len() != 0 {
+		t.Fatalf("close before open must yield no runs, got %v", got.Mappings())
+	}
+}
+
+func TestEpsilonCycleTerminates(t *testing.T) {
+	a := New(2, 0, 1)
+	a.AddEps(0, 0) // self-loop
+	a.AddEps(0, 1)
+	d := span.NewDocument("")
+	if got := a.Mappings(d); got.Len() != 1 {
+		t.Fatalf("got %v", got.Mappings())
+	}
+}
+
+func TestVarsAndValidate(t *testing.T) {
+	a := New(2, 0, 1)
+	a.AddOpen(0, 1, "z")
+	a.AddOpen(0, 1, "a")
+	vars := a.Vars()
+	if len(vars) != 2 || vars[0] != "a" || vars[1] != "z" {
+		t.Fatalf("Vars = %v", vars)
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := New(2, 0, 5)
+	if err := bad.Validate(); err == nil {
+		t.Fatal("out-of-range final must fail validation")
+	}
+	bad2 := New(2, 0, 1)
+	bad2.AddLetter(0, 1, runeclass.Empty())
+	if err := bad2.Validate(); err == nil {
+		t.Fatal("empty class must fail validation")
+	}
+}
+
+func TestTrimPreservesSemantics(t *testing.T) {
+	n := rgx.MustParse("x{a*}b|c")
+	a := FromRGX(n)
+	// Add unreachable garbage.
+	g1 := a.AddState()
+	g2 := a.AddState()
+	a.AddLetter(g1, g2, runeclass.Single('z'))
+	a.AddOpen(g2, g1, "junk")
+	trimmed := a.Trim()
+	if trimmed.NumStates >= a.NumStates {
+		t.Errorf("Trim did not shrink: %d -> %d", a.NumStates, trimmed.NumStates)
+	}
+	for _, text := range crossCheckDocs {
+		d := span.NewDocument(text)
+		if !a.Mappings(d).Equal(trimmed.Mappings(d)) {
+			t.Errorf("Trim changed semantics on %q", text)
+		}
+	}
+}
+
+func TestDotOutput(t *testing.T) {
+	a := FromRGX(rgx.MustParse("x{a}"))
+	dot := a.Dot("test")
+	for _, want := range []string{"digraph", "x⊢", "⊣x", "doublecircle"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("Dot output missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := FromRGX(rgx.MustParse("ab"))
+	b := a.Clone()
+	b.AddState()
+	b.AddLetter(0, 1, runeclass.Single('z'))
+	if a.NumStates == b.NumStates || len(a.Trans) == len(b.Trans) {
+		t.Error("Clone must be independent")
+	}
+}

@@ -1,0 +1,92 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLandRegistryShape(t *testing.T) {
+	text := LandRegistry(LandRegistryOptions{Rows: 40, TaxProb: 0.5, Seed: 1})
+	lines := strings.Split(strings.TrimRight(text, "\n"), "\n")
+	if len(lines) != 40 {
+		t.Fatalf("rows = %d", len(lines))
+	}
+	sellers, buyers, taxed := 0, 0, 0
+	for _, l := range lines {
+		switch {
+		case strings.HasPrefix(l, "Seller: "):
+			sellers++
+			if strings.Contains(l, "$") {
+				taxed++
+			}
+		case strings.HasPrefix(l, "Buyer: "):
+			buyers++
+			if !strings.Contains(l, ", P") {
+				t.Errorf("buyer row without property field: %q", l)
+			}
+		default:
+			t.Errorf("unexpected row %q", l)
+		}
+	}
+	if sellers == 0 || buyers == 0 {
+		t.Error("both row kinds must appear")
+	}
+	if taxed == 0 || taxed == sellers {
+		t.Errorf("tax field should be optional: %d of %d sellers taxed", taxed, sellers)
+	}
+}
+
+func TestLandRegistryDeterministic(t *testing.T) {
+	a := LandRegistry(LandRegistryOptions{Rows: 10, TaxProb: 0.3, Seed: 7})
+	b := LandRegistry(LandRegistryOptions{Rows: 10, TaxProb: 0.3, Seed: 7})
+	if a != b {
+		t.Error("same seed must give same document")
+	}
+	c := LandRegistry(LandRegistryOptions{Rows: 10, TaxProb: 0.3, Seed: 8})
+	if a == c {
+		t.Error("different seed should give different document")
+	}
+}
+
+func TestWebLogShape(t *testing.T) {
+	text := WebLog(WebLogOptions{Lines: 30, ReferProb: 0.4, Seed: 2})
+	lines := strings.Split(strings.TrimRight(text, "\n"), "\n")
+	if len(lines) != 30 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	withRef := 0
+	for _, l := range lines {
+		if !strings.Contains(l, "\"") {
+			t.Errorf("line without agent: %q", l)
+		}
+		if strings.Contains(l, " ref=") {
+			withRef++
+		}
+	}
+	if withRef == 0 || withRef == len(lines) {
+		t.Errorf("referer should be optional: %d/%d", withRef, len(lines))
+	}
+}
+
+func TestDNA(t *testing.T) {
+	s := DNA(500, "ACGTACGT", 3, 3)
+	if len(s) != 500 {
+		t.Fatalf("len = %d", len(s))
+	}
+	for _, r := range s {
+		switch r {
+		case 'A', 'C', 'G', 'T':
+		default:
+			t.Fatalf("unexpected base %q", r)
+		}
+	}
+	if !strings.Contains(s, "ACGTACGT") {
+		t.Error("motif not planted")
+	}
+}
+
+func TestRepeatRow(t *testing.T) {
+	if got := RepeatRow("ab", 3); got != "ababab" {
+		t.Errorf("RepeatRow = %q", got)
+	}
+}

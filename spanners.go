@@ -1,0 +1,275 @@
+// Package spanners is a complete implementation of document spanners
+// for extracting incomplete information, after Maturana, Riveros and
+// Vrgoč (PODS 2018). It provides:
+//
+//   - variable regex (RGX) — regular expressions with capture
+//     variables x{…} — under the paper's mapping semantics, so
+//     missing or optional document parts yield partial mappings
+//     instead of forcing every variable to match;
+//   - variable-set automata (VA) with the full algebra (union,
+//     projection, join), determinization, and conversions to and from
+//     RGX;
+//   - extraction rules (conjunctions of span regular expressions)
+//     with the instantiated-variable semantics, the tree-like/dag-like
+//     hierarchy, and all the rewriting theorems of the paper;
+//   - the evaluation problems: Eval with partial constraints,
+//     model checking, non-emptiness, and polynomial-delay enumeration
+//     (polynomial for the sequential fragment, as in Theorem 5.7);
+//   - static analysis: satisfiability and containment, including the
+//     PTIME fragment of deterministic sequential point-disjoint
+//     automata.
+//
+// The quickest route in:
+//
+//	s := spanners.MustCompile(`Seller: x{[^,\n]*},[^\n]*\n`)
+//	doc := spanners.NewDocument(csvText)
+//	for _, m := range s.ExtractAll(doc) {
+//		fmt.Println(doc.Content(m["x"]))
+//	}
+package spanners
+
+import (
+	"fmt"
+
+	"spanners/internal/eval"
+	"spanners/internal/rgx"
+	"spanners/internal/span"
+	"spanners/internal/static"
+	"spanners/internal/va"
+)
+
+// Re-exported core types: spans are 1-based (start, end) regions of a
+// document, mappings are partial functions from variables to spans.
+type (
+	// Span is a document region (Start, End), content d[Start..End-1].
+	Span = span.Span
+	// Var is an extraction variable.
+	Var = span.Var
+	// Mapping is a partial function from variables to spans.
+	Mapping = span.Mapping
+	// Document is an input string with rune-based positions.
+	Document = span.Document
+	// MappingSet is a deduplicated set of mappings.
+	MappingSet = span.Set
+)
+
+// NewDocument wraps text as a document.
+func NewDocument(text string) *Document { return span.NewDocument(text) }
+
+// Sp builds the span (start, end).
+func Sp(start, end int) Span { return span.Sp(start, end) }
+
+// Spanner is a compiled document spanner: for each document d it
+// defines a set of mappings ⟦S⟧_d. Spanners are immutable and safe
+// for concurrent use.
+type Spanner struct {
+	expr   rgx.Node // nil when built directly from an automaton
+	source string
+	engine *eval.Engine
+}
+
+// Compile parses an RGX expression and compiles it. The syntax is
+// standard regex plus x{…} captures: literals, '.', classes [a-z]
+// and [^…], alternation '|', repetition '*' '+' '?', grouping, and
+// escapes (\n, \t, \d, \w, \s, \uXXXX, and \ before metacharacters).
+func Compile(expr string) (*Spanner, error) {
+	n, err := rgx.Parse(expr)
+	if err != nil {
+		return nil, err
+	}
+	return &Spanner{expr: n, source: expr, engine: eval.CompileRGX(n)}, nil
+}
+
+// MustCompile is Compile that panics on error, for constants.
+func MustCompile(expr string) *Spanner {
+	s, err := Compile(expr)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// FromAutomaton wraps a variable-set automaton as a spanner. The
+// automaton is validated and must not be mutated afterwards.
+func FromAutomaton(a *va.VA) (*Spanner, error) {
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	return &Spanner{source: "<automaton>", engine: eval.NewEngine(a)}, nil
+}
+
+// String returns the source expression (or "<automaton>").
+func (s *Spanner) String() string { return s.source }
+
+// Expr returns the parsed RGX syntax tree, or nil for automaton-built
+// spanners.
+func (s *Spanner) Expr() rgx.Node { return s.expr }
+
+// Automaton returns the underlying variable-set automaton.
+func (s *Spanner) Automaton() *va.VA { return s.engine.Automaton() }
+
+// Vars returns the variables the spanner can assign, sorted.
+func (s *Spanner) Vars() []Var { return s.engine.Vars() }
+
+// Sequential reports whether evaluation uses the PTIME algorithm of
+// Theorem 5.7 (true) or the FPT fallback (false). Sequential spanners
+// enumerate with polynomial delay.
+func (s *Spanner) Sequential() bool { return s.engine.Sequential() }
+
+// Functional reports whether the expression is functional in the
+// sense of Fagin et al.: every output assigns exactly Vars().
+// Automaton-built spanners report false.
+func (s *Spanner) Functional() bool {
+	return s.expr != nil && rgx.IsFunctional(s.expr)
+}
+
+// Matches reports whether the spanner outputs at least one mapping on
+// d (the NonEmp problem).
+func (s *Spanner) Matches(d *Document) bool { return s.engine.NonEmpty(d) }
+
+// ModelCheck reports whether m itself (exactly, with every other
+// variable unassigned) is an output on d.
+func (s *Spanner) ModelCheck(d *Document, m Mapping) bool {
+	return s.engine.ModelCheck(d, m)
+}
+
+// Extendable decides the Eval problem: can the partial constraints be
+// extended to an output mapping? Constrain variables with
+// WithSpan/WithUnassigned on a Constraints value.
+func (s *Spanner) Extendable(d *Document, c Constraints) bool {
+	return s.engine.Eval(d, span.Extended(c))
+}
+
+// Enumerate streams every output mapping on d to yield in a
+// deterministic order, stopping early when yield returns false. The
+// delay between outputs is polynomial when the spanner is sequential
+// (Theorem 5.1 + 5.7).
+func (s *Spanner) Enumerate(d *Document, yield func(Mapping) bool) {
+	s.engine.Enumerate(d, yield)
+}
+
+// ExtractAll collects every output mapping in enumeration order. The
+// result can be large: prefer Enumerate for streaming.
+func (s *Spanner) ExtractAll(d *Document) []Mapping {
+	var out []Mapping
+	s.engine.Enumerate(d, func(m Mapping) bool {
+		out = append(out, m)
+		return true
+	})
+	return out
+}
+
+// Count returns the number of output mappings on d without
+// materializing them: for sequential spanners it is a memoized
+// dynamic program over the enumeration structure, typically far
+// cheaper than ExtractAll.
+func (s *Spanner) Count(d *Document) int { return s.engine.Count(d) }
+
+// First returns the first output mapping in enumeration order.
+func (s *Spanner) First(d *Document) (Mapping, bool) {
+	var out Mapping
+	found := false
+	s.engine.Enumerate(d, func(m Mapping) bool {
+		out, found = m, true
+		return false
+	})
+	return out, found
+}
+
+// Constraints is a partial assignment used by Extendable: each
+// constrained variable is pinned to a span or forbidden (⊥).
+type Constraints span.Extended
+
+// NewConstraints returns an empty constraint set.
+func NewConstraints() Constraints { return Constraints{} }
+
+// WithSpan pins x to s.
+func (c Constraints) WithSpan(x Var, s Span) Constraints {
+	out := span.Extended(c).With(x, span.Assigned(s))
+	return Constraints(out)
+}
+
+// WithUnassigned forbids assigning x.
+func (c Constraints) WithUnassigned(x Var) Constraints {
+	out := span.Extended(c).With(x, span.Unassigned())
+	return Constraints(out)
+}
+
+// Union returns the spanner whose outputs are the union of both
+// spanners' outputs (Theorem 4.5).
+func Union(a, b *Spanner) *Spanner {
+	u := va.Union(a.Automaton(), b.Automaton())
+	return &Spanner{source: fmt.Sprintf("(%s) ∪ (%s)", a, b), engine: eval.NewEngine(u)}
+}
+
+// Project restricts outputs to the given variables (Theorem 4.5).
+func Project(s *Spanner, keep ...Var) *Spanner {
+	p := va.Project(s.Automaton(), keep)
+	return &Spanner{source: fmt.Sprintf("π%v(%s)", keep, s), engine: eval.NewEngine(p)}
+}
+
+// Join combines compatible outputs of both spanners (Theorem 4.5);
+// it can express non-hierarchical overlaps that no single RGX can.
+// The construction is worst-case exponential in the shared variables.
+func Join(a, b *Spanner) *Spanner {
+	j := va.Join(a.Automaton(), b.Automaton())
+	return &Spanner{source: fmt.Sprintf("(%s) ⋈ (%s)", a, b), engine: eval.NewEngine(j)}
+}
+
+// Determinize returns an equivalent deterministic spanner
+// (Proposition 6.5); the automaton can be exponentially larger.
+func Determinize(s *Spanner) *Spanner {
+	d := va.Determinize(s.Automaton())
+	return &Spanner{source: fmt.Sprintf("det(%s)", s), engine: eval.NewEngine(d)}
+}
+
+// Sequentialize rewrites an expression-based spanner into an
+// equivalent sequential one (Proposition 5.6), enabling the PTIME
+// evaluation path. The rewriting is worst-case exponential; budget
+// caps it (use DefaultBudget).
+func Sequentialize(s *Spanner, budget int) (*Spanner, error) {
+	if s.expr == nil {
+		return nil, fmt.Errorf("spanners: Sequentialize requires an expression-based spanner")
+	}
+	n, err := rgx.Sequentialize(s.expr, budget)
+	if err != nil {
+		return nil, err
+	}
+	return &Spanner{expr: n, source: n.String(), engine: eval.CompileRGX(n)}, nil
+}
+
+// DefaultBudget bounds the worst-case-exponential rewritings.
+const DefaultBudget = rgx.DefaultDecomposeBudget
+
+// Satisfiable reports whether some document makes the spanner output
+// anything (Theorems 6.1/6.2; polynomial for sequential spanners).
+func Satisfiable(s *Spanner) bool { return static.Satisfiable(s.Automaton()) }
+
+// Witness returns a document on which the spanner produces output.
+func Witness(s *Spanner) (*Document, bool) {
+	return static.WitnessDocument(s.Automaton())
+}
+
+// Counterexample separates two spanners: a document and a mapping the
+// left one outputs and the right one does not.
+type Counterexample = static.Counterexample
+
+// Contained decides ⟦a⟧_d ⊆ ⟦b⟧_d for every document (Theorem 6.4).
+// The check is complete but worst-case exponential (the problem is
+// PSPACE-complete); a counterexample is returned when containment
+// fails.
+func Contained(a, b *Spanner) (bool, *Counterexample) {
+	return static.Contained(a.Automaton(), b.Automaton())
+}
+
+// ContainedDetSeq is the PTIME containment check for deterministic
+// sequential point-disjoint spanners (Theorem 6.7); it returns an
+// error when the preconditions fail.
+func ContainedDetSeq(a, b *Spanner) (bool, error) {
+	return static.ContainedDetSeq(a.Automaton(), b.Automaton())
+}
+
+// Equivalent checks two-way containment.
+func Equivalent(a, b *Spanner) bool {
+	return static.Equivalent(a.Automaton(), b.Automaton())
+}

@@ -1,0 +1,88 @@
+// Command spand serves document-spanner extraction over HTTP, keeping
+// compiled spanners hot across requests.
+//
+// Usage:
+//
+//	spand [-addr :8080] [-spanner-cache 256] [-rule-cache 64] [-workers 4] [-max-body 8388608]
+//
+// Endpoints:
+//
+//	POST /extract         {"expr"|"rule": …, "docs": [...], "limit": n}
+//	                      → JSON batch: one result array per document
+//	                        (input order) plus cache/worker stats.
+//	POST /extract/stream  {"expr"|"rule": …, "doc": …, "limit": n}
+//	                      → NDJSON: one mapping per line, flushed per
+//	                        result, with the enumerator's polynomial
+//	                        delay (Theorem 5.7) — first results arrive
+//	                        before enumeration completes.
+//	GET  /healthz         liveness probe.
+//	GET  /metrics         expvar, including the "spand" snapshot:
+//	                      cache hit/miss/eviction counters, in-flight
+//	                      requests, mappings emitted.
+//
+// Compilation (parse → decompose → VA construction) is amortized
+// through an LRU cache keyed by source expression, so repeated queries
+// skip straight to evaluation.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"spanners/internal/service"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		spannerCache = flag.Int("spanner-cache", service.DefaultConfig().SpannerCacheSize, "compiled-spanner LRU capacity")
+		ruleCache    = flag.Int("rule-cache", service.DefaultConfig().RuleCacheSize, "compiled-rule LRU capacity")
+		workers      = flag.Int("workers", service.DefaultConfig().Workers, "batch extraction worker count")
+		maxBody      = flag.Int64("max-body", defaultMaxBody, "request body size cap in bytes")
+	)
+	flag.Parse()
+
+	svc := service.New(service.Config{
+		SpannerCacheSize: *spannerCache,
+		RuleCacheSize:    *ruleCache,
+		Workers:          *workers,
+	})
+	publishExpvar(svc)
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           newServer(svc, *maxBody),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	log.Printf("spand: listening on %s (workers=%d, spanner cache=%d, rule cache=%d)",
+		*addr, *workers, *spannerCache, *ruleCache)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		if err != nil && err != http.ErrServerClosed {
+			fmt.Fprintln(os.Stderr, "spand:", err)
+			os.Exit(1)
+		}
+	case <-ctx.Done():
+		// Drain in-flight requests before exiting; streams that
+		// outlive the window are severed by Close.
+		log.Print("spand: shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("spand: drain window expired: %v", err)
+			srv.Close()
+		}
+	}
+}

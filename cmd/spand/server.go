@@ -1,0 +1,175 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+
+	"spanners/internal/service"
+)
+
+// extractRequest is the body of POST /extract: one query applied to a
+// batch of documents.
+type extractRequest struct {
+	service.Query
+	Docs []string `json:"docs"`
+}
+
+// extractResponse pairs the per-document results (input order) with a
+// cache snapshot so clients can observe compile amortization.
+type extractResponse struct {
+	Results [][]service.Result `json:"results"`
+	Stats   service.Stats      `json:"stats"`
+}
+
+// streamRequest is the body of POST /extract/stream: one query, one
+// document, results streamed back as NDJSON.
+type streamRequest struct {
+	service.Query
+	Doc string `json:"doc"`
+}
+
+// defaultMaxBody caps request bodies when no explicit limit is given.
+const defaultMaxBody = 8 << 20 // 8 MiB
+
+type server struct {
+	svc     *service.Service
+	mux     *http.ServeMux
+	maxBody int64
+}
+
+// newServer wires the service into an http.Handler exposing
+// /extract, /extract/stream, /healthz and /metrics. maxBody caps
+// request body size in bytes (0 selects defaultMaxBody) so an
+// oversized batch cannot exhaust memory before extraction starts.
+func newServer(svc *service.Service, maxBody int64) *server {
+	if maxBody <= 0 {
+		maxBody = defaultMaxBody
+	}
+	s := &server{svc: svc, mux: http.NewServeMux(), maxBody: maxBody}
+	s.mux.HandleFunc("POST /extract", s.handleExtract)
+	s.mux.HandleFunc("POST /extract/stream", s.handleStream)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+// decodeBody parses the JSON request body under the server's size
+// cap, translating an exceeded cap into 413 rather than a generic 400.
+func (s *server) decodeBody(w http.ResponseWriter, r *http.Request, dst any) bool {
+	err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBody)).Decode(dst)
+	if err == nil {
+		return true
+	}
+	var tooLarge *http.MaxBytesError
+	if errors.As(err, &tooLarge) {
+		httpError(w, http.StatusRequestEntityTooLarge, err)
+		return false
+	}
+	httpError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+	return false
+}
+
+func (s *server) handleExtract(w http.ResponseWriter, r *http.Request) {
+	var req extractRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	results, err := s.svc.ExtractBatch(r.Context(), req.Query, req.Docs)
+	if err != nil {
+		code := http.StatusBadRequest
+		if errors.Is(err, r.Context().Err()) && r.Context().Err() != nil {
+			code = http.StatusRequestTimeout
+		}
+		httpError(w, code, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(extractResponse{Results: results, Stats: s.svc.Stats()})
+}
+
+// handleStream emits one JSON object per output mapping, one per
+// line, flushing after every result: the client sees mappings with
+// the enumerator's polynomial delay instead of waiting for the full
+// output set. Client disconnect cancels the request context, which
+// stops enumeration between outputs.
+func (s *server) handleStream(w http.ResponseWriter, r *http.Request) {
+	var req streamRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	// Compile (one cache lookup) before committing to the NDJSON
+	// format, so a bad query still gets a JSON 400 and an empty
+	// result set still gets the right Content-Type.
+	compiled, err := s.svc.CompileQuery(req.Query)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	err = compiled.Stream(r.Context(), req.Doc, func(res service.Result) bool {
+		if enc.Encode(res) != nil {
+			return false
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return true
+	})
+	if err != nil {
+		// The stream was cut short (cancellation mid-enumeration).
+		// Abort the connection instead of terminating the chunked
+		// body cleanly, so clients can distinguish a truncated
+		// stream from a complete one.
+		panic(http.ErrAbortHandler)
+	}
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]string{"status": "ok"})
+}
+
+// handleMetrics serves the process expvar map (which includes the
+// "spand" service snapshot once publishExpvar has run) so standard
+// expvar tooling works against it.
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	publishExpvar(s.svc)
+	expvar.Handler().ServeHTTP(w, r)
+}
+
+// publishExpvar registers the service snapshot under the "spand"
+// expvar name. expvar.Publish panics on duplicate names, so the
+// registration happens once per process and re-points at the most
+// recent service — in production there is exactly one.
+var (
+	expvarOnce sync.Once
+	expvarSvc  atomic.Pointer[service.Service]
+)
+
+func publishExpvar(svc *service.Service) {
+	expvarSvc.Store(svc)
+	expvarOnce.Do(func() {
+		expvar.Publish("spand", expvar.Func(func() any {
+			if s := expvarSvc.Load(); s != nil {
+				return s.Stats()
+			}
+			return nil
+		}))
+	})
+}

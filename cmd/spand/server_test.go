@@ -1,0 +1,256 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"spanners/internal/service"
+)
+
+func newTestServer(t *testing.T) (*httptest.Server, *service.Service) {
+	t.Helper()
+	svc := service.New(service.Config{Workers: 4})
+	ts := httptest.NewServer(newServer(svc, 0))
+	t.Cleanup(ts.Close)
+	return ts, svc
+}
+
+func postJSON(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func TestExtractEndToEnd(t *testing.T) {
+	ts, _ := newTestServer(t)
+	req := map[string]any{
+		"expr": `.*(Seller: x{[^,\n]*},[^\n]*\n).*`,
+		"docs": []string{
+			"Seller: Anna, 12 Hill St\nSeller: Bob, 1 Main Rd\n",
+			"no sellers\n",
+		},
+	}
+
+	var first, second extractResponse
+	for i, dst := range []*extractResponse{&first, &second} {
+		resp := postJSON(t, ts.URL+"/extract", req)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d: status %d", i, resp.StatusCode)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(dst); err != nil {
+			t.Fatalf("request %d: decode: %v", i, err)
+		}
+		resp.Body.Close()
+	}
+
+	if len(first.Results) != 2 {
+		t.Fatalf("got %d result slices, want 2 (one per doc)", len(first.Results))
+	}
+	if len(first.Results[0]) != 2 || len(first.Results[1]) != 0 {
+		t.Fatalf("per-doc counts = %d, %d; want 2, 0", len(first.Results[0]), len(first.Results[1]))
+	}
+	names := []string{first.Results[0][0]["x"].Content, first.Results[0][1]["x"].Content}
+	if names[0] != "Anna" || names[1] != "Bob" {
+		t.Fatalf("extracted names = %v, want [Anna Bob]", names)
+	}
+
+	// The second identical request must be served from the compile
+	// cache: hits strictly increase, misses do not.
+	if second.Stats.Spanners.Hits <= first.Stats.Spanners.Hits {
+		t.Fatalf("cache hits did not increase: %d then %d",
+			first.Stats.Spanners.Hits, second.Stats.Spanners.Hits)
+	}
+	if second.Stats.Spanners.Misses != first.Stats.Spanners.Misses {
+		t.Fatalf("cache misses grew on a repeated expression: %d then %d",
+			first.Stats.Spanners.Misses, second.Stats.Spanners.Misses)
+	}
+}
+
+func TestExtractRuleAndErrors(t *testing.T) {
+	ts, _ := newTestServer(t)
+
+	resp := postJSON(t, ts.URL+"/extract", map[string]any{
+		"rule": `.*<x>.* && x.(ab*)`,
+		"docs": []string{"abb"},
+	})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("rule extract: status %d", resp.StatusCode)
+	}
+	var out extractResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Results[0]) == 0 {
+		t.Fatal("rule extraction returned no mappings")
+	}
+
+	for name, body := range map[string]any{
+		"no query": map[string]any{"docs": []string{"a"}},
+		"both":     map[string]any{"expr": "a", "rule": "a && x.(a)", "docs": []string{"a"}},
+		"bad expr": map[string]any{"expr": "x{[", "docs": []string{"a"}},
+		"bad json": "{",
+	} {
+		var resp *http.Response
+		if s, ok := body.(string); ok {
+			var err error
+			resp, err = http.Post(ts.URL+"/extract", "application/json", strings.NewReader(s))
+			if err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			resp = postJSON(t, ts.URL+"/extract", body)
+		}
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", name, resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+}
+
+// TestStreamEndToEnd drives the NDJSON endpoint on a document with a
+// quadratic output set and checks that the first lines arrive while
+// enumeration is still running, then that client disconnect stops the
+// server-side enumeration without leaking goroutines.
+func TestStreamEndToEnd(t *testing.T) {
+	ts, svc := newTestServer(t)
+	before := runtime.NumGoroutine()
+
+	// ~31k mappings; full enumeration takes macroscopic time, so an
+	// early line proves results are flushed before completion.
+	req := map[string]any{"expr": `a*x{a*}a*`, "doc": strings.Repeat("a", 250)}
+	buf, _ := json.Marshal(req)
+	resp, err := http.Post(ts.URL+"/extract/stream", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+
+	start := time.Now()
+	sc := bufio.NewScanner(resp.Body)
+	lines := 0
+	for lines < 5 && sc.Scan() {
+		var res service.Result
+		if err := json.Unmarshal(sc.Bytes(), &res); err != nil {
+			t.Fatalf("line %d is not JSON: %v", lines, err)
+		}
+		if _, ok := res["x"]; !ok {
+			t.Fatalf("line %d missing variable x: %v", lines, res)
+		}
+		lines++
+	}
+	firstLines := time.Since(start)
+	if lines != 5 {
+		t.Fatalf("stream ended after %d lines: %v", lines, sc.Err())
+	}
+	// 5 lines out of ~31k must arrive promptly — far less time than
+	// the full enumeration (which takes seconds on this document).
+	if firstLines > 2*time.Second {
+		t.Fatalf("first 5 streamed lines took %v: not arriving before enumeration completes", firstLines)
+	}
+
+	// Abandon the stream: the handler's request context is cancelled
+	// and enumeration must stop.
+	resp.Body.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if svc.Stats().InFlight == 0 && runtime.NumGoroutine() <= before {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if st := svc.Stats(); st.InFlight != 0 {
+		t.Fatalf("in_flight = %d after client disconnect", st.InFlight)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Fatalf("goroutines: %d before, %d after disconnect", before, after)
+	}
+	if st := svc.Stats(); st.Emitted < 5 {
+		t.Fatalf("mappings_emitted = %d, want >= 5", st.Emitted)
+	}
+}
+
+func TestBodyTooLarge(t *testing.T) {
+	svc := service.New(service.Config{})
+	ts := httptest.NewServer(newServer(svc, 128))
+	t.Cleanup(ts.Close)
+
+	resp := postJSON(t, ts.URL+"/extract", map[string]any{
+		"expr": "a*", "docs": []string{strings.Repeat("a", 1024)},
+	})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status %d, want 413", resp.StatusCode)
+	}
+}
+
+func TestStreamCompileError(t *testing.T) {
+	ts, _ := newTestServer(t)
+	resp := postJSON(t, ts.URL+"/extract/stream", map[string]any{"expr": "x{[", "doc": "a"})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestHealthzAndMetrics(t *testing.T) {
+	ts, svc := newTestServer(t)
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: status %d", resp.StatusCode)
+	}
+
+	// Warm the cache so the metrics snapshot is non-trivial.
+	postJSON(t, ts.URL+"/extract", map[string]any{"expr": "x{a*}", "docs": []string{"aa"}}).Body.Close()
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	var vars map[string]json.RawMessage
+	if err := json.NewDecoder(mresp.Body).Decode(&vars); err != nil {
+		t.Fatalf("metrics is not a JSON object: %v", err)
+	}
+	raw, ok := vars["spand"]
+	if !ok {
+		t.Fatalf("metrics missing spand var; has %d vars", len(vars))
+	}
+	var st service.Stats
+	if err := json.Unmarshal(raw, &st); err != nil {
+		t.Fatalf("spand var: %v", err)
+	}
+	want := svc.Stats()
+	if st.Spanners.Misses != want.Spanners.Misses || st.Emitted != want.Emitted {
+		t.Fatalf("metrics snapshot %+v diverges from service stats %+v", st, want)
+	}
+
+	if fmt.Sprint(st.Spanners.Capacity) == "0" {
+		t.Fatal("cache capacity missing from snapshot")
+	}
+}

@@ -1,0 +1,87 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+
+	"spanners"
+)
+
+// benchDocs is a synthetic registry workload: many small documents,
+// a few rows each, matched by the seller expression.
+func benchDocs(n int) []string {
+	docs := make([]string, n)
+	for i := range docs {
+		docs[i] = fmt.Sprintf("Seller: S%d, lot %d\nBuyer: B%d\nSeller: T%d, lot %d\n", i, i, i, i, i+1)
+	}
+	return docs
+}
+
+// BenchmarkCompileUncached is the cold path every request pays
+// without the service layer: parse → decompose → VA compile, then
+// extract.
+func BenchmarkCompileUncached(b *testing.B) {
+	d := spanners.NewDocument(benchDocs(1)[0])
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp, err := spanners.Compile(sellerExpr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if got := sp.ExtractAll(d); len(got) == 0 {
+			b.Fatal("no mappings")
+		}
+	}
+}
+
+// BenchmarkCompileCached is the same work through the service cache:
+// after the first iteration the compile pipeline is skipped entirely.
+func BenchmarkCompileCached(b *testing.B) {
+	svc := New(Config{})
+	doc := benchDocs(1)[0]
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		got, err := svc.Extract(context.Background(), Query{Expr: sellerExpr}, doc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(got) == 0 {
+			b.Fatal("no mappings")
+		}
+	}
+}
+
+// BenchmarkExtractBatch measures batch throughput over 64 documents
+// at increasing worker counts, the scaling axis of the worker pool.
+func BenchmarkExtractBatch(b *testing.B) {
+	docs := benchDocs(64)
+	for _, workers := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			svc := New(Config{Workers: workers})
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := svc.ExtractBatch(context.Background(), Query{Expr: sellerExpr}, docs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStreamFirstResult measures time to first streamed mapping
+// on a document with a quadratic output set — the latency a streaming
+// client observes, as opposed to full materialization.
+func BenchmarkStreamFirstResult(b *testing.B) {
+	svc := New(Config{})
+	q := Query{Expr: `a*x{a*}a*`}
+	doc := strings.Repeat("a", 200)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		err := svc.ExtractStream(context.Background(), q, doc, func(Result) bool { return false })
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,126 @@
+// Package service is the serving layer over the spanner engine: a
+// thread-safe cache of compiled spanners and rules, a bounded worker
+// pool for batch extraction, and a streaming front end over the
+// polynomial-delay enumerator. It exists so that a long-lived process
+// (cmd/spand) can amortize the expensive parse → decompose → VA-compile
+// pipeline across many requests and treat extraction as a query
+// workload rather than a one-shot call.
+package service
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// CacheStats is a point-in-time snapshot of one compile cache.
+type CacheStats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Size      int    `json:"size"`
+	Capacity  int    `json:"capacity"`
+}
+
+// lru is a thread-safe LRU cache from source expressions to compiled
+// values. Compilation runs outside the cache lock, guarded by a
+// per-entry sync.Once, so a burst of requests for the same expression
+// compiles it exactly once while unrelated expressions compile
+// concurrently. Failed compilations are removed so they neither
+// occupy capacity nor pin the error forever.
+type lru[V any] struct {
+	mu        sync.Mutex
+	capacity  int
+	entries   map[string]*list.Element
+	order     *list.List // front = most recently used
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
+}
+
+type lruEntry[V any] struct {
+	key     string
+	once    sync.Once
+	compile func() (V, error)
+	val     V
+	err     error
+}
+
+// run executes the entry's compile exactly once. Every reader — hit
+// or miss path — goes through run, so whichever goroutine wins the
+// Once performs the real compilation; a bare once.Do(func(){}) on the
+// hit path could otherwise consume the Once and poison the entry with
+// a zero value.
+func (e *lruEntry[V]) run() {
+	e.val, e.err = e.compile()
+	e.compile = nil
+}
+
+func newLRU[V any](capacity int) *lru[V] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &lru[V]{
+		capacity: capacity,
+		entries:  make(map[string]*list.Element, capacity),
+		order:    list.New(),
+	}
+}
+
+// get returns the cached value for key, compiling it with compile on
+// a miss. Concurrent callers for the same key share one compilation.
+func (c *lru[V]) get(key string, compile func() (V, error)) (V, error) {
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		entry := el.Value.(*lruEntry[V])
+		c.mu.Unlock()
+		c.hits.Add(1)
+		entry.once.Do(entry.run)
+		if entry.err != nil {
+			c.remove(key, el)
+		}
+		return entry.val, entry.err
+	}
+	entry := &lruEntry[V]{key: key, compile: compile}
+	el := c.order.PushFront(entry)
+	c.entries[key] = el
+	for c.order.Len() > c.capacity {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*lruEntry[V]).key)
+		c.evictions.Add(1)
+	}
+	c.mu.Unlock()
+	c.misses.Add(1)
+
+	entry.once.Do(entry.run)
+	if entry.err != nil {
+		c.remove(key, el)
+	}
+	return entry.val, entry.err
+}
+
+// remove drops the entry for key if it is still the one at el.
+func (c *lru[V]) remove(key string, el *list.Element) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if cur, ok := c.entries[key]; ok && cur == el {
+		c.order.Remove(el)
+		delete(c.entries, key)
+	}
+}
+
+// stats returns a consistent-enough snapshot for monitoring.
+func (c *lru[V]) stats() CacheStats {
+	c.mu.Lock()
+	size := c.order.Len()
+	c.mu.Unlock()
+	return CacheStats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Size:      size,
+		Capacity:  c.capacity,
+	}
+}

@@ -1,0 +1,137 @@
+package service
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestLRUHitMissEviction(t *testing.T) {
+	c := newLRU[int](2)
+	compiles := 0
+	get := func(key string) int {
+		v, err := c.get(key, func() (int, error) { compiles++; return len(key), nil })
+		if err != nil {
+			t.Fatalf("get(%q): %v", key, err)
+		}
+		return v
+	}
+
+	get("a")
+	get("bb")
+	if got := get("a"); got != 1 {
+		t.Fatalf("get(a) = %d, want 1", got)
+	}
+	st := c.stats()
+	if st.Hits != 1 || st.Misses != 2 || st.Evictions != 0 {
+		t.Fatalf("stats after warm-up = %+v, want 1 hit, 2 misses, 0 evictions", st)
+	}
+
+	// "a" is now most recent; inserting a third key must evict "bb".
+	get("ccc")
+	if st := c.stats(); st.Evictions != 1 || st.Size != 2 {
+		t.Fatalf("stats after eviction = %+v, want 1 eviction, size 2", st)
+	}
+	get("a") // still cached
+	get("bb")
+	if compiles != 4 {
+		t.Fatalf("compiles = %d, want 4 (a, bb, ccc, bb-recompiled)", compiles)
+	}
+}
+
+func TestLRUErrorNotCached(t *testing.T) {
+	c := newLRU[int](4)
+	calls := 0
+	fail := func() (int, error) { calls++; return 0, fmt.Errorf("boom %d", calls) }
+	if _, err := c.get("k", fail); err == nil {
+		t.Fatal("first get: want error")
+	}
+	if _, err := c.get("k", fail); err == nil || err.Error() != "boom 2" {
+		t.Fatalf("second get: error = %v, want fresh boom 2", err)
+	}
+	if st := c.stats(); st.Size != 0 {
+		t.Fatalf("failed compiles must not occupy capacity: size = %d", st.Size)
+	}
+}
+
+// TestLRUConcurrent hammers a small cache from many goroutines over a
+// larger key space, forcing eviction and re-compilation to race with
+// lookups, and checks values stay correct and counters consistent.
+func TestLRUConcurrent(t *testing.T) {
+	const (
+		capacity   = 8
+		keys       = 32
+		goroutines = 16
+		iters      = 500
+	)
+	c := newLRU[int](capacity)
+	var compiles atomic.Int64
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				k := (seed*31 + i*7) % keys
+				key := fmt.Sprintf("key-%d", k)
+				v, err := c.get(key, func() (int, error) {
+					compiles.Add(1)
+					return k * k, nil
+				})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if v != k*k {
+					errs <- fmt.Errorf("get(%s) = %d, want %d", key, v, k*k)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	st := c.stats()
+	if st.Size > capacity {
+		t.Fatalf("size %d exceeds capacity %d", st.Size, capacity)
+	}
+	if st.Hits+st.Misses != goroutines*iters {
+		t.Fatalf("hits(%d)+misses(%d) != %d lookups", st.Hits, st.Misses, goroutines*iters)
+	}
+	if got := int64(st.Misses); got != compiles.Load() {
+		t.Fatalf("misses = %d but compile ran %d times", got, compiles.Load())
+	}
+}
+
+// TestLRUSharedCompile checks that concurrent requests for one cold
+// key share a single compilation.
+func TestLRUSharedCompile(t *testing.T) {
+	c := newLRU[int](4)
+	var compiles atomic.Int64
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			v, err := c.get("hot", func() (int, error) {
+				compiles.Add(1)
+				return 42, nil
+			})
+			if err != nil || v != 42 {
+				t.Errorf("get = %d, %v", v, err)
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	if n := compiles.Load(); n != 1 {
+		t.Fatalf("compile ran %d times for one key, want 1", n)
+	}
+}

@@ -1,0 +1,26 @@
+package service
+
+import "spanners"
+
+// SpanJSON is the wire form of one extracted span: 1-based rune
+// positions (start, end) in the paper's span convention plus the
+// span's content, so clients need not re-slice the document.
+type SpanJSON struct {
+	Start   int    `json:"start"`
+	End     int    `json:"end"`
+	Content string `json:"content"`
+}
+
+// Result is the wire form of one output mapping: assigned variables
+// only — a variable absent from the map was not extracted, which is
+// the incomplete-information semantics, not an error.
+type Result map[string]SpanJSON
+
+// EncodeMapping renders m against d as a wire result.
+func EncodeMapping(d *spanners.Document, m spanners.Mapping) Result {
+	out := make(Result, len(m))
+	for v, sp := range m {
+		out[string(v)] = SpanJSON{Start: sp.Start, End: sp.End, Content: d.Content(sp)}
+	}
+	return out
+}

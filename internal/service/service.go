@@ -1,0 +1,331 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"spanners"
+)
+
+// Config sizes a Service. Zero values select sensible defaults.
+type Config struct {
+	// SpannerCacheSize bounds the compiled-spanner LRU (default 256).
+	SpannerCacheSize int
+	// RuleCacheSize bounds the compiled-rule LRU (default 64).
+	RuleCacheSize int
+	// Workers bounds batch-extraction concurrency (default 4).
+	Workers int
+}
+
+// DefaultConfig returns the defaults used for zero-valued fields.
+func DefaultConfig() Config {
+	return Config{SpannerCacheSize: 256, RuleCacheSize: 64, Workers: 4}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.SpannerCacheSize <= 0 {
+		c.SpannerCacheSize = d.SpannerCacheSize
+	}
+	if c.RuleCacheSize <= 0 {
+		c.RuleCacheSize = d.RuleCacheSize
+	}
+	if c.Workers <= 0 {
+		c.Workers = d.Workers
+	}
+	return c
+}
+
+// Service is a long-lived extraction service: it caches compiled
+// spanners and extraction rules by source text and evaluates them over
+// documents in batches or as streams. All methods are safe for
+// concurrent use.
+type Service struct {
+	cfg      Config
+	spanners *lru[*spanners.Spanner]
+	rules    *lru[*spanners.Rule]
+
+	inFlight atomic.Int64
+	emitted  atomic.Uint64
+}
+
+// New builds a service from cfg (zero fields take defaults).
+func New(cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	return &Service{
+		cfg:      cfg,
+		spanners: newLRU[*spanners.Spanner](cfg.SpannerCacheSize),
+		rules:    newLRU[*spanners.Rule](cfg.RuleCacheSize),
+	}
+}
+
+// Stats is the service-level metrics snapshot: the two compile caches
+// plus request-path counters.
+type Stats struct {
+	Spanners CacheStats `json:"spanner_cache"`
+	Rules    CacheStats `json:"rule_cache"`
+	InFlight int64      `json:"in_flight"`
+	Emitted  uint64     `json:"mappings_emitted"`
+}
+
+// Stats returns a point-in-time snapshot of the service counters.
+func (s *Service) Stats() Stats {
+	return Stats{
+		Spanners: s.spanners.stats(),
+		Rules:    s.rules.stats(),
+		InFlight: s.inFlight.Load(),
+		Emitted:  s.emitted.Load(),
+	}
+}
+
+// Spanner returns the compiled spanner for expr, compiling on a cache
+// miss.
+func (s *Service) Spanner(expr string) (*spanners.Spanner, error) {
+	return s.spanners.get(expr, func() (*spanners.Spanner, error) {
+		return spanners.Compile(expr)
+	})
+}
+
+// Rule returns the compiled extraction rule for input, compiling on a
+// cache miss.
+func (s *Service) Rule(input string) (*spanners.Rule, error) {
+	return s.rules.get(input, func() (*spanners.Rule, error) {
+		return spanners.ParseRule(input)
+	})
+}
+
+// Query names what to extract with: exactly one of Expr (an RGX
+// expression) or Rule (an extraction rule, docExpr && x.(…) syntax)
+// must be set. Limit, when positive, caps the number of mappings per
+// document.
+type Query struct {
+	Expr  string `json:"expr,omitempty"`
+	Rule  string `json:"rule,omitempty"`
+	Limit int    `json:"limit,omitempty"`
+}
+
+// ErrBadQuery is returned when a query sets neither or both of
+// Expr/Rule.
+var ErrBadQuery = errors.New("service: query must set exactly one of expr or rule")
+
+// enumerator abstracts the two compiled forms behind a common
+// streaming interface. Spanners stream with polynomial delay and
+// observe ctx between outputs; rules materialize first (rule
+// evaluation is NP-hard in general, Theorem 5.8) and then replay, so
+// ctx is consulted before evaluation starts and between replayed
+// outputs, but a rule evaluation already in progress runs to
+// completion — cancellation cannot reach inside ExtractAll today.
+type enumerator func(ctx context.Context, d *spanners.Document, yield func(spanners.Mapping) bool) error
+
+func (s *Service) compile(q Query) (enumerator, error) {
+	switch {
+	case q.Expr != "" && q.Rule != "":
+		return nil, ErrBadQuery
+	case q.Expr != "":
+		sp, err := s.Spanner(q.Expr)
+		if err != nil {
+			return nil, fmt.Errorf("compile expr: %w", err)
+		}
+		return sp.EnumerateContext, nil
+	case q.Rule != "":
+		r, err := s.Rule(q.Rule)
+		if err != nil {
+			return nil, fmt.Errorf("compile rule: %w", err)
+		}
+		return func(ctx context.Context, d *spanners.Document, yield func(spanners.Mapping) bool) error {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			for _, m := range r.ExtractAll(d) {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+				if !yield(m) {
+					return nil
+				}
+			}
+			return nil
+		}, nil
+	default:
+		return nil, ErrBadQuery
+	}
+}
+
+// Compiled is a query resolved against the compile caches, ready to
+// evaluate without further cache traffic. It lets callers validate a
+// query (and pay the cache lookup) exactly once before committing to
+// a response format, keeping the hit/miss counters an honest measure
+// of per-request amortization.
+type Compiled struct {
+	svc   *Service
+	limit int
+	enum  enumerator
+}
+
+// CompileQuery resolves q against the compile caches.
+func (s *Service) CompileQuery(q Query) (*Compiled, error) {
+	enum, err := s.compile(q)
+	if err != nil {
+		return nil, err
+	}
+	return &Compiled{svc: s, limit: q.Limit, enum: enum}, nil
+}
+
+// deliver wraps yield with the per-mapping semantics shared by every
+// extraction path: encoding against the document, the emitted
+// counter, and the per-document limit.
+func (c *Compiled) deliver(d *spanners.Document, yield func(Result) bool) func(spanners.Mapping) bool {
+	n := 0
+	return func(m spanners.Mapping) bool {
+		c.svc.emitted.Add(1)
+		n++
+		if !yield(EncodeMapping(d, m)) {
+			return false
+		}
+		return c.limit <= 0 || n < c.limit
+	}
+}
+
+// Stream evaluates the compiled query over doc, invoking yield once
+// per output mapping as enumeration produces it; see
+// Service.ExtractStream for the delivery and cancellation contract.
+func (c *Compiled) Stream(ctx context.Context, doc string, yield func(Result) bool) error {
+	c.svc.inFlight.Add(1)
+	defer c.svc.inFlight.Add(-1)
+
+	d := spanners.NewDocument(doc)
+	return c.enum(ctx, d, c.deliver(d, yield))
+}
+
+// extractOne collects the full (limit-capped) result set for one
+// document. Metrics-wise it is Stream minus the in-flight counter,
+// which ExtractBatch accounts once per request rather than per
+// document.
+func (c *Compiled) extractOne(ctx context.Context, doc string) ([]Result, error) {
+	d := spanners.NewDocument(doc)
+	out := []Result{}
+	err := c.enum(ctx, d, c.deliver(d, func(r Result) bool {
+		out = append(out, r)
+		return true
+	}))
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Extract runs q over a single document and returns its results,
+// encoded with span contents. It is ExtractBatch for one document.
+func (s *Service) Extract(ctx context.Context, q Query, doc string) ([]Result, error) {
+	batch, err := s.ExtractBatch(ctx, q, []string{doc})
+	if err != nil {
+		return nil, err
+	}
+	return batch[0], nil
+}
+
+// ExtractBatch fans docs across a bounded worker pool and returns one
+// result slice per document, in input order regardless of completion
+// order. The query is compiled once (or served from cache) before any
+// worker starts. Cancellation via ctx stops all workers; the first
+// error wins and the partial results are discarded.
+func (s *Service) ExtractBatch(ctx context.Context, q Query, docs []string) ([][]Result, error) {
+	compiled, err := s.CompileQuery(q)
+	if err != nil {
+		return nil, err
+	}
+	s.inFlight.Add(1)
+	defer s.inFlight.Add(-1)
+
+	results := make([][]Result, len(docs))
+	workers := s.cfg.Workers
+	if workers > len(docs) {
+		workers = len(docs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		firstErr error
+		errOnce  sync.Once
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(docs) || ctx.Err() != nil {
+					return
+				}
+				res, err := compiled.extractOne(ctx, docs[i])
+				if err != nil {
+					errOnce.Do(func() { firstErr = err; cancel() })
+					return
+				}
+				results[i] = res
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// ExtractStream runs q over one document, invoking yield once per
+// output mapping as enumeration produces it. For spanner queries the
+// delay between calls is polynomial when the spanner is sequential
+// (Theorem 5.7), so the first results arrive long before the output
+// set is complete. yield returning false stops the stream early with
+// a nil error; a cancelled ctx stops it with the context's error.
+func (s *Service) ExtractStream(ctx context.Context, q Query, doc string, yield func(Result) bool) error {
+	c, err := s.CompileQuery(q)
+	if err != nil {
+		return err
+	}
+	return c.Stream(ctx, doc, yield)
+}
+
+// StreamChan is ExtractStream as a channel: results arrive on the
+// returned channel, which is closed when the stream ends. A non-nil
+// terminal error (compile failure or cancellation) is delivered on the
+// error channel, which always receives exactly one value. Callers
+// that stop receiving before the result channel closes must cancel
+// ctx, or the producer goroutine blocks forever on the abandoned
+// channel and the terminal error is never delivered.
+func (s *Service) StreamChan(ctx context.Context, q Query, doc string) (<-chan Result, <-chan error) {
+	out := make(chan Result)
+	errc := make(chan error, 1)
+	go func() {
+		defer close(out)
+		interrupted := false
+		err := s.ExtractStream(ctx, q, doc, func(r Result) bool {
+			select {
+			case out <- r:
+				return true
+			case <-ctx.Done():
+				interrupted = true
+				return false
+			}
+		})
+		if err == nil && interrupted {
+			err = ctx.Err()
+		}
+		errc <- err
+	}()
+	return out, errc
+}

@@ -29,6 +29,7 @@
 package spanners
 
 import (
+	"context"
 	"fmt"
 
 	"spanners/internal/eval"
@@ -146,6 +147,47 @@ func (s *Spanner) Extendable(d *Document, c Constraints) bool {
 // (Theorem 5.1 + 5.7).
 func (s *Spanner) Enumerate(d *Document, yield func(Mapping) bool) {
 	s.engine.Enumerate(d, yield)
+}
+
+// EnumerateContext is Enumerate with cancellation: the stream stops
+// as soon as ctx is done, and the context error is returned. Because
+// the underlying enumerator has polynomial delay between outputs on
+// sequential spanners, cancellation is observed with the same delay
+// bound: ctx is consulted before each output. A nil error means
+// enumeration ran to completion or yield stopped it — a cancellation
+// that never interrupted delivery is not reported.
+func (s *Spanner) EnumerateContext(ctx context.Context, d *Document, yield func(Mapping) bool) error {
+	var err error
+	s.engine.Enumerate(d, func(m Mapping) bool {
+		if err = ctx.Err(); err != nil {
+			return false
+		}
+		return yield(m)
+	})
+	return err
+}
+
+// Stream returns a channel carrying every output mapping on d in
+// enumeration order. The channel is closed when enumeration finishes
+// or ctx is cancelled. Mappings arrive with polynomial delay for
+// sequential spanners (Theorem 5.7) — the first results are available
+// long before the full output set is materialized. Callers that stop
+// receiving before the channel closes must cancel ctx, or the
+// producer goroutine blocks forever on the abandoned channel.
+func (s *Spanner) Stream(ctx context.Context, d *Document) <-chan Mapping {
+	out := make(chan Mapping)
+	go func() {
+		defer close(out)
+		s.engine.Enumerate(d, func(m Mapping) bool {
+			select {
+			case out <- m:
+				return true
+			case <-ctx.Done():
+				return false
+			}
+		})
+	}()
+	return out
 }
 
 // ExtractAll collects every output mapping in enumeration order. The

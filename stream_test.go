@@ -1,0 +1,78 @@
+package spanners
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestStreamDeliversAll checks that the channel API yields exactly
+// the ExtractAll output, in order, and closes on completion.
+func TestStreamDeliversAll(t *testing.T) {
+	s := MustCompile(sellerExpr)
+	d := NewDocument("Seller: John, ID75\nSeller: Mark, ID7, $35,000\n")
+	want := s.ExtractAll(d)
+	var got []Mapping
+	for m := range s.Stream(context.Background(), d) {
+		got = append(got, m)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Stream = %v, want %v", got, want)
+	}
+}
+
+// TestStreamCancel checks the close-on-cancel contract: after ctx is
+// cancelled the channel closes and the producer goroutine exits.
+func TestStreamCancel(t *testing.T) {
+	before := runtime.NumGoroutine()
+	s := MustCompile(`a*x{a*}a*`)
+	d := NewDocument(strings.Repeat("a", 300)) // ~45k mappings
+
+	ctx, cancel := context.WithCancel(context.Background())
+	ch := s.Stream(ctx, d)
+	for i := 0; i < 3; i++ {
+		if _, ok := <-ch; !ok {
+			t.Fatal("stream closed before 3 results")
+		}
+	}
+	cancel()
+	drained := 0
+	for range ch {
+		drained++
+	}
+	// At most one mapping can be in flight past the cancel.
+	if drained > 1 {
+		t.Fatalf("drained %d mappings after cancel", drained)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Fatalf("goroutines: %d before, %d after cancel", before, after)
+	}
+}
+
+func TestEnumerateContext(t *testing.T) {
+	s := MustCompile(sellerExpr)
+	d := NewDocument("Seller: John, ID75\n")
+
+	if err := s.EnumerateContext(context.Background(), d, func(Mapping) bool { return true }); err != nil {
+		t.Fatalf("completed enumeration: err = %v", err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := s.EnumerateContext(ctx, d, func(Mapping) bool {
+		t.Fatal("yield called under cancelled context")
+		return false
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

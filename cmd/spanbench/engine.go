@@ -1,0 +1,203 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"spanners"
+	"spanners/internal/eval"
+	"spanners/internal/rgx"
+	"spanners/internal/service"
+	"spanners/internal/va"
+	"spanners/internal/workload"
+)
+
+// The -engine mode benchmarks the compiled execution core
+// (internal/program) head-to-head against the interpreted
+// transition-walking engines on the same automata, plus the
+// service-path numbers that BENCH_engine.json tracks across PRs.
+// Results print as a table and, with -enginejson, are written as JSON
+// so the before/after record stays machine-readable.
+
+// engineScenario is one head-to-head measurement.
+type engineScenario struct {
+	Name           string  `json:"name"`
+	CompiledNsOp   int64   `json:"compiled_ns_op"`
+	InterpretedNs  int64   `json:"interpreted_ns_op"`
+	Speedup        float64 `json:"speedup"`
+	OutputsPerIter int     `json:"outputs_per_iter,omitempty"`
+}
+
+// serviceScenario is one service-path measurement (compiled engines,
+// full cache/worker-pool stack — the numbers the service benchmarks
+// in internal/service/bench_service_test.go track).
+type serviceScenario struct {
+	Name string `json:"name"`
+	NsOp int64  `json:"ns_op"`
+}
+
+type engineReport struct {
+	Generated  string            `json:"generated"`
+	Quick      bool              `json:"quick"`
+	HeadToHead []engineScenario  `json:"head_to_head"`
+	Service    []serviceScenario `json:"service_path"`
+}
+
+// measure runs f repeatedly after one warmup call until the time
+// budget elapses and returns ns per call.
+func measure(f func(), budget time.Duration) int64 {
+	f()
+	iters := 0
+	start := time.Now()
+	for time.Since(start) < budget {
+		f()
+		iters++
+	}
+	return time.Since(start).Nanoseconds() / int64(iters)
+}
+
+// enginePair compiles one automaton into a compiled-program engine and
+// an interpreted twin.
+func enginePair(expr string, forceFPT bool) (*eval.Engine, *eval.Engine) {
+	n := rgx.MustParse(expr)
+	compiled := eval.NewEngine(va.FromRGX(n))
+	interp := eval.NewEngine(va.FromRGX(n))
+	interp.ForceInterpreted()
+	if forceFPT {
+		compiled.ForceFPT()
+		interp.ForceFPT()
+	}
+	if !compiled.Compiled() {
+		panic(fmt.Sprintf("engine benchmark: %q did not compile to a program", expr))
+	}
+	return compiled, interp
+}
+
+func runEngineBench(quick bool, jsonPath string) {
+	budget := 300 * time.Millisecond
+	if quick {
+		budget = 25 * time.Millisecond
+	}
+	rep := engineReport{Generated: time.Now().UTC().Format(time.RFC3339), Quick: quick}
+
+	headToHead := func(name string, compiled, interp func() int) {
+		outs := compiled()
+		c := measure(func() { compiled() }, budget)
+		i := measure(func() { interp() }, budget)
+		sc := engineScenario{
+			Name: name, CompiledNsOp: c, InterpretedNs: i,
+			Speedup: float64(i) / float64(c), OutputsPerIter: outs,
+		}
+		rep.HeadToHead = append(rep.HeadToHead, sc)
+		row(name, fmt.Sprintf("%.2fx", sc.Speedup),
+			fmt.Sprintf("compiled=%v interpreted=%v", time.Duration(c), time.Duration(i)))
+	}
+
+	fmt.Println("== engine head-to-head: compiled program vs interpreted transitions")
+
+	// Sequential Eval (Theorem 5.7) on the registry workload.
+	rows := 2048
+	if quick {
+		rows = 256
+	}
+	sellerExpr := `.*(Seller: x{[^,\n]*}, ID\d*(, \$y{[^\n]*}|)\n).*`
+	cEng, iEng := enginePair(sellerExpr, false)
+	regDoc := spanners.NewDocument(workload.LandRegistry(workload.LandRegistryOptions{Rows: rows, TaxProb: 0.5, Seed: 11}))
+	headToHead(fmt.Sprintf("eval/sequential |d|=%d", regDoc.Len()),
+		func() int { boolToInt(cEng.NonEmpty(regDoc)); return 0 },
+		func() int { boolToInt(iEng.NonEmpty(regDoc)); return 0 })
+
+	// Sequential enumeration (Theorem 5.1 delay bound).
+	enRows := 48
+	if quick {
+		enRows = 12
+	}
+	enDoc := spanners.NewDocument(workload.LandRegistry(workload.LandRegistryOptions{Rows: enRows, TaxProb: 0.5, Seed: 12}))
+	headToHead(fmt.Sprintf("enumerate/sequential rows=%d", enRows),
+		func() int { n := 0; cEng.Enumerate(enDoc, func(spanners.Mapping) bool { n++; return true }); return n },
+		func() int { n := 0; iEng.Enumerate(enDoc, func(spanners.Mapping) bool { n++; return true }); return n })
+
+	// Counting DP.
+	countDoc := spanners.NewDocument(strings.Repeat("a", 1200))
+	cCnt, iCnt := enginePair(`.*x{a+}.*`, false)
+	headToHead("count/sequential |d|=1200",
+		func() int { return cCnt.Count(countDoc) },
+		func() int { return iCnt.Count(countDoc) })
+
+	// FPT engine (Theorem 5.10) forced on both.
+	fptDoc := spanners.NewDocument(workload.RepeatRow("ab", 96))
+	cFpt, iFpt := enginePair(`(x0{a}|x1{a}|x2{a}|b)*`, true)
+	headToHead(fmt.Sprintf("eval/fpt k=3 |d|=%d", fptDoc.Len()),
+		func() int { boolToInt(cFpt.NonEmpty(fptDoc)); return 0 },
+		func() int { boolToInt(iFpt.NonEmpty(fptDoc)); return 0 })
+
+	// Streaming first result: the service latency axis.
+	streamDoc := spanners.NewDocument(strings.Repeat("a", 200))
+	cStr, iStr := enginePair(`a*x{a*}a*`, false)
+	headToHead("stream/first-result |d|=200",
+		func() int { cStr.Enumerate(streamDoc, func(spanners.Mapping) bool { return false }); return 1 },
+		func() int { iStr.Enumerate(streamDoc, func(spanners.Mapping) bool { return false }); return 1 })
+
+	fmt.Println()
+	fmt.Println("== service path (compiled engines, full cache + worker pool)")
+	svc := service.New(service.Config{Workers: 4})
+	ctx := context.Background()
+	nDocs := 64
+	if quick {
+		nDocs = 16
+	}
+	docs := make([]string, nDocs)
+	for i := range docs {
+		docs[i] = fmt.Sprintf("Seller: S%d, lot %d\nBuyer: B%d\nSeller: T%d, lot %d\n", i, i, i, i, i+1)
+	}
+	batchQ := service.Query{Expr: `.*(Seller: x{[^,\n]*},[^\n]*\n).*`}
+	servicePath := func(name string, f func()) {
+		ns := measure(f, budget)
+		rep.Service = append(rep.Service, serviceScenario{Name: name, NsOp: ns})
+		row(name, time.Duration(ns).String(), "")
+	}
+	servicePath("service/compile_cached", func() {
+		if _, err := svc.Extract(ctx, batchQ, docs[0]); err != nil {
+			panic(err)
+		}
+	})
+	servicePath(fmt.Sprintf("service/batch docs=%d workers=4", nDocs), func() {
+		if _, err := svc.ExtractBatch(ctx, batchQ, docs); err != nil {
+			panic(err)
+		}
+	})
+	streamQ := service.Query{Expr: `a*x{a*}a*`}
+	streamText := strings.Repeat("a", 200)
+	servicePath("service/stream_first_result", func() {
+		if err := svc.ExtractStream(ctx, streamQ, streamText, func(service.Result) bool { return false }); err != nil {
+			panic(err)
+		}
+	})
+
+	if jsonPath != "" {
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			panic(err)
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(jsonPath, buf, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "spanbench: write %s: %v\n", jsonPath, err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote %s\n", jsonPath)
+	}
+}
+
+// boolToInt keeps benchmarked boolean results observable so the calls
+// are not optimized away.
+var benchSink int
+
+func boolToInt(b bool) {
+	if b {
+		benchSink++
+	}
+}

@@ -7,6 +7,11 @@
 // Usage:
 //
 //	spanbench [-run E6] [-quick]
+//	spanbench -engine [-quick] [-enginejson BENCH_engine.json]
+//
+// The -engine mode instead benchmarks the compiled execution core
+// against the interpreted engines (head-to-head on the same automata)
+// and records the service-path numbers tracked in BENCH_engine.json.
 package main
 
 import (
@@ -28,8 +33,10 @@ import (
 )
 
 var (
-	runFilter = flag.String("run", "", "only experiments whose id contains this substring")
-	quick     = flag.Bool("quick", false, "smaller sweeps")
+	runFilter  = flag.String("run", "", "only experiments whose id contains this substring")
+	quick      = flag.Bool("quick", false, "smaller sweeps")
+	engineFlag = flag.Bool("engine", false, "run the compiled-vs-interpreted engine benchmarks instead of the experiment tables")
+	engineJSON = flag.String("enginejson", "", "with -engine: write results as JSON to this file")
 )
 
 type experiment struct {
@@ -40,6 +47,10 @@ type experiment struct {
 
 func main() {
 	flag.Parse()
+	if *engineFlag {
+		runEngineBench(*quick, *engineJSON)
+		return
+	}
 	for _, e := range experiments {
 		if *runFilter != "" && !strings.Contains(e.id, *runFilter) {
 			continue

@@ -140,9 +140,18 @@ func (s *server) handleStream(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// healthzResponse is the /healthz body: liveness plus the
+// engine-selection summary, so probes (and operators) can see at a
+// glance whether the cached spanners run compiled sequential programs
+// or fell back to slower engines.
+type healthzResponse struct {
+	Status string              `json:"status"`
+	Engine service.EngineStats `json:"engine"`
+}
+
 func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(map[string]string{"status": "ok"})
+	json.NewEncoder(w).Encode(healthzResponse{Status: "ok", Engine: s.svc.Stats().Engine})
 }
 
 // handleMetrics serves the process expvar map (which includes the

@@ -254,3 +254,52 @@ func TestHealthzAndMetrics(t *testing.T) {
 		t.Fatal("cache capacity missing from snapshot")
 	}
 }
+
+// TestEngineMetricsExported asserts the engine-selection counters of
+// the compiled execution core appear on both /healthz and /metrics
+// after a spanner has been compiled.
+func TestEngineMetricsExported(t *testing.T) {
+	ts, _ := newTestServer(t)
+
+	// One sequential expression compiles into a program; (x{a})* is
+	// non-sequential and exercises the FPT counter.
+	postJSON(t, ts.URL+"/extract", map[string]any{"expr": "x{a*}b", "docs": []string{"aab"}}).Body.Close()
+	postJSON(t, ts.URL+"/extract", map[string]any{"expr": "(x{a})*", "docs": []string{"a"}}).Body.Close()
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var hz healthzResponse
+	if err := json.NewDecoder(resp.Body).Decode(&hz); err != nil {
+		t.Fatalf("healthz decode: %v", err)
+	}
+	if hz.Status != "ok" {
+		t.Fatalf("healthz status = %q", hz.Status)
+	}
+	if hz.Engine.SequentialSpanners != 1 || hz.Engine.FPTSpanners != 1 {
+		t.Fatalf("healthz engine selection = %+v, want 1 sequential + 1 fpt", hz.Engine)
+	}
+	if hz.Engine.CompiledPrograms != 2 || hz.Engine.InterpretedFallbacks != 0 {
+		t.Fatalf("healthz program counters = %+v, want 2 compiled", hz.Engine)
+	}
+	if hz.Engine.CompileNanos <= 0 {
+		t.Fatalf("healthz compile_ns_total = %d, want > 0", hz.Engine.CompileNanos)
+	}
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	var vars struct {
+		Spand service.Stats `json:"spand"`
+	}
+	if err := json.NewDecoder(mresp.Body).Decode(&vars); err != nil {
+		t.Fatalf("metrics decode: %v", err)
+	}
+	if vars.Spand.Engine != hz.Engine {
+		t.Fatalf("metrics engine stats %+v diverge from healthz %+v", vars.Spand.Engine, hz.Engine)
+	}
+}

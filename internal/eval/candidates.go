@@ -19,6 +19,16 @@ import (
 // The filter treats variable operations permissively (any operation
 // may fire regardless of discipline), so it is sound for sequential
 // and non-sequential automata alike.
+func (e *Engine) candidates(d *span.Document) map[span.Var][]span.Span {
+	if e.Compiled() {
+		return e.candidateSpansProg(d)
+	}
+	return e.candidateSpans(d)
+}
+
+// candidateSpans is the interpreted filter, walking va.Transition
+// slices; candidateSpansProg in compiled.go is the program-backed
+// equivalent.
 func (e *Engine) candidateSpans(d *span.Document) map[span.Var][]span.Span {
 	n := d.Len()
 	fwd := e.forwardReach(d)  // fwd[pos][state]: reachable from the start

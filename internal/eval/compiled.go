@@ -1,0 +1,614 @@
+package eval
+
+import (
+	"math/bits"
+	"sort"
+	"strconv"
+
+	"spanners/internal/program"
+	"spanners/internal/span"
+)
+
+// This file contains the compiled counterparts of the interpreted
+// algorithms in eval.go, enumerate.go and candidates.go: the same
+// theorems (5.1, 5.7, 5.10), executed against the flat ε-free
+// instruction tables of internal/program. Frontiers are bitsets,
+// variable operations are uint64 masks, and each document position
+// classifies its rune once instead of probing every transition's
+// class predicate.
+
+// evalSeqProg is Theorem 5.7 on the compiled program. The per-boundary
+// obligation sets of the interpreted evalSequential become uint64
+// masks: popcount gives the obligation count, and a transition's mask
+// tells in one AND whether it consumes an obligation, is blocked, or
+// passes as ε.
+func (e *Engine) evalSeqProg(d *span.Document, mu span.Extended) bool {
+	p := e.prog
+	n := d.Len()
+	need := make([]uint64, n+2)
+	var blocked uint64
+	for v, o := range mu {
+		id, ok := p.VarID(v)
+		if !ok {
+			if !o.Bottom {
+				return false // pinned to a variable no accepting run assigns
+			}
+			continue
+		}
+		blocked |= program.OpenBit(id) | program.CloseBit(id)
+		if o.Bottom {
+			continue
+		}
+		need[o.Span.Start] |= program.OpenBit(id)
+		need[o.Span.End] |= program.CloseBit(id)
+	}
+
+	cur := program.NewBits(p.NumStates)
+	next := program.NewBits(p.NumStates)
+	cur.Set(p.Start)
+	for pos := 1; pos <= n+1; pos++ {
+		if m := need[pos]; m == 0 {
+			p.OpClosure(cur, blocked)
+		} else if !e.obligationClosureProg(cur, m, blocked) {
+			return false
+		}
+		if pos == n+1 {
+			break
+		}
+		c := p.ClassOf(d.RuneAt(pos))
+		if c < 0 {
+			return false
+		}
+		next.Clear()
+		if !p.LetterStep(cur, c, next) {
+			return false
+		}
+		cur, next = next, cur
+	}
+	return cur.Intersects(p.Final)
+}
+
+// obligationClosureProg expands cur (in place) at a boundary that must
+// consume exactly the obligation mask need: layered bitsets indexed by
+// consumed-obligation count, sound by the same sequentiality counting
+// argument as the interpreted obligationClosure.
+func (e *Engine) obligationClosureProg(cur program.Bits, need, blocked uint64) bool {
+	p := e.prog
+	total := bits.OnesCount64(need)
+	words := len(cur)
+	backing := make([]uint64, words*(total+1))
+	layer := func(c int) program.Bits { return program.Bits(backing[c*words : (c+1)*words]) }
+
+	var stack []int64 // packed count*NumStates + state
+	nStates := int64(p.NumStates)
+	cur.ForEach(func(q int) {
+		layer(0).Set(q)
+		stack = append(stack, int64(q))
+	})
+	for len(stack) > 0 {
+		idx := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		q, count := int(idx%nStates), int(idx/nStates)
+		for _, ed := range p.OpsFrom(q) {
+			nc := count
+			if ed.Mask&need != 0 {
+				if count == total {
+					continue
+				}
+				nc = count + 1
+			} else if ed.Mask&blocked != 0 {
+				continue
+			}
+			if !layer(nc).Has(int(ed.To)) {
+				layer(nc).Set(int(ed.To))
+				stack = append(stack, int64(nc)*nStates+int64(ed.To))
+			}
+		}
+	}
+	cur.CopyFrom(layer(total))
+	return cur.Any()
+}
+
+// pcfg is a compiled FPT configuration: a program state plus the
+// status vector of all program variables, two bits per variable
+// (0 available, 1 open, 2 closed) packed into one uint64.
+type pcfg struct {
+	q  int32
+	st uint64
+}
+
+func pstatus(st uint64, v int) uint64 { return (st >> (2 * uint(v))) & 3 }
+
+// evalFPTProg is Theorem 5.10 on the compiled program: reachability
+// over (state, packed status vector) configurations.
+func (e *Engine) evalFPTProg(d *span.Document, mu span.Extended) bool {
+	p := e.prog
+	n := d.Len()
+	k := len(p.Vars)
+
+	const (
+		clsFree   uint8 = 0
+		clsPinned uint8 = 1
+		clsBot    uint8 = 2
+	)
+	class := make([]uint8, k)
+	starts := make([]int, k)
+	ends := make([]int, k)
+	for v, o := range mu {
+		id, ok := p.VarID(v)
+		if !ok {
+			if !o.Bottom {
+				return false
+			}
+			continue
+		}
+		if o.Bottom {
+			class[id] = clsBot
+		} else {
+			class[id] = clsPinned
+			starts[id] = o.Span.Start
+			ends[id] = o.Span.End
+		}
+	}
+
+	frontier := map[pcfg]bool{{q: int32(p.Start)}: true}
+
+	closure := func(frontier map[pcfg]bool, pos int) map[pcfg]bool {
+		seen := make(map[pcfg]bool, len(frontier))
+		stack := make([]pcfg, 0, len(frontier))
+		for c := range frontier {
+			seen[c] = true
+			stack = append(stack, c)
+		}
+		for len(stack) > 0 {
+			c := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, ed := range p.OpsFrom(int(c.q)) {
+				v := int(ed.Var)
+				var nst uint64
+				if ed.Open {
+					if pstatus(c.st, v) != 0 {
+						continue
+					}
+					if class[v] == clsPinned && starts[v] != pos {
+						continue
+					}
+					nst = c.st | 1<<(2*uint(v))
+				} else {
+					if pstatus(c.st, v) != 1 {
+						continue // close before open (or never-opened variable)
+					}
+					switch class[v] {
+					case clsBot:
+						continue // closing would assign a ⊥ variable
+					case clsPinned:
+						if ends[v] != pos {
+							continue
+						}
+					}
+					nst = c.st&^(3<<(2*uint(v))) | 2<<(2*uint(v))
+				}
+				nc := pcfg{q: ed.To, st: nst}
+				if !seen[nc] {
+					seen[nc] = true
+					stack = append(stack, nc)
+				}
+			}
+		}
+		return seen
+	}
+
+	for pos := 1; pos <= n+1; pos++ {
+		frontier = closure(frontier, pos)
+		if len(frontier) == 0 {
+			return false
+		}
+		if pos == n+1 {
+			break
+		}
+		c := p.ClassOf(d.RuneAt(pos))
+		if c < 0 {
+			return false
+		}
+		next := make(map[pcfg]bool, len(frontier))
+		for cf := range frontier {
+			st := cf.st
+			p.Succ(int(cf.q), c).ForEach(func(to int) {
+				next[pcfg{q: int32(to), st: st}] = true
+			})
+		}
+		frontier = next
+		if len(frontier) == 0 {
+			return false
+		}
+	}
+
+	for cf := range frontier {
+		if !p.Final.Has(int(cf.q)) {
+			continue
+		}
+		ok := true
+		for v := 0; v < k; v++ {
+			if class[v] == clsPinned && pstatus(cf.st, v) != 2 {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+// progOpAt records one fired operation during compiled enumeration.
+type progOpAt struct {
+	v    uint8
+	open bool
+	pos  int
+}
+
+// enumerateSequentialProg is the branch-per-boundary walk of
+// enumerateSequential on the compiled program: frontiers and
+// co-reachability are bitsets, boundary operation sets are uint64
+// masks over the program's global op codes. The emission order is
+// identical to the interpreted enumerator (choices are keyed by the
+// same canonical op-set strings).
+func (e *Engine) enumerateSequentialProg(d *span.Document, yield func(span.Mapping) bool) {
+	p := e.prog
+	n := d.Len()
+	bwd := e.backwardReachProg(d)
+
+	var fired []progOpAt
+	emit := func() bool {
+		m := make(span.Mapping)
+		opens := make(map[uint8]int, 2)
+		for _, f := range fired {
+			if f.open {
+				opens[f.v] = f.pos
+			} else {
+				m[p.Vars[f.v]] = span.Span{Start: opens[f.v], End: f.pos}
+			}
+		}
+		return yield(m)
+	}
+
+	start := program.NewBits(p.NumStates)
+	start.Set(p.Start)
+
+	var dfs func(set program.Bits, pos int) bool
+	dfs = func(set program.Bits, pos int) bool {
+		for _, ch := range e.boundaryEmissionsProg(set, bwd[pos]) {
+			if pos == n+1 {
+				if !ch.states.Intersects(p.Final) {
+					continue
+				}
+				for _, t := range ch.ops {
+					fired = append(fired, progOpAt{v: t.v, open: t.open, pos: pos})
+				}
+				ok := emit()
+				fired = fired[:len(fired)-len(ch.ops)]
+				if !ok {
+					return false
+				}
+				continue
+			}
+			next := e.letterAdvanceProg(ch.states, d.RuneAt(pos), bwd[pos+1])
+			if next == nil {
+				continue
+			}
+			for _, t := range ch.ops {
+				fired = append(fired, progOpAt{v: t.v, open: t.open, pos: pos})
+			}
+			ok := dfs(next, pos+1)
+			fired = fired[:len(fired)-len(ch.ops)]
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	dfs(start, 1)
+}
+
+// progOpTok is one operation of a boundary choice.
+type progOpTok struct {
+	v    uint8
+	open bool
+}
+
+// progEmission is one boundary choice of the compiled enumerator.
+type progEmission struct {
+	ops    []progOpTok
+	states program.Bits
+}
+
+// maskKey renders an op mask as the canonical sorted token string the
+// interpreted enumerator uses, so both enumerators emit in the same
+// order.
+func (e *Engine) maskKey(m uint64) string {
+	p := e.prog
+	toks := make([]string, 0, bits.OnesCount64(m))
+	for w := m; w != 0; w &= w - 1 {
+		b := bits.TrailingZeros64(w)
+		if b < 32 {
+			toks = append(toks, "o"+string(p.Vars[b]))
+		} else {
+			toks = append(toks, "c"+string(p.Vars[b-32]))
+		}
+	}
+	sort.Strings(toks)
+	k := ""
+	for _, t := range toks {
+		k += t + ";"
+	}
+	return k
+}
+
+// boundaryEmissionsProg enumerates the distinct operation sets firable
+// from the state set at one boundary via a (state, mask) BFS; the
+// global op codes serve directly as mask bits, so no per-boundary
+// universe needs interning and the 30-operation cap of the
+// interpreted enumerator disappears (the program itself bounds
+// variables at program.MaxVars).
+func (e *Engine) boundaryEmissionsProg(set program.Bits, coReach program.Bits) []progEmission {
+	p := e.prog
+	// Fast path: no surviving state can fire an operation, so the only
+	// choice is the do-nothing emission (or none when the set died).
+	alive := set.Clone()
+	alive.And(coReach)
+	if !alive.Any() {
+		return nil
+	}
+	if !alive.Intersects(p.HasOps) {
+		return []progEmission{{states: alive}}
+	}
+
+	type cfg struct {
+		q    int32
+		mask uint64
+	}
+	seen := map[cfg]bool{}
+	var queue []cfg
+	alive.ForEach(func(q int) {
+		c := cfg{q: int32(q)}
+		seen[c] = true
+		queue = append(queue, c)
+	})
+	for len(queue) > 0 {
+		c := queue[0]
+		queue = queue[1:]
+		for _, ed := range p.OpsFrom(int(c.q)) {
+			if c.mask&ed.Mask != 0 {
+				continue // an operation fires at most once per run
+			}
+			if !coReach.Has(int(ed.To)) {
+				continue
+			}
+			nc := cfg{q: ed.To, mask: c.mask | ed.Mask}
+			if !seen[nc] {
+				seen[nc] = true
+				queue = append(queue, nc)
+			}
+		}
+	}
+
+	byMask := map[uint64]program.Bits{}
+	for c := range seen {
+		s := byMask[c.mask]
+		if s == nil {
+			s = program.NewBits(p.NumStates)
+			byMask[c.mask] = s
+		}
+		s.Set(int(c.q))
+	}
+	masks := make([]uint64, 0, len(byMask))
+	for m := range byMask {
+		masks = append(masks, m)
+	}
+	sort.Slice(masks, func(i, j int) bool {
+		if (masks[i] == 0) != (masks[j] == 0) {
+			return masks[j] == 0
+		}
+		return e.maskKey(masks[i]) < e.maskKey(masks[j])
+	})
+
+	out := make([]progEmission, 0, len(masks))
+	for _, m := range masks {
+		ops := make([]progOpTok, 0, bits.OnesCount64(m))
+		for w := m; w != 0; w &= w - 1 {
+			b := bits.TrailingZeros64(w)
+			if b < 32 {
+				ops = append(ops, progOpTok{v: uint8(b), open: true})
+			} else {
+				ops = append(ops, progOpTok{v: uint8(b - 32), open: false})
+			}
+		}
+		sort.Slice(ops, func(i, j int) bool {
+			if p.Vars[ops[i].v] != p.Vars[ops[j].v] {
+				return p.Vars[ops[i].v] < p.Vars[ops[j].v]
+			}
+			return ops[i].open && !ops[j].open
+		})
+		out = append(out, progEmission{ops: ops, states: byMask[m]})
+	}
+	return out
+}
+
+// letterAdvanceProg moves a state set across one letter, pruning by
+// co-reachability; nil means the branch died.
+func (e *Engine) letterAdvanceProg(set program.Bits, r rune, coReach program.Bits) program.Bits {
+	p := e.prog
+	c := p.ClassOf(r)
+	if c < 0 {
+		return nil
+	}
+	next := program.NewBits(p.NumStates)
+	if !p.LetterStep(set, c, next) {
+		return nil
+	}
+	next.And(coReach)
+	if !next.Any() {
+		return nil
+	}
+	return next
+}
+
+// countProg is the memoized counting DP of Count on the compiled
+// program; memo keys are raw bitset words instead of formatted state
+// lists.
+func (e *Engine) countProg(d *span.Document) int {
+	p := e.prog
+	nDoc := d.Len()
+	bwd := e.backwardReachProg(d)
+	memo := map[string]int{}
+	var count func(set program.Bits, pos int) int
+	count = func(set program.Bits, pos int) int {
+		key := strconv.Itoa(pos) + ":" + set.Key()
+		if c, ok := memo[key]; ok {
+			return c
+		}
+		total := 0
+		for _, ch := range e.boundaryEmissionsProg(set, bwd[pos]) {
+			if pos == nDoc+1 {
+				if ch.states.Intersects(p.Final) {
+					total++
+				}
+				continue
+			}
+			next := e.letterAdvanceProg(ch.states, d.RuneAt(pos), bwd[pos+1])
+			if next != nil {
+				total += count(next, pos+1)
+			}
+		}
+		memo[key] = total
+		return total
+	}
+	start := program.NewBits(p.NumStates)
+	start.Set(p.Start)
+	return count(start, 1)
+}
+
+// forwardReachProg computes, for every position, the states reachable
+// from the start reading the document prefix, operations treated
+// permissively as ε.
+func (e *Engine) forwardReachProg(d *span.Document) []program.Bits {
+	p := e.prog
+	n := d.Len()
+	out := make([]program.Bits, n+2)
+	cur := program.NewBits(p.NumStates)
+	cur.Set(p.Start)
+	for pos := 1; pos <= n+1; pos++ {
+		p.OpClosure(cur, 0)
+		out[pos] = cur
+		if pos == n+1 {
+			break
+		}
+		next := program.NewBits(p.NumStates)
+		if c := p.ClassOf(d.RuneAt(pos)); c >= 0 {
+			p.LetterStep(cur, c, next)
+		}
+		cur = next
+	}
+	return out
+}
+
+// backwardReachProg computes, for every position, the states from
+// which a final state is reachable reading the document suffix,
+// operations treated permissively as ε.
+func (e *Engine) backwardReachProg(d *span.Document) []program.Bits {
+	p := e.prog
+	n := d.Len()
+	out := make([]program.Bits, n+2)
+	cur := p.Final.Clone()
+	p.ROpClosure(cur)
+	out[n+1] = cur
+	for pos := n; pos >= 1; pos-- {
+		prev := program.NewBits(p.NumStates)
+		if c := p.ClassOf(d.RuneAt(pos)); c >= 0 {
+			p.LetterStepBack(cur, c, prev)
+		}
+		p.ROpClosure(prev)
+		out[pos] = prev
+		cur = prev
+	}
+	return out
+}
+
+// candidateSpansProg is the candidate-span prefilter of
+// EnumerateFiltered on the compiled program.
+func (e *Engine) candidateSpansProg(d *span.Document) map[span.Var][]span.Span {
+	p := e.prog
+	n := d.Len()
+	fwd := e.forwardReachProg(d)
+	bwd := e.backwardReachProg(d)
+
+	// Per-variable open and close edge lists (from, to).
+	type edge struct{ from, to int32 }
+	opens := make([][]edge, len(p.Vars))
+	closes := make([][]edge, len(p.Vars))
+	for q := 0; q < p.NumStates; q++ {
+		for _, ed := range p.OpsFrom(q) {
+			if ed.Open {
+				opens[ed.Var] = append(opens[ed.Var], edge{from: int32(q), to: ed.To})
+			} else {
+				closes[ed.Var] = append(closes[ed.Var], edge{from: int32(q), to: ed.To})
+			}
+		}
+	}
+
+	out := make(map[span.Var][]span.Span, len(e.vars))
+	for _, x := range e.vars {
+		id, ok := p.VarID(x)
+		if !ok {
+			out[x] = nil // variable trimmed from every accepting run
+			continue
+		}
+		seen := map[span.Span]bool{}
+		frontier := program.NewBits(p.NumStates)
+		next := program.NewBits(p.NumStates)
+		for _, oe := range opens[id] {
+			for pos := 1; pos <= n+1; pos++ {
+				if !fwd[pos].Has(int(oe.from)) {
+					continue
+				}
+				// Scan forward from the open, recording positions where
+				// a close of x can fire on a surviving path.
+				frontier.Clear()
+				frontier.Set(int(oe.to))
+				for pp := pos; pp <= n+1; pp++ {
+					p.OpClosure(frontier, 0)
+					for _, ce := range closes[id] {
+						if frontier.Has(int(ce.from)) && bwd[pp].Has(int(ce.to)) {
+							seen[span.Span{Start: pos, End: pp}] = true
+						}
+					}
+					if pp == n+1 {
+						break
+					}
+					c := p.ClassOf(d.RuneAt(pp))
+					if c < 0 {
+						break
+					}
+					next.Clear()
+					if !p.LetterStep(frontier, c, next) {
+						break
+					}
+					frontier.CopyFrom(next)
+				}
+			}
+		}
+		spans := make([]span.Span, 0, len(seen))
+		for s := range seen {
+			spans = append(spans, s)
+		}
+		sort.Slice(spans, func(i, j int) bool {
+			if spans[i].Start != spans[j].Start {
+				return spans[i].Start < spans[j].Start
+			}
+			return spans[i].End < spans[j].End
+		})
+		out[x] = spans
+	}
+	return out
+}

@@ -232,6 +232,9 @@ func (e *Engine) Count(d *span.Document) int {
 		e.Enumerate(d, func(span.Mapping) bool { n++; return true })
 		return n
 	}
+	if e.Compiled() {
+		return e.countProg(d)
+	}
 	nDoc := d.Len()
 	bwd := e.backwardReach(d)
 	memo := map[string]int{}

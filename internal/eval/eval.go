@@ -17,11 +17,22 @@
 // tractable in the number of variables (Theorem 5.10). The engine
 // picks automatically, so Eval is PTIME exactly on the fragments the
 // paper proves tractable and degrades gracefully elsewhere.
+//
+// Both engines execute a compiled form of the automaton by default:
+// NewEngine lowers the VA through internal/program into a flat ε-free
+// instruction table (dense states, rune equivalence classes,
+// bit-packed variable operations, bitset frontiers), and the
+// algorithms in compiled.go run on those tables. The original
+// transition-walking implementations are retained as the fallback for
+// automata the compiler rejects (more than program.MaxVars variables,
+// oversized dispatch tables) and for differential testing via
+// ForceInterpreted.
 package eval
 
 import (
 	"sort"
 
+	"spanners/internal/program"
 	"spanners/internal/rgx"
 	"spanners/internal/span"
 	"spanners/internal/va"
@@ -34,10 +45,17 @@ type Engine struct {
 	vars       []span.Var
 	varSet     map[span.Var]bool
 	sequential bool
+
+	// prog is the compiled execution core, nil when compilation was
+	// rejected; interpreted forces the pre-compilation paths even when
+	// prog exists (ablation and differential testing only).
+	prog        *program.Program
+	interpreted bool
 }
 
 // NewEngine wraps an automaton, detecting once whether the sequential
-// fast path applies.
+// fast path applies and lowering the automaton into its compiled
+// program form. The automaton must not be mutated afterwards.
 func NewEngine(a *va.VA) *Engine {
 	e := &Engine{
 		a:          a,
@@ -47,6 +65,9 @@ func NewEngine(a *va.VA) *Engine {
 	e.varSet = make(map[span.Var]bool, len(e.vars))
 	for _, v := range e.vars {
 		e.varSet[v] = true
+	}
+	if p, err := program.Compile(a); err == nil {
+		e.prog = p
 	}
 	return e
 }
@@ -70,6 +91,25 @@ func (e *Engine) Sequential() bool { return e.sequential }
 // never need it.
 func (e *Engine) ForceFPT() { e.sequential = false }
 
+// ForceInterpreted downgrades the engine to the pre-compilation,
+// transition-walking algorithms even when a compiled program exists.
+// It exists for the engine head-to-head benchmarks and for
+// differential testing; production callers should never need it.
+func (e *Engine) ForceInterpreted() { e.interpreted = true }
+
+// Compiled reports whether evaluation executes the compiled program
+// (true) or the interpreted transition-walking fallback (false).
+func (e *Engine) Compiled() bool { return e.prog != nil && !e.interpreted }
+
+// ProgramStats returns the compiled program's statistics; ok is false
+// when the automaton could not be compiled and the engine interprets.
+func (e *Engine) ProgramStats() (program.Stats, bool) {
+	if e.prog == nil {
+		return program.Stats{}, false
+	}
+	return e.prog.Stats(), true
+}
+
 // Eval decides the Eval[L] problem: does some µ' ⊇ µ belong to
 // ⟦A⟧_d? Constraints on variables the automaton cannot assign make
 // the answer false when they demand a span and are ignored when they
@@ -88,7 +128,13 @@ func (e *Engine) Eval(d *span.Document, mu span.Extended) bool {
 		}
 	}
 	if e.sequential {
+		if e.Compiled() {
+			return e.evalSeqProg(d, mu)
+		}
 		return e.evalSequential(d, mu)
+	}
+	if e.Compiled() {
+		return e.evalFPTProg(d, mu)
 	}
 	return e.evalFPT(d, mu)
 }
@@ -446,6 +492,10 @@ func (e *Engine) evalFPT(d *span.Document, mu span.Extended) bool {
 // direct and oracle strategies but each is deterministic.
 func (e *Engine) Enumerate(d *span.Document, yield func(span.Mapping) bool) {
 	if e.sequential {
+		if e.Compiled() {
+			e.enumerateSequentialProg(d, yield)
+			return
+		}
 		e.enumerateSequential(d, yield)
 		return
 	}
@@ -464,7 +514,7 @@ func (e *Engine) EnumerateFiltered(d *span.Document, yield func(span.Mapping) bo
 	if !e.Eval(d, span.Extended{}) {
 		return
 	}
-	candidates := e.candidateSpans(d)
+	candidates := e.candidates(d)
 	var rec func(mu span.Extended, rest []span.Var) bool
 	rec = func(mu span.Extended, rest []span.Var) bool {
 		if len(rest) == 0 {

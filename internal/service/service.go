@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"spanners"
 )
@@ -50,6 +51,15 @@ type Service struct {
 
 	inFlight atomic.Int64
 	emitted  atomic.Uint64
+
+	// Engine-selection and compile-cost counters, incremented once per
+	// spanner compilation (cache misses only, so the counters measure
+	// the artifacts the cache holds rather than request traffic).
+	seqSpanners     atomic.Uint64
+	fptSpanners     atomic.Uint64
+	compiledProgs   atomic.Uint64
+	interpFallbacks atomic.Uint64
+	compileNanos    atomic.Int64
 }
 
 // New builds a service from cfg (zero fields take defaults).
@@ -62,13 +72,27 @@ func New(cfg Config) *Service {
 	}
 }
 
+// EngineStats summarizes engine selection and compile cost across the
+// spanners the service has compiled: how many run the sequential
+// PTIME engine (Theorem 5.7) vs the FPT fallback (Theorem 5.10), how
+// many execute a compiled program vs the interpreted fallback, and
+// the cumulative compilation time the cache amortizes.
+type EngineStats struct {
+	SequentialSpanners   uint64 `json:"sequential_spanners"`
+	FPTSpanners          uint64 `json:"fpt_spanners"`
+	CompiledPrograms     uint64 `json:"compiled_programs"`
+	InterpretedFallbacks uint64 `json:"interpreted_fallbacks"`
+	CompileNanos         int64  `json:"compile_ns_total"`
+}
+
 // Stats is the service-level metrics snapshot: the two compile caches
-// plus request-path counters.
+// plus request-path and engine-selection counters.
 type Stats struct {
-	Spanners CacheStats `json:"spanner_cache"`
-	Rules    CacheStats `json:"rule_cache"`
-	InFlight int64      `json:"in_flight"`
-	Emitted  uint64     `json:"mappings_emitted"`
+	Spanners CacheStats  `json:"spanner_cache"`
+	Rules    CacheStats  `json:"rule_cache"`
+	Engine   EngineStats `json:"engine"`
+	InFlight int64       `json:"in_flight"`
+	Emitted  uint64      `json:"mappings_emitted"`
 }
 
 // Stats returns a point-in-time snapshot of the service counters.
@@ -76,6 +100,13 @@ func (s *Service) Stats() Stats {
 	return Stats{
 		Spanners: s.spanners.stats(),
 		Rules:    s.rules.stats(),
+		Engine: EngineStats{
+			SequentialSpanners:   s.seqSpanners.Load(),
+			FPTSpanners:          s.fptSpanners.Load(),
+			CompiledPrograms:     s.compiledProgs.Load(),
+			InterpretedFallbacks: s.interpFallbacks.Load(),
+			CompileNanos:         s.compileNanos.Load(),
+		},
 		InFlight: s.inFlight.Load(),
 		Emitted:  s.emitted.Load(),
 	}
@@ -85,7 +116,23 @@ func (s *Service) Stats() Stats {
 // miss.
 func (s *Service) Spanner(expr string) (*spanners.Spanner, error) {
 	return s.spanners.get(expr, func() (*spanners.Spanner, error) {
-		return spanners.Compile(expr)
+		start := time.Now()
+		sp, err := spanners.Compile(expr)
+		if err != nil {
+			return nil, err
+		}
+		s.compileNanos.Add(time.Since(start).Nanoseconds())
+		if sp.Sequential() {
+			s.seqSpanners.Add(1)
+		} else {
+			s.fptSpanners.Add(1)
+		}
+		if sp.Compiled() {
+			s.compiledProgs.Add(1)
+		} else {
+			s.interpFallbacks.Add(1)
+		}
+		return sp, nil
 	})
 }
 

@@ -115,6 +115,14 @@ func TestCompileCaching(t *testing.T) {
 	if st.Emitted == 0 {
 		t.Fatal("mappings_emitted stayed 0")
 	}
+	// One compilation happened: the engine-selection counters must
+	// record exactly one sequential, compiled program.
+	if st.Engine.SequentialSpanners != 1 || st.Engine.CompiledPrograms != 1 {
+		t.Fatalf("engine stats = %+v, want 1 sequential compiled spanner", st.Engine)
+	}
+	if st.Engine.CompileNanos <= 0 {
+		t.Fatalf("compile_ns_total = %d, want > 0", st.Engine.CompileNanos)
+	}
 }
 
 // TestStreamDelivers checks that ExtractStream yields every mapping

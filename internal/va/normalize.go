@@ -95,7 +95,6 @@ func (a *VA) statusProduct(tracked []span.Var, allowSkip, acceptOpen bool) *VA {
 				nt := t
 				nt.From, nt.To = from, to
 				out.Trans = append(out.Trans, nt)
-				out.adj = nil
 				continue
 			}
 			switch t.Kind {
@@ -122,6 +121,8 @@ func (a *VA) statusProduct(tracked []span.Var, allowSkip, acceptOpen bool) *VA {
 			}
 		}
 	}
+
+	out.invalidateAdj() // direct Trans appends above bypass add()
 
 	// Accepting configurations: original final state with every
 	// tracked variable in an allowed terminal status.
@@ -153,4 +154,90 @@ func (a *VA) statusProduct(tracked []span.Var, allowSkip, acceptOpen bool) *VA {
 // operations entirely, producing the same (x-unassigned) mapping.
 func (a *VA) NormalizeClosing(vars []span.Var) *VA {
 	return a.statusProduct(vars, true, false)
+}
+
+// Normalize returns an equivalent ε-free automaton: every transition
+// reads a letter or performs a variable operation, states are trimmed
+// to the reachable-and-co-reachable core and renumbered densely, and a
+// state is final exactly when the original could slide along ε moves
+// from it into a final state. Runs correspond label-for-label, so
+// ⟦Normalize(A)⟧_d = ⟦A⟧_d for every document under both the set and
+// stack policies. This is the lowering step the compiled execution
+// core (internal/program) builds on: with ε gone, boundary behaviour
+// is exactly the transitive closure of the operation edges.
+func (a *VA) Normalize() *VA {
+	adj := a.Adj()
+	// εclosure[q]: states reachable from q by ε alone (including q).
+	closure := func(q int) []int {
+		seen := make([]bool, a.NumStates)
+		seen[q] = true
+		out := []int{q}
+		stack := []int{q}
+		for len(stack) > 0 {
+			s := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, ti := range adj[s] {
+				t := a.Trans[ti]
+				if t.Kind == Eps && !seen[t.To] {
+					seen[t.To] = true
+					out = append(out, t.To)
+					stack = append(stack, t.To)
+				}
+			}
+		}
+		return out
+	}
+
+	out := &VA{NumStates: a.NumStates, Start: a.Start}
+	// Per source state, collect the non-ε transitions firable from its
+	// ε-closure, deduplicated (classes compared by Equal, variables by
+	// name).
+	// Dedup bucket key: everything but the class, which has no cheap
+	// canonical form — classes are compared by Equal within a bucket.
+	type bucketKey struct {
+		to   int
+		kind Kind
+		v    span.Var
+	}
+	for q := 0; q < a.NumStates; q++ {
+		cl := closure(q)
+		final := false
+		var added []Transition
+		buckets := map[bucketKey][]int{} // key -> indices into added
+		dup := func(t Transition) bool {
+			k := bucketKey{to: t.To, kind: t.Kind, v: t.Var}
+			for _, i := range buckets[k] {
+				if t.Kind != Letter || added[i].Class.Equal(t.Class) {
+					return true
+				}
+			}
+			buckets[k] = append(buckets[k], len(added))
+			return false
+		}
+		for _, s := range cl {
+			if a.IsFinal(s) {
+				final = true
+			}
+			for _, ti := range adj[s] {
+				t := a.Trans[ti]
+				if t.Kind == Eps {
+					continue
+				}
+				nt := Transition{From: q, To: t.To, Kind: t.Kind, Class: t.Class, Var: t.Var}
+				if !dup(nt) {
+					added = append(added, nt)
+				}
+			}
+		}
+		if final && !out.IsFinal(q) {
+			out.Finals = append(out.Finals, q)
+		}
+		out.Trans = append(out.Trans, added...)
+	}
+	out.invalidateAdj() // direct Trans appends bypass add()
+	if len(out.Finals) == 0 {
+		// Empty language: the canonical empty automaton.
+		return New(2, 0, 1)
+	}
+	return out.Trim()
 }

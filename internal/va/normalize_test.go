@@ -1,0 +1,72 @@
+package va
+
+import (
+	"math/rand"
+	"testing"
+
+	"spanners/internal/rgx"
+)
+
+// TestNormalizeEpsFree checks the structural contract: no ε
+// transitions survive, and the automaton is trimmed.
+func TestNormalizeEpsFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	for trial := 0; trial < 80; trial++ {
+		a := randomVA(rng, 5, 9)
+		n := a.Normalize()
+		for _, tr := range n.Trans {
+			if tr.Kind == Eps {
+				t.Fatalf("trial %d: ε transition survived Normalize:\n%s", trial, n)
+			}
+		}
+		if err := n.Validate(); err != nil {
+			t.Fatalf("trial %d: Normalize output invalid: %v", trial, err)
+		}
+	}
+}
+
+// TestNormalizePreservesSemantics checks ⟦Normalize(A)⟧_d = ⟦A⟧_d on
+// random (junk) automata under both run policies.
+func TestNormalizePreservesSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(92))
+	docs := []string{"", "a", "b", "ab", "ba", "aab"}
+	for trial := 0; trial < 80; trial++ {
+		a := randomVA(rng, 5, 9)
+		n := a.Normalize()
+		for _, text := range docs {
+			d := spanDoc(text)
+			if !a.Mappings(d).Equal(n.Mappings(d)) {
+				t.Fatalf("trial %d: Normalize changed set semantics on %q\noriginal:\n%s\nnormalized:\n%s",
+					trial, text, a, n)
+			}
+			if !a.StackMappings(d).Equal(n.StackMappings(d)) {
+				t.Fatalf("trial %d: Normalize changed stack semantics on %q", trial, text)
+			}
+		}
+	}
+}
+
+// TestNormalizePreservesSequentiality: sequentiality is a property of
+// path label sequences, which Normalize preserves exactly.
+func TestNormalizePreservesSequentiality(t *testing.T) {
+	exprs := []string{"x{a*}y{b*}", "(x{a})*", "x{a}|y{b}", "(x{a}|b)*", "x{a(y{b})c}"}
+	for _, e := range exprs {
+		a := FromRGX(rgx.MustParse(e))
+		if got, want := a.Normalize().IsSequential(), a.IsSequential(); got != want {
+			t.Errorf("%q: Normalize changed sequentiality %v -> %v", e, want, got)
+		}
+	}
+}
+
+// TestNormalizeEmptyLanguage: an automaton with no accepting run
+// normalizes to the canonical empty automaton rather than panicking.
+func TestNormalizeEmptyLanguage(t *testing.T) {
+	a := New(3, 0, 2) // no transitions: final unreachable
+	n := a.Normalize()
+	if n.AcceptsBoolean(spanDoc("")) || n.AcceptsBoolean(spanDoc("a")) {
+		t.Fatal("empty language broken by Normalize")
+	}
+	if err := n.Validate(); err != nil {
+		t.Fatalf("empty normalization invalid: %v", err)
+	}
+}

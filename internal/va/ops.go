@@ -36,7 +36,7 @@ func embed(dst *VA, src *VA) int {
 		t.To += off
 		dst.Trans = append(dst.Trans, t)
 	}
-	dst.adj = nil
+	dst.invalidateAdj()
 	return off
 }
 
@@ -79,7 +79,7 @@ func Project(a *VA, keep []span.Var) *VA {
 			out.Trans[i] = Transition{From: t.From, To: t.To, Kind: Eps}
 		}
 	}
-	out.adj = nil
+	out.invalidateAdj()
 	return out
 }
 
@@ -141,7 +141,6 @@ func Join(a, b *VA) *VA {
 				nt := t
 				nt.From, nt.To = from, to
 				out.Trans = append(out.Trans, nt)
-				out.adj = nil
 			}
 		}
 		// Solo moves of side B.
@@ -153,7 +152,6 @@ func Join(a, b *VA) *VA {
 				nt := t
 				nt.From, nt.To = from, to
 				out.Trans = append(out.Trans, nt)
-				out.adj = nil
 			}
 		}
 		// Synchronized moves: letters always, shared operations as
@@ -182,6 +180,8 @@ func Join(a, b *VA) *VA {
 			}
 		}
 	}
+
+	out.invalidateAdj() // direct Trans appends above bypass add()
 
 	final := out.AddState()
 	out.Finals = []int{final}

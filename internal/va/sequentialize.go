@@ -180,9 +180,9 @@ func (dst *VA) copySegment(src *VA, segStart, segEnd, dstIn, dstOut int) {
 			nt := t
 			nt.From, nt.To = get(t.From), get(t.To)
 			dst.Trans = append(dst.Trans, nt)
-			dst.adj = nil
 		}
 	}
+	dst.invalidateAdj() // direct Trans appends above bypass add()
 	if fwd[segStart] && bwd[segStart] {
 		dst.AddEps(dstIn, get(segStart))
 	}

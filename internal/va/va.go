@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"spanners/internal/runeclass"
 	"spanners/internal/span"
@@ -71,7 +72,14 @@ type VA struct {
 	Finals    []int
 	Trans     []Transition
 
-	adj [][]int // lazily built adjacency: state -> indices into Trans
+	// adj is the lazily built adjacency (state -> indices into Trans),
+	// guarded by adjMu: concurrent readers of a finished automaton may
+	// all trigger the lazy build, so construction must be synchronized.
+	// Mutation is not synchronized with reads — an automaton handed to
+	// concurrent evaluators must not be mutated, as documented on
+	// eval.NewEngine and spanners.FromAutomaton.
+	adjMu sync.Mutex
+	adj   [][]int
 }
 
 // New returns an automaton with n states and no transitions, with
@@ -83,7 +91,7 @@ func New(n, start, final int) *VA {
 // AddState adds a fresh state and returns its index.
 func (a *VA) AddState() int {
 	a.NumStates++
-	a.adj = nil
+	a.invalidateAdj()
 	return a.NumStates - 1
 }
 
@@ -109,7 +117,16 @@ func (a *VA) AddClose(from, to int, x span.Var) {
 
 func (a *VA) add(t Transition) {
 	a.Trans = append(a.Trans, t)
+	a.invalidateAdj()
+}
+
+// invalidateAdj drops the cached adjacency after a mutation. Every
+// construction path that touches Trans or NumStates directly must call
+// it (AddEps etc. do so automatically).
+func (a *VA) invalidateAdj() {
+	a.adjMu.Lock()
 	a.adj = nil
+	a.adjMu.Unlock()
 }
 
 // IsFinal reports whether q is a final state.
@@ -123,8 +140,12 @@ func (a *VA) IsFinal(q int) bool {
 }
 
 // Adj returns, for each state, the indices of its outgoing
-// transitions. The structure is cached until the automaton mutates.
+// transitions. The structure is cached until the automaton mutates;
+// the lazy build is mutex-guarded so concurrent readers of a finished
+// automaton are safe even when none of them has forced the build yet.
 func (a *VA) Adj() [][]int {
+	a.adjMu.Lock()
+	defer a.adjMu.Unlock()
 	if a.adj == nil {
 		a.adj = make([][]int, a.NumStates)
 		for i, t := range a.Trans {

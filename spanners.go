@@ -117,6 +117,50 @@ func (s *Spanner) Vars() []Var { return s.engine.Vars() }
 // enumerate with polynomial delay.
 func (s *Spanner) Sequential() bool { return s.engine.Sequential() }
 
+// Compiled reports whether the spanner executes a compiled program
+// (the flat ε-free instruction tables of internal/program) rather
+// than interpreting automaton transitions. Compilation is rejected
+// only for automata beyond the program's variable or size budgets.
+func (s *Spanner) Compiled() bool { return s.engine.Compiled() }
+
+// ProgramStats describes the compiled execution artifact backing a
+// spanner. When Compiled is false the engine interprets the automaton
+// directly and the remaining fields are zero.
+type ProgramStats struct {
+	// Compiled is false when program compilation was rejected and the
+	// interpreted fallback runs instead.
+	Compiled bool `json:"compiled"`
+	// Sequential selects between the PTIME engine (Theorem 5.7) and
+	// the FPT fallback (Theorem 5.10).
+	Sequential bool `json:"sequential"`
+	// States and Classes size the dense dispatch tables: program
+	// states × rune equivalence classes.
+	States  int `json:"states"`
+	Classes int `json:"classes"`
+	// Vars and OpEdges size the bit-packed variable operation tables.
+	Vars    int `json:"vars"`
+	OpEdges int `json:"op_edges"`
+	// CompileNS is the time spent lowering the automaton.
+	CompileNS int64 `json:"compile_ns"`
+}
+
+// ProgramStats returns the compiled-program statistics of the spanner.
+func (s *Spanner) ProgramStats() ProgramStats {
+	ps, ok := s.engine.ProgramStats()
+	if !ok {
+		return ProgramStats{Sequential: s.engine.Sequential()}
+	}
+	return ProgramStats{
+		Compiled:   true,
+		Sequential: s.engine.Sequential(),
+		States:     ps.States,
+		Classes:    ps.Classes,
+		Vars:       ps.Vars,
+		OpEdges:    ps.OpEdges,
+		CompileNS:  ps.CompileNS,
+	}
+}
+
 // Functional reports whether the expression is functional in the
 // sense of Fagin et al.: every output assigns exactly Vars().
 // Automaton-built spanners report false.

@@ -301,3 +301,29 @@ func equalMappings(a, b []Mapping) bool {
 	}
 	return true
 }
+
+func TestProgramStatsExposed(t *testing.T) {
+	s := MustCompile(sellerExpr)
+	if !s.Compiled() {
+		t.Fatal("seller spanner should execute a compiled program")
+	}
+	st := s.ProgramStats()
+	if !st.Compiled || !st.Sequential {
+		t.Fatalf("ProgramStats = %+v, want compiled sequential", st)
+	}
+	if st.States == 0 || st.Classes == 0 || st.Vars != 2 || st.OpEdges == 0 {
+		t.Fatalf("ProgramStats sizes look wrong: %+v", st)
+	}
+	if st.CompileNS <= 0 {
+		t.Fatalf("compile time not recorded: %+v", st)
+	}
+
+	// Algebra results carry their own compiled programs.
+	u := Union(s, MustCompile(`z{a}`))
+	if !u.Compiled() {
+		t.Error("union spanner should also compile")
+	}
+	if got := u.ProgramStats().Vars; got != 3 {
+		t.Errorf("union program has %d vars, want 3", got)
+	}
+}

@@ -77,7 +77,7 @@ func enginePair(expr string, forceFPT bool) (*eval.Engine, *eval.Engine) {
 	return compiled, interp
 }
 
-func runEngineBench(quick bool, jsonPath string) {
+func runEngineBench(quick bool, jsonPath string) engineReport {
 	budget := 300 * time.Millisecond
 	if quick {
 		budget = 25 * time.Millisecond
@@ -190,6 +190,7 @@ func runEngineBench(quick bool, jsonPath string) {
 		}
 		fmt.Printf("\nwrote %s\n", jsonPath)
 	}
+	return rep
 }
 
 // boolToInt keeps benchmarked boolean results observable so the calls

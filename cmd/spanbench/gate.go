@@ -1,0 +1,91 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// The regression gate compares a fresh -engine run against the
+// committed BENCH_engine.json record, failing on gross regressions
+// instead of letting them land silently. Two kinds of checks:
+//
+//   - head-to-head speedups (compiled vs interpreted on identical
+//     automata) are dimensionless and largely machine-independent, so
+//     a speedup falling below baseline/mult means the compiled core
+//     itself regressed;
+//   - service-path ns/op are absolute and vary with hardware, which
+//     is why the threshold is deliberately generous (default 2×) —
+//     the gate exists to catch a 5× cliff from an accidental
+//     de-optimization, not a 20% wobble.
+//
+// Scenario names embed workload sizes ("eval/sequential |d|=63848"),
+// so matching uses the stable prefix before the first space.
+
+// baselineFile is the shape of the committed BENCH_engine.json; only
+// the spanbench_engine section participates in gating.
+type baselineFile struct {
+	SpanbenchEngine engineReport `json:"spanbench_engine"`
+}
+
+func scenarioKey(name string) string {
+	key, _, _ := strings.Cut(name, " ")
+	return key
+}
+
+func gateAgainstBaseline(cur engineReport, baselinePath string, mult float64) error {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("read baseline: %w", err)
+	}
+	var base baselineFile
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("parse baseline: %w", err)
+	}
+	if len(base.SpanbenchEngine.HeadToHead) == 0 {
+		return fmt.Errorf("baseline %s has no spanbench_engine.head_to_head section", baselinePath)
+	}
+	if mult < 1 {
+		return fmt.Errorf("gate multiplier %.2f must be >= 1", mult)
+	}
+	if cur.Quick != base.SpanbenchEngine.Quick {
+		fmt.Fprintf(os.Stderr, "spanbench: warning: comparing quick=%v run against quick=%v baseline; workload sizes differ\n",
+			cur.Quick, base.SpanbenchEngine.Quick)
+	}
+
+	baseH2H := map[string]engineScenario{}
+	for _, s := range base.SpanbenchEngine.HeadToHead {
+		baseH2H[scenarioKey(s.Name)] = s
+	}
+	baseSvc := map[string]serviceScenario{}
+	for _, s := range base.SpanbenchEngine.Service {
+		baseSvc[scenarioKey(s.Name)] = s
+	}
+
+	var failures []error
+	for _, s := range cur.HeadToHead {
+		b, ok := baseH2H[scenarioKey(s.Name)]
+		if !ok {
+			continue // new scenario: nothing to regress against
+		}
+		if floor := b.Speedup / mult; s.Speedup < floor {
+			failures = append(failures, fmt.Errorf(
+				"head-to-head %q: speedup %.2fx fell below %.2fx (baseline %.2fx / %.1f)",
+				s.Name, s.Speedup, floor, b.Speedup, mult))
+		}
+	}
+	for _, s := range cur.Service {
+		b, ok := baseSvc[scenarioKey(s.Name)]
+		if !ok {
+			continue
+		}
+		if ceil := float64(b.NsOp) * mult; float64(s.NsOp) > ceil {
+			failures = append(failures, fmt.Errorf(
+				"service %q: %d ns/op exceeds %.0f ns/op (baseline %d × %.1f)",
+				s.Name, s.NsOp, ceil, b.NsOp, mult))
+		}
+	}
+	return errors.Join(failures...)
+}

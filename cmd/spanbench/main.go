@@ -8,10 +8,15 @@
 //
 //	spanbench [-run E6] [-quick]
 //	spanbench -engine [-quick] [-enginejson BENCH_engine.json]
+//	spanbench -engine -gatebase BENCH_engine.json [-gatemult 2]
 //
 // The -engine mode instead benchmarks the compiled execution core
 // against the interpreted engines (head-to-head on the same automata)
 // and records the service-path numbers tracked in BENCH_engine.json.
+// With -gatebase it additionally compares the run against that
+// committed record and exits nonzero on gross regressions (speedups
+// below baseline/mult, service ns/op above baseline×mult) — the CI
+// regression gate.
 package main
 
 import (
@@ -37,6 +42,8 @@ var (
 	quick      = flag.Bool("quick", false, "smaller sweeps")
 	engineFlag = flag.Bool("engine", false, "run the compiled-vs-interpreted engine benchmarks instead of the experiment tables")
 	engineJSON = flag.String("enginejson", "", "with -engine: write results as JSON to this file")
+	gateBase   = flag.String("gatebase", "", "with -engine: compare against this committed BENCH_engine.json and exit nonzero on gross regressions")
+	gateMult   = flag.Float64("gatemult", 2.0, "with -engine -gatebase: allowed regression factor before the gate fails")
 )
 
 type experiment struct {
@@ -48,7 +55,15 @@ type experiment struct {
 func main() {
 	flag.Parse()
 	if *engineFlag {
-		runEngineBench(*quick, *engineJSON)
+		rep := runEngineBench(*quick, *engineJSON)
+		if *gateBase != "" {
+			if err := gateAgainstBaseline(rep, *gateBase, *gateMult); err != nil {
+				fmt.Fprintln(os.Stderr, "spanbench: REGRESSION GATE FAILED")
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("\nregression gate passed (baseline %s, threshold %.1fx)\n", *gateBase, *gateMult)
+		}
 		return
 	}
 	for _, e := range experiments {

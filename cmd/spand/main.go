@@ -1,28 +1,46 @@
 // Command spand serves document-spanner extraction over HTTP, keeping
-// compiled spanners hot across requests.
+// compiled spanners hot across requests and, with -registry, across
+// restarts.
 //
 // Usage:
 //
-//	spand [-addr :8080] [-spanner-cache 256] [-rule-cache 64] [-workers 4] [-max-body 8388608]
+//	spand [-addr :8080] [-spanner-cache 256] [-rule-cache 64] [-workers 4]
+//	      [-max-body 8388608] [-request-timeout 60s] [-registry DIR]
 //
 // Endpoints:
 //
-//	POST /extract         {"expr"|"rule": …, "docs": [...], "limit": n}
-//	                      → JSON batch: one result array per document
-//	                        (input order) plus cache/worker stats.
-//	POST /extract/stream  {"expr"|"rule": …, "doc": …, "limit": n}
-//	                      → NDJSON: one mapping per line, flushed per
-//	                        result, with the enumerator's polynomial
-//	                        delay (Theorem 5.7) — first results arrive
-//	                        before enumeration completes.
-//	GET  /healthz         liveness probe.
-//	GET  /metrics         expvar, including the "spand" snapshot:
-//	                      cache hit/miss/eviction counters, in-flight
-//	                      requests, mappings emitted.
+//	POST /extract          {"expr"|"rule"|"spanner": …, "docs": [...], "limit": n}
+//	                       → JSON batch: one result array per document
+//	                         (input order) plus cache/worker stats.
+//	POST /extract/stream   {"expr"|"rule"|"spanner": …, "doc": …, "limit": n}
+//	                       → NDJSON: one mapping per line, flushed per
+//	                         result, with the enumerator's polynomial
+//	                         delay (Theorem 5.7) — first results arrive
+//	                         before enumeration completes.
+//	PUT    /registry/{name}  {"expr": …} → compile, persist, and name a
+//	                         spanner; the response manifest carries the
+//	                         content-addressed version to pin.
+//	GET    /registry         list stored spanners (latest versions).
+//	GET    /registry/{name}  manifest of the latest (?version= pins).
+//	DELETE /registry/{name}  drop a name (?version= drops one version).
+//	GET  /healthz          liveness + engine + registry summary.
+//	GET  /metrics          expvar, including the "spand" snapshot:
+//	                       cache hit/miss/eviction counters, registry
+//	                       pre-warm/hit/fallback counters, in-flight
+//	                       requests, mappings emitted.
 //
 // Compilation (parse → decompose → VA construction) is amortized
-// through an LRU cache keyed by source expression, so repeated queries
-// skip straight to evaluation.
+// through an LRU cache keyed by source expression, so repeated
+// queries skip straight to evaluation. With -registry the compiled
+// programs are also persisted as serialized artifacts: on startup the
+// cache is pre-warmed from the registry, so queries that pin
+// "name@version" never compile at all — the stored instruction tables
+// are decoded and executed directly.
+//
+// Every extraction carries a deadline (-request-timeout, negative to
+// disable): enumeration can be output-exponential on pathological
+// expressions, and the deadline keeps such a request from pinning a
+// worker forever.
 package main
 
 import (
@@ -36,6 +54,7 @@ import (
 	"syscall"
 	"time"
 
+	"spanners/internal/registry"
 	"spanners/internal/service"
 )
 
@@ -46,23 +65,41 @@ func main() {
 		ruleCache    = flag.Int("rule-cache", service.DefaultConfig().RuleCacheSize, "compiled-rule LRU capacity")
 		workers      = flag.Int("workers", service.DefaultConfig().Workers, "batch extraction worker count")
 		maxBody      = flag.Int64("max-body", defaultMaxBody, "request body size cap in bytes")
+		reqTimeout   = flag.Duration("request-timeout", defaultRequestTimeout, "per-request extraction deadline (negative disables)")
+		registryDir  = flag.String("registry", "", "persistent spanner registry directory (empty disables)")
 	)
 	flag.Parse()
 
-	svc := service.New(service.Config{
+	cfg := service.Config{
 		SpannerCacheSize: *spannerCache,
 		RuleCacheSize:    *ruleCache,
 		Workers:          *workers,
-	})
+	}
+	if *registryDir != "" {
+		reg, err := registry.Open(*registryDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "spand:", err)
+			os.Exit(1)
+		}
+		cfg.Registry = reg
+	}
+	svc := service.New(cfg)
+	if cfg.Registry != nil {
+		n, err := svc.Prewarm()
+		if err != nil {
+			log.Printf("spand: registry pre-warm: %v", err)
+		}
+		log.Printf("spand: pre-warmed %d spanner(s) from %s", n, *registryDir)
+	}
 	publishExpvar(svc)
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           newServer(svc, *maxBody),
+		Handler:           newServer(svc, *maxBody, *reqTimeout),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	log.Printf("spand: listening on %s (workers=%d, spanner cache=%d, rule cache=%d)",
-		*addr, *workers, *spannerCache, *ruleCache)
+	log.Printf("spand: listening on %s (workers=%d, spanner cache=%d, rule cache=%d, request timeout=%v)",
+		*addr, *workers, *spannerCache, *ruleCache, *reqTimeout)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"expvar"
@@ -8,7 +9,9 @@ import (
 	"net/http"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"spanners/internal/registry"
 	"spanners/internal/service"
 )
 
@@ -33,26 +36,55 @@ type streamRequest struct {
 	Doc string `json:"doc"`
 }
 
+// registerRequest is the body of PUT /registry/{name}.
+type registerRequest struct {
+	Expr string `json:"expr"`
+}
+
+// registerResponse wraps the stored manifest with whether this call
+// created the version (false = idempotent re-registration).
+type registerResponse struct {
+	registry.Manifest
+	Created bool `json:"created"`
+}
+
 // defaultMaxBody caps request bodies when no explicit limit is given.
 const defaultMaxBody = 8 << 20 // 8 MiB
 
+// defaultRequestTimeout bounds one extraction request end to end, so
+// a pathological expression (enumeration is output-exponential in the
+// worst case) cannot pin a worker forever. The body-size cap bounds
+// input; this bounds compute.
+const defaultRequestTimeout = 60 * time.Second
+
 type server struct {
-	svc     *service.Service
-	mux     *http.ServeMux
-	maxBody int64
+	svc        *service.Service
+	mux        *http.ServeMux
+	maxBody    int64
+	reqTimeout time.Duration
 }
 
 // newServer wires the service into an http.Handler exposing
-// /extract, /extract/stream, /healthz and /metrics. maxBody caps
-// request body size in bytes (0 selects defaultMaxBody) so an
-// oversized batch cannot exhaust memory before extraction starts.
-func newServer(svc *service.Service, maxBody int64) *server {
+// /extract, /extract/stream, /registry, /healthz and /metrics.
+// maxBody caps request body size in bytes (0 selects defaultMaxBody)
+// so an oversized batch cannot exhaust memory before extraction
+// starts; reqTimeout caps one extraction's wall time (0 selects
+// defaultRequestTimeout, negative disables the deadline).
+func newServer(svc *service.Service, maxBody int64, reqTimeout time.Duration) *server {
 	if maxBody <= 0 {
 		maxBody = defaultMaxBody
 	}
-	s := &server{svc: svc, mux: http.NewServeMux(), maxBody: maxBody}
+	if reqTimeout == 0 {
+		reqTimeout = defaultRequestTimeout
+	}
+	s := &server{svc: svc, mux: http.NewServeMux(), maxBody: maxBody, reqTimeout: reqTimeout}
 	s.mux.HandleFunc("POST /extract", s.handleExtract)
 	s.mux.HandleFunc("POST /extract/stream", s.handleStream)
+	s.mux.HandleFunc("PUT /registry/{name}", s.handleRegistryPut)
+	s.mux.HandleFunc("GET /registry/{name}", s.handleRegistryGet)
+	s.mux.HandleFunc("DELETE /registry/{name}", s.handleRegistryDelete)
+	s.mux.HandleFunc("GET /registry", s.handleRegistryList)
+	s.mux.HandleFunc("GET /registry/{$}", s.handleRegistryList)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
@@ -60,10 +92,54 @@ func newServer(svc *service.Service, maxBody int64) *server {
 
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
+// requestCtx derives the extraction deadline for one request.
+func (s *server) requestCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.reqTimeout <= 0 {
+		return r.Context(), func() {}
+	}
+	return context.WithTimeout(r.Context(), s.reqTimeout)
+}
+
 func httpError(w http.ResponseWriter, code int, err error) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+// extractErrCode maps an extraction failure to a status. The
+// server-imposed -request-timeout deadline is a compute limit, not a
+// slow client, so it surfaces as 503 (retrying the same request
+// verbatim will pin another worker — clients should back off or
+// simplify the query); a disconnecting client's cancellation keeps
+// 408 (the response is unread anyway); everything else is the
+// client's query.
+func extractErrCode(err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.Canceled):
+		return http.StatusRequestTimeout
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+// registryErrCode maps registry failures: absent entries are 404,
+// malformed names/versions 400, a service without a registry 503, and
+// storage-level corruption 500.
+func registryErrCode(err error) int {
+	switch {
+	case errors.Is(err, service.ErrNoRegistry):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, registry.ErrNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, registry.ErrBadName), errors.Is(err, registry.ErrBadVersion):
+		return http.StatusBadRequest
+	case errors.Is(err, registry.ErrBadArtifact):
+		return http.StatusInternalServerError
+	default:
+		return http.StatusBadRequest
+	}
 }
 
 // decodeBody parses the JSON request body under the server's size
@@ -87,13 +163,11 @@ func (s *server) handleExtract(w http.ResponseWriter, r *http.Request) {
 	if !s.decodeBody(w, r, &req) {
 		return
 	}
-	results, err := s.svc.ExtractBatch(r.Context(), req.Query, req.Docs)
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	results, err := s.svc.ExtractBatch(ctx, req.Query, req.Docs)
 	if err != nil {
-		code := http.StatusBadRequest
-		if errors.Is(err, r.Context().Err()) && r.Context().Err() != nil {
-			code = http.StatusRequestTimeout
-		}
-		httpError(w, code, err)
+		httpError(w, extractErrCode(err), err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -103,8 +177,8 @@ func (s *server) handleExtract(w http.ResponseWriter, r *http.Request) {
 // handleStream emits one JSON object per output mapping, one per
 // line, flushing after every result: the client sees mappings with
 // the enumerator's polynomial delay instead of waiting for the full
-// output set. Client disconnect cancels the request context, which
-// stops enumeration between outputs.
+// output set. Client disconnect or the request deadline cancels the
+// context, which stops enumeration between outputs.
 func (s *server) handleStream(w http.ResponseWriter, r *http.Request) {
 	var req streamRequest
 	if !s.decodeBody(w, r, &req) {
@@ -118,11 +192,13 @@ func (s *server) handleStream(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
-	err = compiled.Stream(r.Context(), req.Doc, func(res service.Result) bool {
+	err = compiled.Stream(ctx, req.Doc, func(res service.Result) bool {
 		if enc.Encode(res) != nil {
 			return false
 		}
@@ -132,26 +208,89 @@ func (s *server) handleStream(w http.ResponseWriter, r *http.Request) {
 		return true
 	})
 	if err != nil {
-		// The stream was cut short (cancellation mid-enumeration).
-		// Abort the connection instead of terminating the chunked
-		// body cleanly, so clients can distinguish a truncated
-		// stream from a complete one.
+		// The stream was cut short (cancellation or deadline
+		// mid-enumeration). Abort the connection instead of
+		// terminating the chunked body cleanly, so clients can
+		// distinguish a truncated stream from a complete one.
 		panic(http.ErrAbortHandler)
 	}
 }
 
+func (s *server) handleRegistryPut(w http.ResponseWriter, r *http.Request) {
+	var req registerRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	man, created, err := s.svc.RegisterSpanner(r.PathValue("name"), req.Expr)
+	if err != nil {
+		httpError(w, registryErrCode(err), err)
+		return
+	}
+	code := http.StatusOK
+	if created {
+		code = http.StatusCreated
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(registerResponse{Manifest: man, Created: created})
+}
+
+func (s *server) handleRegistryGet(w http.ResponseWriter, r *http.Request) {
+	reg := s.svc.Registry()
+	if reg == nil {
+		httpError(w, http.StatusServiceUnavailable, service.ErrNoRegistry)
+		return
+	}
+	man, err := reg.Manifest(r.PathValue("name"), r.URL.Query().Get("version"))
+	if err != nil {
+		httpError(w, registryErrCode(err), err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(man)
+}
+
+func (s *server) handleRegistryDelete(w http.ResponseWriter, r *http.Request) {
+	err := s.svc.DeleteSpanner(r.PathValue("name"), r.URL.Query().Get("version"))
+	if err != nil {
+		httpError(w, registryErrCode(err), err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *server) handleRegistryList(w http.ResponseWriter, _ *http.Request) {
+	reg := s.svc.Registry()
+	if reg == nil {
+		httpError(w, http.StatusServiceUnavailable, service.ErrNoRegistry)
+		return
+	}
+	mans, err := reg.List()
+	if err != nil {
+		httpError(w, registryErrCode(err), err)
+		return
+	}
+	if mans == nil {
+		mans = []registry.Manifest{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(mans)
+}
+
 // healthzResponse is the /healthz body: liveness plus the
-// engine-selection summary, so probes (and operators) can see at a
-// glance whether the cached spanners run compiled sequential programs
-// or fell back to slower engines.
+// engine-selection and registry summaries, so probes (and operators)
+// can see at a glance whether the cached spanners run compiled
+// sequential programs and whether the pre-warmed registry is serving.
 type healthzResponse struct {
-	Status string              `json:"status"`
-	Engine service.EngineStats `json:"engine"`
+	Status   string                `json:"status"`
+	Engine   service.EngineStats   `json:"engine"`
+	Registry service.RegistryStats `json:"registry"`
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	st := s.svc.Stats()
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(healthzResponse{Status: "ok", Engine: s.svc.Stats().Engine})
+	json.NewEncoder(w).Encode(healthzResponse{Status: "ok", Engine: st.Engine, Registry: st.Registry})
 }
 
 // handleMetrics serves the process expvar map (which includes the

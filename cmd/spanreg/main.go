@@ -1,0 +1,175 @@
+// Command spanreg manages a persistent spanner registry offline: the
+// same directory format cmd/spand pre-warms from. It registers
+// expressions, lists and inspects stored manifests, and exports /
+// imports artifacts so a compiled spanner can be distributed to
+// another machine and served there without ever recompiling.
+//
+// Usage:
+//
+//	spanreg -dir DIR register NAME EXPR     compile + store, print NAME@VERSION
+//	spanreg -dir DIR list                   one line per name (latest version)
+//	spanreg -dir DIR versions NAME          every stored version, newest first
+//	spanreg -dir DIR show NAME[@VERSION]    manifest JSON
+//	spanreg -dir DIR export NAME[@VERSION] FILE   write the artifact ("-" = stdout)
+//	spanreg -dir DIR import NAME FILE       validate + store an exported artifact
+//	spanreg -dir DIR delete NAME[@VERSION]
+//
+// register and import print the content-addressed "name@version"
+// reference on stdout, so scripts can pin exactly what they stored.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"spanners/internal/registry"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("spanreg", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	dir := fs.String("dir", "", "registry directory (required)")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: spanreg -dir DIR {register|list|versions|show|export|import|delete} ...")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *dir == "" || fs.NArg() == 0 {
+		fs.Usage()
+		return 2
+	}
+	reg, err := registry.Open(*dir)
+	if err != nil {
+		fmt.Fprintln(stderr, "spanreg:", err)
+		return 1
+	}
+	cmd, rest := fs.Arg(0), fs.Args()[1:]
+	if err := dispatch(reg, cmd, rest, stdout); err != nil {
+		fmt.Fprintln(stderr, "spanreg:", err)
+		return 1
+	}
+	return 0
+}
+
+func dispatch(reg *registry.Registry, cmd string, args []string, stdout io.Writer) error {
+	need := func(n int, usage string) error {
+		if len(args) != n {
+			return fmt.Errorf("usage: spanreg -dir DIR %s", usage)
+		}
+		return nil
+	}
+	switch cmd {
+	case "register":
+		if err := need(2, "register NAME EXPR"); err != nil {
+			return err
+		}
+		man, _, err := reg.Register(args[0], args[1])
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "%s\n", man.Ref())
+		return nil
+
+	case "list":
+		if err := need(0, "list"); err != nil {
+			return err
+		}
+		mans, err := reg.List()
+		if err != nil {
+			return err
+		}
+		for _, m := range mans {
+			fmt.Fprintf(stdout, "%-24s %s  seq=%v vars=%v  %s\n",
+				m.Name, m.Version, m.Sequential, m.Vars, m.Source)
+		}
+		return nil
+
+	case "versions":
+		if err := need(1, "versions NAME"); err != nil {
+			return err
+		}
+		mans, err := reg.Versions(args[0])
+		if err != nil {
+			return err
+		}
+		for _, m := range mans {
+			fmt.Fprintf(stdout, "%s  %s  %s\n", m.Ref(), m.CreatedAt.Format("2006-01-02T15:04:05Z"), m.Source)
+		}
+		return nil
+
+	case "show":
+		if err := need(1, "show NAME[@VERSION]"); err != nil {
+			return err
+		}
+		name, version, err := registry.ParseRef(args[0])
+		if err != nil {
+			return err
+		}
+		man, err := reg.Manifest(name, version)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(man)
+
+	case "export":
+		if err := need(2, "export NAME[@VERSION] FILE"); err != nil {
+			return err
+		}
+		name, version, err := registry.ParseRef(args[0])
+		if err != nil {
+			return err
+		}
+		artifact, man, err := reg.Artifact(name, version)
+		if err != nil {
+			return err
+		}
+		if args[1] == "-" {
+			_, err = stdout.Write(artifact)
+			return err
+		}
+		if err := os.WriteFile(args[1], artifact, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "%s\n", man.Ref())
+		return nil
+
+	case "import":
+		if err := need(2, "import NAME FILE"); err != nil {
+			return err
+		}
+		artifact, err := os.ReadFile(args[1])
+		if err != nil {
+			return err
+		}
+		man, _, err := reg.Put(args[0], artifact)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "%s\n", man.Ref())
+		return nil
+
+	case "delete":
+		if err := need(1, "delete NAME[@VERSION]"); err != nil {
+			return err
+		}
+		name, version, err := registry.ParseRef(args[0])
+		if err != nil {
+			return err
+		}
+		return reg.Delete(name, version)
+
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runOK(t *testing.T, args ...string) string {
+	t.Helper()
+	var out, errOut strings.Builder
+	if code := run(args, &out, &errOut); code != 0 {
+		t.Fatalf("spanreg %v: exit %d: %s", args, code, errOut.String())
+	}
+	return out.String()
+}
+
+func TestRegisterExportImportDelete(t *testing.T) {
+	dir := t.TempDir()
+	expr := `.*(Seller: x{[^,\n]*},[^\n]*\n).*`
+
+	ref := strings.TrimSpace(runOK(t, "-dir", dir, "register", "seller", expr))
+	if !strings.HasPrefix(ref, "seller@") || len(ref) != len("seller@")+12 {
+		t.Fatalf("register printed %q", ref)
+	}
+	// Idempotent: same ref again.
+	if again := strings.TrimSpace(runOK(t, "-dir", dir, "register", "seller", expr)); again != ref {
+		t.Fatalf("re-register printed %q, want %q", again, ref)
+	}
+
+	if list := runOK(t, "-dir", dir, "list"); !strings.Contains(list, "seller") {
+		t.Fatalf("list output %q", list)
+	}
+	if show := runOK(t, "-dir", dir, "show", ref); !strings.Contains(show, `"source"`) {
+		t.Fatalf("show output %q", show)
+	}
+	if vs := runOK(t, "-dir", dir, "versions", "seller"); !strings.Contains(vs, ref) {
+		t.Fatalf("versions output %q", vs)
+	}
+
+	// Export to a file, import into a second registry under a new name.
+	artifactPath := filepath.Join(t.TempDir(), "seller.spanner")
+	runOK(t, "-dir", dir, "export", ref, artifactPath)
+	dir2 := t.TempDir()
+	imported := strings.TrimSpace(runOK(t, "-dir", dir2, "import", "copied", artifactPath))
+	wantVersion := strings.TrimPrefix(ref, "seller@")
+	if imported != "copied@"+wantVersion {
+		t.Fatalf("import printed %q, want content address %s", imported, wantVersion)
+	}
+
+	runOK(t, "-dir", dir, "delete", "seller")
+	var out, errOut strings.Builder
+	if code := run([]string{"-dir", dir, "show", "seller"}, &out, &errOut); code == 0 {
+		t.Fatal("show succeeded after delete")
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"list"}, &out, &errOut); code != 2 {
+		t.Fatalf("missing -dir: exit %d", code)
+	}
+	dir := t.TempDir()
+	for _, args := range [][]string{
+		{"-dir", dir, "bogus"},
+		{"-dir", dir, "register", "only-name"},
+		{"-dir", dir, "register", "x", `x{[`},
+		{"-dir", dir, "export", "missing", "-"},
+		{"-dir", dir, "import", "x", filepath.Join(dir, "nonexistent")},
+	} {
+		out.Reset()
+		errOut.Reset()
+		if code := run(args, &out, &errOut); code == 0 {
+			t.Errorf("spanreg %v unexpectedly succeeded", args)
+		}
+	}
+}

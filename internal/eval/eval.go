@@ -75,6 +75,32 @@ func NewEngine(a *va.VA) *Engine {
 // CompileRGX compiles a variable regex and wraps it in an engine.
 func CompileRGX(n rgx.Node) *Engine { return NewEngine(va.FromRGX(n)) }
 
+// FromProgram wraps an already-compiled program — typically decoded
+// from a registry artifact — as an engine, skipping the parse →
+// decompose → VA-compile pipeline entirely. The engine has no
+// automaton: Automaton returns nil, and the interpreted fallbacks are
+// unavailable (ForceInterpreted is a no-op), but every evaluation
+// path runs, because the compiled algorithms never consult the
+// automaton. sequential selects the PTIME engine exactly as
+// va.IsSequential would have on the source automaton; callers must
+// pass the value recorded when the program was built.
+func FromProgram(p *program.Program, sequential bool) *Engine {
+	e := &Engine{
+		vars:       append([]span.Var(nil), p.Vars...),
+		sequential: sequential,
+		prog:       p,
+	}
+	e.varSet = make(map[span.Var]bool, len(e.vars))
+	for _, v := range e.vars {
+		e.varSet[v] = true
+	}
+	return e
+}
+
+// Program returns the compiled program the engine executes, or nil
+// when compilation was rejected and the engine interprets.
+func (e *Engine) Program() *program.Program { return e.prog }
+
 // Automaton returns the underlying automaton.
 func (e *Engine) Automaton() *va.VA { return e.a }
 
@@ -94,8 +120,14 @@ func (e *Engine) ForceFPT() { e.sequential = false }
 // ForceInterpreted downgrades the engine to the pre-compilation,
 // transition-walking algorithms even when a compiled program exists.
 // It exists for the engine head-to-head benchmarks and for
-// differential testing; production callers should never need it.
-func (e *Engine) ForceInterpreted() { e.interpreted = true }
+// differential testing; production callers should never need it. On a
+// program-only engine (FromProgram) there is no automaton to
+// interpret, so the call is a no-op.
+func (e *Engine) ForceInterpreted() {
+	if e.a != nil {
+		e.interpreted = true
+	}
+}
 
 // Compiled reports whether evaluation executes the compiled program
 // (true) or the interpreted transition-walking fallback (false).

@@ -1,0 +1,53 @@
+package program
+
+import (
+	"bytes"
+	"testing"
+
+	"spanners/internal/rgx"
+	"spanners/internal/va"
+)
+
+// FuzzDecode throws arbitrary bytes at the artifact decoder. The
+// invariants: Decode never panics, never hangs on bounded input, and
+// anything it accepts must re-encode byte-identically (otherwise
+// content addressing would drift) and pass Decode again.
+func FuzzDecode(f *testing.F) {
+	for _, expr := range codecCorpus {
+		p, err := Compile(va.FromRGX(rgx.MustParse(expr)))
+		if err != nil {
+			f.Fatal(err)
+		}
+		enc := p.Encode()
+		f.Add(enc)
+		// Truncations at structurally interesting places.
+		for _, n := range []int{0, 3, headerLen, headerLen + 13, len(enc) / 2, len(enc) - 9, len(enc) - 1} {
+			if n >= 0 && n <= len(enc) {
+				f.Add(enc[:n])
+			}
+		}
+		// A few deterministic corruptions.
+		for _, off := range []int{5, headerLen + 1, len(enc) - trailerLen} {
+			bad := append([]byte{}, enc...)
+			bad[off] ^= 0xff
+			f.Add(bad)
+		}
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := Decode(data)
+		if err != nil {
+			if p != nil {
+				t.Fatal("Decode returned both a program and an error")
+			}
+			return
+		}
+		re := p.Encode()
+		if !bytes.Equal(re, data) {
+			t.Fatalf("accepted artifact re-encodes differently (%d -> %d bytes)", len(data), len(re))
+		}
+		if _, err := Decode(re); err != nil {
+			t.Fatalf("re-encoded artifact rejected: %v", err)
+		}
+	})
+}

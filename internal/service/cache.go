@@ -101,6 +101,29 @@ func (c *lru[V]) get(key string, compile func() (V, error)) (V, error) {
 	return entry.val, entry.err
 }
 
+// put seeds the cache with an already-built value (a registry
+// pre-warm, not request traffic), so it counts as neither hit nor
+// miss. An existing entry for key is refreshed and kept.
+func (c *lru[V]) put(key string, val V) {
+	entry := &lruEntry[V]{key: key, val: val}
+	entry.once.Do(func() {}) // consume the Once: val is final
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value = entry
+		c.order.MoveToFront(el)
+		return
+	}
+	el := c.order.PushFront(entry)
+	c.entries[key] = el
+	for c.order.Len() > c.capacity {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*lruEntry[V]).key)
+		c.evictions.Add(1)
+	}
+}
+
 // remove drops the entry for key if it is still the one at el.
 func (c *lru[V]) remove(key string, el *list.Element) {
 	c.mu.Lock()

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"spanners"
+	"spanners/internal/registry"
 )
 
 // Config sizes a Service. Zero values select sensible defaults.
@@ -19,6 +20,11 @@ type Config struct {
 	RuleCacheSize int
 	// Workers bounds batch-extraction concurrency (default 4).
 	Workers int
+	// Registry optionally backs the service with a persistent spanner
+	// registry: queries may then reference stored spanners by
+	// "name@version", and Prewarm loads every registered artifact into
+	// the caches at startup. Nil disables registry features.
+	Registry *registry.Registry
 }
 
 // DefaultConfig returns the defaults used for zero-valued fields.
@@ -49,6 +55,20 @@ type Service struct {
 	spanners *lru[*spanners.Spanner]
 	rules    *lru[*spanners.Rule]
 
+	// Registry-backed named spanners: named maps "name@version" to the
+	// decoded artifact (or its recompiled fallback), latest caches each
+	// name's current version so unpinned lookups skip the disk.
+	reg     *registry.Registry
+	namedMu sync.Mutex
+	named   map[string]*spanners.Spanner
+	latest  map[string]string
+	loading map[string]*namedCall
+
+	prewarmed     atomic.Uint64
+	namedHits     atomic.Uint64
+	artifactLoads atomic.Uint64
+	fallbacks     atomic.Uint64
+
 	inFlight atomic.Int64
 	emitted  atomic.Uint64
 
@@ -69,6 +89,10 @@ func New(cfg Config) *Service {
 		cfg:      cfg,
 		spanners: newLRU[*spanners.Spanner](cfg.SpannerCacheSize),
 		rules:    newLRU[*spanners.Rule](cfg.RuleCacheSize),
+		reg:      cfg.Registry,
+		named:    map[string]*spanners.Spanner{},
+		latest:   map[string]string{},
+		loading:  map[string]*namedCall{},
 	}
 }
 
@@ -85,18 +109,37 @@ type EngineStats struct {
 	CompileNanos         int64  `json:"compile_ns_total"`
 }
 
+// RegistryStats summarizes the persistent-registry integration: how
+// many artifacts the startup pre-warm decoded, how the named-spanner
+// index is serving ("hits" never touched disk, "artifact_loads"
+// decoded a stored program without recompiling, "source_fallbacks"
+// had to recompile from the manifest source because the artifact was
+// unusable), and how many named spanners are resident.
+type RegistryStats struct {
+	Enabled         bool   `json:"enabled"`
+	Prewarmed       uint64 `json:"prewarmed"`
+	NamedHits       uint64 `json:"named_hits"`
+	ArtifactLoads   uint64 `json:"artifact_loads"`
+	SourceFallbacks uint64 `json:"source_fallbacks"`
+	Resident        int    `json:"resident"`
+}
+
 // Stats is the service-level metrics snapshot: the two compile caches
-// plus request-path and engine-selection counters.
+// plus request-path, engine-selection and registry counters.
 type Stats struct {
-	Spanners CacheStats  `json:"spanner_cache"`
-	Rules    CacheStats  `json:"rule_cache"`
-	Engine   EngineStats `json:"engine"`
-	InFlight int64       `json:"in_flight"`
-	Emitted  uint64      `json:"mappings_emitted"`
+	Spanners CacheStats    `json:"spanner_cache"`
+	Rules    CacheStats    `json:"rule_cache"`
+	Engine   EngineStats   `json:"engine"`
+	Registry RegistryStats `json:"registry"`
+	InFlight int64         `json:"in_flight"`
+	Emitted  uint64        `json:"mappings_emitted"`
 }
 
 // Stats returns a point-in-time snapshot of the service counters.
 func (s *Service) Stats() Stats {
+	s.namedMu.Lock()
+	resident := len(s.named)
+	s.namedMu.Unlock()
 	return Stats{
 		Spanners: s.spanners.stats(),
 		Rules:    s.rules.stats(),
@@ -106,6 +149,14 @@ func (s *Service) Stats() Stats {
 			CompiledPrograms:     s.compiledProgs.Load(),
 			InterpretedFallbacks: s.interpFallbacks.Load(),
 			CompileNanos:         s.compileNanos.Load(),
+		},
+		Registry: RegistryStats{
+			Enabled:         s.reg != nil,
+			Prewarmed:       s.prewarmed.Load(),
+			NamedHits:       s.namedHits.Load(),
+			ArtifactLoads:   s.artifactLoads.Load(),
+			SourceFallbacks: s.fallbacks.Load(),
+			Resident:        resident,
 		},
 		InFlight: s.inFlight.Load(),
 		Emitted:  s.emitted.Load(),
@@ -145,18 +196,20 @@ func (s *Service) Rule(input string) (*spanners.Rule, error) {
 }
 
 // Query names what to extract with: exactly one of Expr (an RGX
-// expression) or Rule (an extraction rule, docExpr && x.(…) syntax)
-// must be set. Limit, when positive, caps the number of mappings per
+// expression), Rule (an extraction rule, docExpr && x.(…) syntax) or
+// Spanner (a registry reference, "name" or "name@version") must be
+// set. Limit, when positive, caps the number of mappings per
 // document.
 type Query struct {
-	Expr  string `json:"expr,omitempty"`
-	Rule  string `json:"rule,omitempty"`
-	Limit int    `json:"limit,omitempty"`
+	Expr    string `json:"expr,omitempty"`
+	Rule    string `json:"rule,omitempty"`
+	Spanner string `json:"spanner,omitempty"`
+	Limit   int    `json:"limit,omitempty"`
 }
 
-// ErrBadQuery is returned when a query sets neither or both of
-// Expr/Rule.
-var ErrBadQuery = errors.New("service: query must set exactly one of expr or rule")
+// ErrBadQuery is returned when a query does not set exactly one of
+// Expr/Rule/Spanner.
+var ErrBadQuery = errors.New("service: query must set exactly one of expr, rule or spanner")
 
 // enumerator abstracts the two compiled forms behind a common
 // streaming interface. Spanners stream with polynomial delay and
@@ -168,9 +221,22 @@ var ErrBadQuery = errors.New("service: query must set exactly one of expr or rul
 type enumerator func(ctx context.Context, d *spanners.Document, yield func(spanners.Mapping) bool) error
 
 func (s *Service) compile(q Query) (enumerator, error) {
-	switch {
-	case q.Expr != "" && q.Rule != "":
+	set := 0
+	for _, f := range []string{q.Expr, q.Rule, q.Spanner} {
+		if f != "" {
+			set++
+		}
+	}
+	if set > 1 {
 		return nil, ErrBadQuery
+	}
+	switch {
+	case q.Spanner != "":
+		sp, err := s.NamedSpanner(q.Spanner)
+		if err != nil {
+			return nil, fmt.Errorf("resolve spanner: %w", err)
+		}
+		return sp.EnumerateContext, nil
 	case q.Expr != "":
 		sp, err := s.Spanner(q.Expr)
 		if err != nil {

@@ -106,7 +106,9 @@ func (s *Spanner) String() string { return s.source }
 // spanners.
 func (s *Spanner) Expr() rgx.Node { return s.expr }
 
-// Automaton returns the underlying variable-set automaton.
+// Automaton returns the underlying variable-set automaton, or nil
+// for spanners loaded from a serialized artifact (LoadCompiledSpanner)
+// — those carry only the compiled program.
 func (s *Spanner) Automaton() *va.VA { return s.engine.Automaton() }
 
 // Vars returns the variables the spanner can assign, sorted.

@@ -1,0 +1,232 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"spanners"
+	"spanners/internal/service"
+)
+
+// localJoin composes the test spanners through the library algebra —
+// the oracle the served algebra must match byte for byte.
+func localJoin(t *testing.T, doc string) []service.Result {
+	t.Helper()
+	j := spanners.Join(spanners.MustCompile(".*y{...}.*"), spanners.MustCompile(".*z{...}.*"))
+	d := spanners.NewDocument(doc)
+	out := []service.Result{}
+	for _, m := range j.ExtractAll(d) {
+		out = append(out, service.EncodeMapping(d, m))
+	}
+	return out
+}
+
+func TestAlgebraExtractEndToEnd(t *testing.T) {
+	ts, _ := newRegistryTestServer(t, t.TempDir(), 0)
+	doJSON(t, http.MethodPut, ts.URL+"/registry/y3", map[string]string{"expr": ".*y{...}.*"}, nil)
+	doJSON(t, http.MethodPut, ts.URL+"/registry/z3", map[string]string{"expr": ".*z{...}.*"}, nil)
+
+	doc := "abcde"
+	req := map[string]any{"algebra": "join(y3, z3)", "docs": []string{doc}}
+
+	var first, second extractResponse
+	for i, dst := range []*extractResponse{&first, &second} {
+		resp := postJSON(t, ts.URL+"/extract", req)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d: status %d", i, resp.StatusCode)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(dst); err != nil {
+			t.Fatalf("request %d: decode: %v", i, err)
+		}
+		resp.Body.Close()
+	}
+
+	// Byte-identical to the local composition, in the same order.
+	want, _ := json.Marshal(localJoin(t, doc))
+	got, _ := json.Marshal(first.Results[0])
+	if string(got) != string(want) {
+		t.Fatalf("served join = %s\nlocal join   = %s", got, want)
+	}
+
+	// Composed once, then served from the LRU: the repeat is a cache
+	// hit (spanner-cache hits grow, misses and compositions do not).
+	if first.Stats.Algebra.Compositions != 1 || first.Stats.Algebra.LeafBuilds != 2 {
+		t.Fatalf("first algebra stats = %+v, want 1 composition over 2 leaf builds", first.Stats.Algebra)
+	}
+	if second.Stats.Algebra.CacheHits != first.Stats.Algebra.CacheHits+1 ||
+		second.Stats.Algebra.Compositions != first.Stats.Algebra.Compositions {
+		t.Fatalf("repeat not served from cache: %+v then %+v", first.Stats.Algebra, second.Stats.Algebra)
+	}
+	if second.Stats.Spanners.Hits <= first.Stats.Spanners.Hits ||
+		second.Stats.Spanners.Misses != first.Stats.Spanners.Misses {
+		t.Fatalf("LRU counters: hits %d→%d misses %d→%d, want hit growth only",
+			first.Stats.Spanners.Hits, second.Stats.Spanners.Hits,
+			first.Stats.Spanners.Misses, second.Stats.Spanners.Misses)
+	}
+
+	// The composition runs the compiled engine, not the interpreted
+	// fallback.
+	if first.Stats.Engine.InterpretedFallbacks != 0 {
+		t.Fatalf("engine stats = %+v, want no interpreted fallbacks", first.Stats.Engine)
+	}
+
+	// /metrics exposes the same counters under the expvar snapshot.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var metrics struct {
+		Spand struct {
+			Algebra service.AlgebraStats `json:"algebra"`
+		} `json:"spand"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&metrics); err != nil {
+		t.Fatal(err)
+	}
+	if metrics.Spand.Algebra.Compositions != 1 || metrics.Spand.Algebra.CacheHits < 1 {
+		t.Fatalf("/metrics algebra = %+v, want the served counters", metrics.Spand.Algebra)
+	}
+}
+
+func TestAlgebraStreamEndToEnd(t *testing.T) {
+	ts, _ := newRegistryTestServer(t, t.TempDir(), 0)
+	doJSON(t, http.MethodPut, ts.URL+"/registry/y3", map[string]string{"expr": ".*y{...}.*"}, nil)
+	doJSON(t, http.MethodPut, ts.URL+"/registry/z3", map[string]string{"expr": ".*z{...}.*"}, nil)
+
+	doc := "abcde"
+	resp := postJSON(t, ts.URL+"/extract/stream", map[string]any{"algebra": "join(y3, z3)", "doc": doc})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream status %d", resp.StatusCode)
+	}
+	want := localJoin(t, doc)
+	sc := bufio.NewScanner(resp.Body)
+	n := 0
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		wantLine, _ := json.Marshal(want[n])
+		if line != string(wantLine) {
+			t.Fatalf("stream line %d = %s, want %s", n, line, wantLine)
+		}
+		n++
+	}
+	if n != len(want) {
+		t.Fatalf("streamed %d mappings, want %d", n, len(want))
+	}
+}
+
+// TestAlgebraErrorStatuses pins the typed-error → status mapping:
+// client mistakes are 400 or 404, never 500.
+func TestAlgebraErrorStatuses(t *testing.T) {
+	ts, _ := newRegistryTestServer(t, t.TempDir(), 0)
+	doJSON(t, http.MethodPut, ts.URL+"/registry/y3", map[string]string{"expr": ".*y{...}.*"}, nil)
+
+	cases := []struct {
+		name string
+		q    map[string]any
+		want int
+	}{
+		{"syntax", map[string]any{"algebra": "join(y3"}, http.StatusBadRequest},
+		{"arity", map[string]any{"algebra": "union(y3)"}, http.StatusBadRequest},
+		{"unknown operator", map[string]any{"algebra": "meld(y3, y3)"}, http.StatusBadRequest},
+		{"unbound projection", map[string]any{"algebra": "project(y3, nope)"}, http.StatusBadRequest},
+		{"two query fields", map[string]any{"algebra": "y3", "expr": "a*"}, http.StatusBadRequest},
+		{"unknown name", map[string]any{"algebra": "join(y3, ghost)"}, http.StatusNotFound},
+		{"unknown version", map[string]any{"algebra": "y3@ffffffffffff"}, http.StatusNotFound},
+		{"unknown named spanner", map[string]any{"spanner": "ghost"}, http.StatusNotFound},
+	}
+	for _, c := range cases {
+		for _, path := range []string{"/extract", "/extract/stream"} {
+			body := map[string]any{}
+			for k, v := range c.q {
+				body[k] = v
+			}
+			if path == "/extract" {
+				body["docs"] = []string{"abc"}
+			} else {
+				body["doc"] = "abc"
+			}
+			resp := postJSON(t, ts.URL+path, body)
+			resp.Body.Close()
+			if resp.StatusCode != c.want {
+				t.Errorf("%s on %s: status %d, want %d", c.name, path, resp.StatusCode, c.want)
+			}
+			if resp.StatusCode >= 500 {
+				t.Errorf("%s on %s: client error surfaced as %d", c.name, path, resp.StatusCode)
+			}
+		}
+	}
+}
+
+func TestRegisterAlgebraOverHTTP(t *testing.T) {
+	dir := t.TempDir()
+	ts, _ := newRegistryTestServer(t, dir, 0)
+	doJSON(t, http.MethodPut, ts.URL+"/registry/y3", map[string]string{"expr": ".*y{...}.*"}, nil)
+	doJSON(t, http.MethodPut, ts.URL+"/registry/z3", map[string]string{"expr": ".*z{...}.*"}, nil)
+
+	var reg registerResponse
+	resp := doJSON(t, http.MethodPut, ts.URL+"/registry/pair",
+		map[string]string{"algebra": "join(y3, z3)"}, &reg)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("register algebra status %d", resp.StatusCode)
+	}
+	if reg.Kind != "algebra" || !strings.Contains(reg.Source, "join(y3@") {
+		t.Fatalf("algebra manifest = %+v, want kind=algebra with pinned source", reg.Manifest)
+	}
+
+	// Served by name like any other registered spanner…
+	doc := "abcde"
+	var out extractResponse
+	resp = doJSON(t, http.MethodPost, ts.URL+"/extract",
+		map[string]any{"spanner": "pair", "docs": []string{doc}}, &out)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("extract by algebra name: status %d", resp.StatusCode)
+	}
+	want, _ := json.Marshal(localJoin(t, doc))
+	got, _ := json.Marshal(out.Results[0])
+	if string(got) != string(want) {
+		t.Fatalf("named algebra = %s, want %s", got, want)
+	}
+
+	// …including after a restart, decoded from the stored artifact
+	// with zero compile-cache misses.
+	ts2, _ := newRegistryTestServer(t, dir, 0)
+	var out2 extractResponse
+	resp = doJSON(t, http.MethodPost, ts2.URL+"/extract",
+		map[string]any{"spanner": reg.Ref(), "docs": []string{doc}}, &out2)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("extract after restart: status %d", resp.StatusCode)
+	}
+	got2, _ := json.Marshal(out2.Results[0])
+	if string(got2) != string(want) {
+		t.Fatalf("named algebra after restart = %s, want %s", got2, want)
+	}
+	if out2.Stats.Spanners.Misses != 0 || out2.Stats.Algebra.Compositions != 0 {
+		t.Fatalf("restart stats = misses %d, compositions %d; want 0, 0",
+			out2.Stats.Spanners.Misses, out2.Stats.Algebra.Compositions)
+	}
+
+	// Registering with both or neither body field is a 400.
+	for _, body := range []map[string]string{
+		{"expr": "a*", "algebra": "y3"},
+		{},
+	} {
+		resp := doJSON(t, http.MethodPut, ts.URL+"/registry/bad", body, nil)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("register with body %v: status %d, want 400", body, resp.StatusCode)
+		}
+	}
+	// Algebra registration over an unknown leaf is a 404.
+	resp = doJSON(t, http.MethodPut, ts.URL+"/registry/bad",
+		map[string]string{"algebra": "join(y3, ghost)"}, nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("register over unknown leaf: status %d, want 404", resp.StatusCode)
+	}
+}

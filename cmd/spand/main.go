@@ -9,16 +9,17 @@
 //
 // Endpoints:
 //
-//	POST /extract          {"expr"|"rule"|"spanner": …, "docs": [...], "limit": n}
+//	POST /extract          {"expr"|"rule"|"spanner"|"algebra": …, "docs": [...], "limit": n}
 //	                       → JSON batch: one result array per document
 //	                         (input order) plus cache/worker stats.
-//	POST /extract/stream   {"expr"|"rule"|"spanner": …, "doc": …, "limit": n}
+//	POST /extract/stream   {"expr"|"rule"|"spanner"|"algebra": …, "doc": …, "limit": n}
 //	                       → NDJSON: one mapping per line, flushed per
 //	                         result, with the enumerator's polynomial
 //	                         delay (Theorem 5.7) — first results arrive
 //	                         before enumeration completes.
-//	PUT    /registry/{name}  {"expr": …} → compile, persist, and name a
-//	                         spanner; the response manifest carries the
+//	PUT    /registry/{name}  {"expr": …} or {"algebra": …} → compile (or
+//	                         compose), persist, and name a spanner; the
+//	                         response manifest carries the
 //	                         content-addressed version to pin.
 //	GET    /registry         list stored spanners (latest versions).
 //	GET    /registry/{name}  manifest of the latest (?version= pins).
@@ -36,6 +37,13 @@
 // cache is pre-warmed from the registry, so queries that pin
 // "name@version" never compile at all — the stored instruction tables
 // are decoded and executed directly.
+//
+// An "algebra" query composes registered spanners on the server with
+// the closure operators of Theorem 4.5 — e.g. "join(project(invoices,
+// buyer), union(sellers, sellers-eu))". Compositions are cached under
+// the expression with every leaf pinned to its resolved
+// content-addressed version, and can themselves be registered (PUT
+// with "algebra") as first-class named artifacts.
 //
 // Every extraction carries a deadline (-request-timeout, negative to
 // disable): enumeration can be output-exponential on pathological

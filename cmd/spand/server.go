@@ -36,9 +36,13 @@ type streamRequest struct {
 	Doc string `json:"doc"`
 }
 
-// registerRequest is the body of PUT /registry/{name}.
+// registerRequest is the body of PUT /registry/{name}: exactly one of
+// Expr (an RGX to compile) or Algebra (a spanner-algebra expression
+// composed over already-registered names, persisted with its leaves
+// pinned).
 type registerRequest struct {
-	Expr string `json:"expr"`
+	Expr    string `json:"expr"`
+	Algebra string `json:"algebra"`
 }
 
 // registerResponse wraps the stored manifest with whether this call
@@ -111,14 +115,19 @@ func httpError(w http.ResponseWriter, code int, err error) {
 // slow client, so it surfaces as 503 (retrying the same request
 // verbatim will pin another worker — clients should back off or
 // simplify the query); a disconnecting client's cancellation keeps
-// 408 (the response is unread anyway); everything else is the
-// client's query.
+// 408 (the response is unread anyway); a query referencing a registry
+// name or version that does not exist — directly or as an algebra
+// leaf — is 404; everything else (RGX or algebra syntax, unbound
+// projection variables, over-nested expressions) is the client's
+// query, 400. Nothing a query can say maps to a 500.
 func extractErrCode(err error) int {
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusServiceUnavailable
 	case errors.Is(err, context.Canceled):
 		return http.StatusRequestTimeout
+	case errors.Is(err, registry.ErrNotFound):
+		return http.StatusNotFound
 	default:
 		return http.StatusBadRequest
 	}
@@ -189,7 +198,7 @@ func (s *server) handleStream(w http.ResponseWriter, r *http.Request) {
 	// result set still gets the right Content-Type.
 	compiled, err := s.svc.CompileQuery(req.Query)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		httpError(w, extractErrCode(err), err)
 		return
 	}
 	ctx, cancel := s.requestCtx(r)
@@ -221,7 +230,21 @@ func (s *server) handleRegistryPut(w http.ResponseWriter, r *http.Request) {
 	if !s.decodeBody(w, r, &req) {
 		return
 	}
-	man, created, err := s.svc.RegisterSpanner(r.PathValue("name"), req.Expr)
+	if (req.Expr == "") == (req.Algebra == "") {
+		httpError(w, http.StatusBadRequest,
+			errors.New("registration must set exactly one of expr or algebra"))
+		return
+	}
+	var (
+		man     registry.Manifest
+		created bool
+		err     error
+	)
+	if req.Algebra != "" {
+		man, created, err = s.svc.RegisterAlgebra(r.PathValue("name"), req.Algebra)
+	} else {
+		man, created, err = s.svc.RegisterSpanner(r.PathValue("name"), req.Expr)
+	}
 	if err != nil {
 		httpError(w, registryErrCode(err), err)
 		return
@@ -278,19 +301,24 @@ func (s *server) handleRegistryList(w http.ResponseWriter, _ *http.Request) {
 }
 
 // healthzResponse is the /healthz body: liveness plus the
-// engine-selection and registry summaries, so probes (and operators)
-// can see at a glance whether the cached spanners run compiled
-// sequential programs and whether the pre-warmed registry is serving.
+// engine-selection, registry and algebra summaries, so probes (and
+// operators) can see at a glance whether the cached spanners run
+// compiled sequential programs, whether the pre-warmed registry is
+// serving, and how algebra compositions split between cache hits and
+// fresh leaf work.
 type healthzResponse struct {
 	Status   string                `json:"status"`
 	Engine   service.EngineStats   `json:"engine"`
 	Registry service.RegistryStats `json:"registry"`
+	Algebra  service.AlgebraStats  `json:"algebra"`
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	st := s.svc.Stats()
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(healthzResponse{Status: "ok", Engine: st.Engine, Registry: st.Registry})
+	json.NewEncoder(w).Encode(healthzResponse{
+		Status: "ok", Engine: st.Engine, Registry: st.Registry, Algebra: st.Algebra,
+	})
 }
 
 // handleMetrics serves the process expvar map (which includes the

@@ -7,6 +7,12 @@
 // Usage:
 //
 //	spanreg -dir DIR register NAME EXPR     compile + store, print NAME@VERSION
+//	spanreg -dir DIR register-algebra NAME EXPR   compose registered spanners
+//	                                        (union/project/join syntax), store the
+//	                                        composed program with its leaves pinned
+//	spanreg -dir DIR eval EXPR [DOC|-]      plan an algebra expression against the
+//	                                        registry and run it over DOC (or stdin),
+//	                                        one JSON mapping per line
 //	spanreg -dir DIR list                   one line per name (latest version)
 //	spanreg -dir DIR versions NAME          every stored version, newest first
 //	spanreg -dir DIR show NAME[@VERSION]    manifest JSON
@@ -14,8 +20,12 @@
 //	spanreg -dir DIR import NAME FILE       validate + store an exported artifact
 //	spanreg -dir DIR delete NAME[@VERSION]
 //
-// register and import print the content-addressed "name@version"
-// reference on stdout, so scripts can pin exactly what they stored.
+// register, register-algebra and import print the content-addressed
+// "name@version" reference on stdout, so scripts can pin exactly what
+// they stored. An eval leaf may itself name a registered algebra
+// expression, and exported algebra artifacts keep their kind across
+// import — the artifact envelope records whether its source is an
+// RGX or an algebra expression.
 package main
 
 import (
@@ -25,7 +35,10 @@ import (
 	"io"
 	"os"
 
+	"spanners"
+	"spanners/internal/algebra"
 	"spanners/internal/registry"
+	"spanners/internal/service"
 )
 
 func main() {
@@ -78,6 +91,48 @@ func dispatch(reg *registry.Registry, cmd string, args []string, stdout io.Write
 		}
 		fmt.Fprintf(stdout, "%s\n", man.Ref())
 		return nil
+
+	case "register-algebra":
+		if err := need(2, "register-algebra NAME EXPR"); err != nil {
+			return err
+		}
+		plan, err := planAlgebra(reg, args[1])
+		if err != nil {
+			return err
+		}
+		man, _, err := reg.RegisterCompiled(args[0], plan.Spanner.WithAlgebraSource(plan.Pinned))
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "%s\n", man.Ref())
+		return nil
+
+	case "eval":
+		if len(args) != 1 && len(args) != 2 {
+			return fmt.Errorf("usage: spanreg -dir DIR eval EXPR [DOC|-]")
+		}
+		plan, err := planAlgebra(reg, args[0])
+		if err != nil {
+			return err
+		}
+		text := ""
+		if len(args) == 2 && args[1] != "-" {
+			text = args[1]
+		} else {
+			b, err := io.ReadAll(os.Stdin)
+			if err != nil {
+				return err
+			}
+			text = string(b)
+		}
+		doc := spanners.NewDocument(text)
+		enc := json.NewEncoder(stdout)
+		var encErr error
+		plan.Spanner.Enumerate(doc, func(m spanners.Mapping) bool {
+			encErr = enc.Encode(service.EncodeMapping(doc, m))
+			return encErr == nil
+		})
+		return encErr
 
 	case "list":
 		if err := need(0, "list"); err != nil {
@@ -172,4 +227,14 @@ func dispatch(reg *registry.Registry, cmd string, args []string, stdout io.Write
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
 	}
+}
+
+// planAlgebra parses and composes an algebra expression against the
+// registry, offline — the same planner spand serves with.
+func planAlgebra(reg *registry.Registry, expr string) (*algebra.Plan, error) {
+	node, err := algebra.Parse(expr)
+	if err != nil {
+		return nil, err
+	}
+	return algebra.Build(node, &algebra.RegistryResolver{Reg: reg})
 }

@@ -75,3 +75,50 @@ func TestCLIErrors(t *testing.T) {
 		}
 	}
 }
+
+func TestAlgebraEvalAndRegister(t *testing.T) {
+	dir := t.TempDir()
+	runOK(t, "-dir", dir, "register", "y3", ".*y{...}.*")
+	runOK(t, "-dir", dir, "register", "z3", ".*z{...}.*")
+
+	// eval composes against the registry and prints one JSON mapping
+	// per line.
+	out := runOK(t, "-dir", dir, "eval", "join(y3, z3)", "abcde")
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 9 { // 3 spans for y × 3 spans for z on a 5-rune doc
+		t.Fatalf("eval printed %d mappings, want 9:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], `"y"`) || !strings.Contains(lines[0], `"z"`) {
+		t.Fatalf("eval line %q lacks the joined variables", lines[0])
+	}
+
+	// register-algebra persists the composition with pinned leaves;
+	// it lists with kind algebra and evaluates by name.
+	ref := strings.TrimSpace(runOK(t, "-dir", dir, "register-algebra", "pair", "join(y3, z3)"))
+	if !strings.HasPrefix(ref, "pair@") {
+		t.Fatalf("register-algebra printed %q", ref)
+	}
+	show := runOK(t, "-dir", dir, "show", ref)
+	if !strings.Contains(show, `"kind": "algebra"`) || !strings.Contains(show, "join(y3@") {
+		t.Fatalf("algebra manifest: %s", show)
+	}
+	byName := runOK(t, "-dir", dir, "eval", "pair", "abcde")
+	if byName != out {
+		t.Fatalf("eval by registered name differs from eval of its expression:\n%s\nvs\n%s", byName, out)
+	}
+
+	// Typed failures exit non-zero: syntax, unknown leaf, unbound var.
+	var sb, eb strings.Builder
+	for _, args := range [][]string{
+		{"-dir", dir, "eval", "join(y3", "abc"},
+		{"-dir", dir, "eval", "join(y3, ghost)", "abc"},
+		{"-dir", dir, "eval", "project(y3, nope)", "abc"},
+		{"-dir", dir, "register-algebra", "bad", "union(y3)"},
+	} {
+		sb.Reset()
+		eb.Reset()
+		if code := run(args, &sb, &eb); code == 0 {
+			t.Errorf("spanreg %v unexpectedly succeeded", args)
+		}
+	}
+}

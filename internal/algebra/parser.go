@@ -1,0 +1,189 @@
+package algebra
+
+import (
+	"fmt"
+	"regexp"
+
+	"spanners"
+	"spanners/internal/registry"
+)
+
+// Parse reads the concrete algebra syntax into an expression tree:
+//
+//	expr    := operator | ref
+//	operator:= ("union" | "join") "(" expr "," expr ("," expr)* ")"
+//	         | "project" "(" expr ("," var)* ")"
+//	ref     := name | name "@" version | name "@latest"
+//
+// Names follow the registry's naming rule, versions are the
+// registry's 12-hex content addresses ("latest" resolves at plan
+// time), variables are identifiers, and whitespace is free between
+// tokens. A leaf named like an operator is referable as long as it is
+// not immediately followed by "(". All failures wrap ErrSyntax (with
+// a rune position), ErrDepth for over-nested input, or ErrTooLarge
+// for expressions beyond MaxLeaves leaf references.
+func Parse(input string) (Expr, error) {
+	p := &parser{src: []rune(input)}
+	e, err := p.expr(0)
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if !p.eof() {
+		return nil, p.errf("trailing input after expression")
+	}
+	if n := len(Refs(e)); n > MaxLeaves {
+		return nil, fmt.Errorf("%w: %d leaves, limit %d", ErrTooLarge, n, MaxLeaves)
+	}
+	return e, nil
+}
+
+var varRE = regexp.MustCompile(`^[A-Za-z_][A-Za-z0-9_]*$`)
+
+type parser struct {
+	src []rune
+	pos int
+}
+
+func (p *parser) eof() bool  { return p.pos >= len(p.src) }
+func (p *parser) peek() rune { return p.src[p.pos] }
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s (at rune %d)", ErrSyntax, fmt.Sprintf(format, args...), p.pos)
+}
+
+func (p *parser) skipSpace() {
+	for !p.eof() && (p.peek() == ' ' || p.peek() == '\t' || p.peek() == '\n' || p.peek() == '\r') {
+		p.pos++
+	}
+}
+
+// word reads a maximal run of name/identifier runes.
+func (p *parser) word() string {
+	start := p.pos
+	for !p.eof() && isWordRune(p.peek()) {
+		p.pos++
+	}
+	return string(p.src[start:p.pos])
+}
+
+func isWordRune(r rune) bool {
+	return r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' ||
+		r >= '0' && r <= '9' || r == '.' || r == '_' || r == '-'
+}
+
+// eat consumes the expected rune or fails.
+func (p *parser) eat(want rune) error {
+	p.skipSpace()
+	if p.eof() || p.peek() != want {
+		return p.errf("expected %q", string(want))
+	}
+	p.pos++
+	return nil
+}
+
+func (p *parser) expr(depth int) (Expr, error) {
+	if depth > MaxDepth {
+		return nil, fmt.Errorf("%w: more than %d levels", ErrDepth, MaxDepth)
+	}
+	p.skipSpace()
+	if p.eof() {
+		return nil, p.errf("expected expression")
+	}
+	word := p.word()
+	if word == "" {
+		return nil, p.errf("expected a name or operator, found %q", string(p.peek()))
+	}
+	p.skipSpace()
+	if !p.eof() && p.peek() == '(' {
+		switch word {
+		case "union", "join":
+			return p.nary(word, depth)
+		case "project":
+			return p.project(depth)
+		default:
+			return nil, p.errf("unknown operator %q (want union, join or project)", word)
+		}
+	}
+	return p.ref(word)
+}
+
+// ref finishes a leaf whose name has been read, consuming an optional
+// @version.
+func (p *parser) ref(name string) (Expr, error) {
+	version := ""
+	if !p.eof() && p.peek() == '@' {
+		p.pos++
+		version = p.word()
+		if version == "" {
+			return nil, p.errf("expected a version after %q", name+"@")
+		}
+		if version == LatestVersion {
+			version = ""
+		}
+	}
+	// Delegate name/version shape to the registry so the algebra and
+	// the store can never disagree about what is referable.
+	if _, _, err := registry.ParseRef(Ref{Name: name, Version: version}.Canonical()); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrSyntax, err)
+	}
+	return Ref{Name: name, Version: version}, nil
+}
+
+// nary parses union(...)/join(...) with at least two operands.
+func (p *parser) nary(op string, depth int) (Expr, error) {
+	if err := p.eat('('); err != nil {
+		return nil, err
+	}
+	var args []Expr
+	for {
+		a, err := p.expr(depth + 1)
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, a)
+		p.skipSpace()
+		if !p.eof() && p.peek() == ',' {
+			p.pos++
+			continue
+		}
+		break
+	}
+	if err := p.eat(')'); err != nil {
+		return nil, err
+	}
+	if len(args) < 2 {
+		return nil, p.errf("%s needs at least two operands, got %d", op, len(args))
+	}
+	if op == "union" {
+		return Union{Args: args}, nil
+	}
+	return Join{Args: args}, nil
+}
+
+// project parses project(expr, var, …); zero variables is π_∅, the
+// boolean spanner.
+func (p *parser) project(depth int) (Expr, error) {
+	if err := p.eat('('); err != nil {
+		return nil, err
+	}
+	arg, err := p.expr(depth + 1)
+	if err != nil {
+		return nil, err
+	}
+	var vars []spanners.Var
+	p.skipSpace()
+	for !p.eof() && p.peek() == ',' {
+		p.pos++
+		p.skipSpace()
+		v := p.word()
+		if !varRE.MatchString(v) {
+			return nil, p.errf("invalid variable %q", v)
+		}
+		vars = append(vars, spanners.Var(v))
+		p.skipSpace()
+	}
+	if err := p.eat(')'); err != nil {
+		return nil, err
+	}
+	return Project{Arg: arg, Vars: vars}, nil
+}

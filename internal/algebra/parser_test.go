@@ -1,0 +1,119 @@
+package algebra
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestParseCanonical(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+	}{
+		{"sellers", "sellers"},
+		{"sellers@1a30376c9a64", "sellers@1a30376c9a64"},
+		{"sellers@latest", "sellers"},
+		{" union( a , b ) ", "union(a,b)"},
+		{"union(a,b,c)", "union(a,b,c)"},
+		{"join(a@aaaaaaaaaaaa, b)", "join(a@aaaaaaaaaaaa,b)"},
+		{"project(a, x, y)", "project(a,x,y)"},
+		{"project(a)", "project(a)"},
+		{
+			"join(project(invoices@aaaaaaaaaaaa, buyer), union(sellers, sellers-eu@latest))",
+			"join(project(invoices@aaaaaaaaaaaa,buyer),union(sellers,sellers-eu))",
+		},
+		{"union(union(a,b),project(join(c,d),x))", "union(union(a,b),project(join(c,d),x))"},
+		// Operator-shaped names are referable when not applied.
+		{"union(join, project)", "union(join,project)"},
+	}
+	for _, c := range cases {
+		e, err := Parse(c.in)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.in, err)
+			continue
+		}
+		if got := e.Canonical(); got != c.want {
+			t.Errorf("Parse(%q).Canonical() = %q, want %q", c.in, got, c.want)
+		}
+		// Canonical output re-parses to itself.
+		e2, err := Parse(e.Canonical())
+		if err != nil {
+			t.Errorf("reparse %q: %v", e.Canonical(), err)
+			continue
+		}
+		if e2.Canonical() != c.want {
+			t.Errorf("reparse %q → %q, not a fixed point", c.want, e2.Canonical())
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	deep := strings.Repeat("union(a,", MaxDepth+2) + "a" + strings.Repeat(")", MaxDepth+2)
+	wide := "union(a" + strings.Repeat(",a", MaxLeaves) + ")"
+	cases := []struct {
+		in   string
+		want error
+	}{
+		{"", ErrSyntax},
+		{"   ", ErrSyntax},
+		{"union(a)", ErrSyntax},          // arity
+		{"union()", ErrSyntax},           // empty operand
+		{"union(a,b", ErrSyntax},         // unclosed
+		{"union(a,b))", ErrSyntax},       // trailing input
+		{"meld(a,b)", ErrSyntax},         // unknown operator
+		{"project(a, 9bad)", ErrSyntax},  // invalid variable
+		{"project(a, x{y})", ErrSyntax},  // invalid variable
+		{"a@", ErrSyntax},                // missing version
+		{"a@XYZ", ErrSyntax},             // malformed version
+		{"a@1a30376c9a6", ErrSyntax},     // 11 hex digits, not 12
+		{"@aaaaaaaaaaaa", ErrSyntax},     // missing name
+		{"-bad@aaaaaaaaaaaa", ErrSyntax}, // registry rejects the name
+		{"a b", ErrSyntax},               // junk after leaf
+		{"union(a,,b)", ErrSyntax},       // empty operand
+		{deep, ErrDepth},
+		{wide, ErrTooLarge},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.in)
+		if !errors.Is(err, c.want) {
+			t.Errorf("Parse(%q) error = %v, want %v", c.in, err, c.want)
+		}
+	}
+}
+
+func TestPin(t *testing.T) {
+	e, err := Parse("join(project(a, x), union(b@bbbbbbbbbbbb, a))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pinned, err := Pin(e, func(name string) (string, error) {
+		if name != "a" {
+			t.Errorf("Pin resolved already-pinned or unexpected name %q", name)
+		}
+		return "aaaaaaaaaaaa", nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "join(project(a@aaaaaaaaaaaa,x),union(b@bbbbbbbbbbbb,a@aaaaaaaaaaaa))"
+	if got := pinned.Canonical(); got != want {
+		t.Fatalf("pinned canonical = %q, want %q", got, want)
+	}
+	// The original tree is untouched.
+	if got := e.Canonical(); got != "join(project(a,x),union(b@bbbbbbbbbbbb,a))" {
+		t.Fatalf("Pin mutated its input: %q", got)
+	}
+	if refs := Refs(pinned); len(refs) != 3 {
+		t.Fatalf("Refs = %v, want 3 leaves", refs)
+	}
+}
+
+func TestPinError(t *testing.T) {
+	e, _ := Parse("union(missing, b@bbbbbbbbbbbb)")
+	sentinel := errors.New("nope")
+	_, err := Pin(e, func(string) (string, error) { return "", sentinel })
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("Pin error = %v, want wrapped sentinel", err)
+	}
+}

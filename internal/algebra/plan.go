@@ -1,0 +1,113 @@
+package algebra
+
+import (
+	"fmt"
+
+	"spanners"
+)
+
+// LeafResolver turns a leaf reference into an automaton-bearing
+// spanner. version is a concrete 12-hex content address, or "" for
+// the registry's latest; the resolved version comes back so the plan
+// can report a fully pinned cache key. The returned spanner must have
+// Automaton() != nil — the algebra composes through the automaton
+// constructions of Theorem 4.5, which program-only artifacts cannot
+// support.
+type LeafResolver interface {
+	Resolve(name, version string) (sp *spanners.Spanner, resolvedVersion string, err error)
+}
+
+// Plan is a composed, ready-to-evaluate algebra expression.
+type Plan struct {
+	// Spanner is the composed spanner; it runs the compiled execution
+	// core whenever the composition fits the program budgets.
+	Spanner *spanners.Spanner
+	// Pinned is the canonical expression with every leaf resolved to
+	// a concrete version: the cache key, and — for registered algebra
+	// artifacts — the source of truth whose meaning content
+	// addressing freezes forever.
+	Pinned string
+	// Leaves counts leaf references (duplicates included).
+	Leaves int
+}
+
+// Build resolves every leaf of e through r and folds the tree through
+// the spanner algebra of Theorem 4.5: Union and Join left to right,
+// Project after checking that the operand can bind every projected
+// variable (ErrUnbound otherwise). Leaf-resolution errors pass
+// through wrapped, so registry sentinels (registry.ErrNotFound, …)
+// stay matchable with errors.Is.
+func Build(e Expr, r LeafResolver) (*Plan, error) {
+	b := &builder{resolver: r}
+	sp, pinned, err := b.build(e)
+	if err != nil {
+		return nil, err
+	}
+	return &Plan{Spanner: sp, Pinned: pinned.Canonical(), Leaves: b.leaves}, nil
+}
+
+type builder struct {
+	resolver LeafResolver
+	leaves   int
+}
+
+// build returns the composed spanner for e together with the pinned
+// copy of the subtree.
+func (b *builder) build(e Expr) (*spanners.Spanner, Expr, error) {
+	switch n := e.(type) {
+	case Ref:
+		sp, version, err := b.resolver.Resolve(n.Name, n.Version)
+		if err != nil {
+			return nil, nil, fmt.Errorf("leaf %s: %w", n.Canonical(), err)
+		}
+		if sp.Automaton() == nil {
+			return nil, nil, fmt.Errorf("algebra: leaf %s resolved to a program-only spanner with no automaton", n.Canonical())
+		}
+		b.leaves++
+		return sp, Ref{Name: n.Name, Version: version}, nil
+
+	case Union:
+		return b.fold(n.Args, spanners.Union, func(args []Expr) Expr { return Union{Args: args} })
+
+	case Join:
+		return b.fold(n.Args, spanners.Join, func(args []Expr) Expr { return Join{Args: args} })
+
+	case Project:
+		arg, pinnedArg, err := b.build(n.Arg)
+		if err != nil {
+			return nil, nil, err
+		}
+		bound := map[spanners.Var]bool{}
+		for _, v := range arg.Vars() {
+			bound[v] = true
+		}
+		for _, v := range n.Vars {
+			if !bound[v] {
+				return nil, nil, fmt.Errorf("%w: %q in %s (operand binds %v)",
+					ErrUnbound, v, n.Canonical(), arg.Vars())
+			}
+		}
+		return spanners.Project(arg, n.Vars...), Project{Arg: pinnedArg, Vars: n.Vars}, nil
+
+	default:
+		return nil, nil, fmt.Errorf("%w: unknown node type %T", ErrSyntax, e)
+	}
+}
+
+func (b *builder) fold(args []Expr, op func(a, b *spanners.Spanner) *spanners.Spanner, rebuild func([]Expr) Expr) (*spanners.Spanner, Expr, error) {
+	pinnedArgs := make([]Expr, len(args))
+	var acc *spanners.Spanner
+	for i, a := range args {
+		sp, pinned, err := b.build(a)
+		if err != nil {
+			return nil, nil, err
+		}
+		pinnedArgs[i] = pinned
+		if i == 0 {
+			acc = sp
+		} else {
+			acc = op(acc, sp)
+		}
+	}
+	return acc, rebuild(pinnedArgs), nil
+}

@@ -1,0 +1,105 @@
+package algebra
+
+import (
+	"fmt"
+
+	"spanners"
+	"spanners/internal/registry"
+)
+
+// RegistryResolver resolves algebra leaves against a persistent
+// registry. Because stored artifacts carry only the compiled program
+// (no automaton), leaves are always rebuilt from their manifests'
+// sources: an RGX manifest is recompiled, and a manifest of
+// registry.KindAlgebra is recursively parsed and planned — so
+// registered algebra expressions are first-class operands of larger
+// expressions. Recursion is guarded against reference cycles
+// (ErrCycle) and runaway nesting (ErrDepth).
+//
+// The three optional hooks let a caller graft a cache and counters
+// onto resolution without owning it: Lookup is consulted before any
+// disk or compile work (return nil to decline), Store receives every
+// freshly built leaf, and OnBuild fires once per leaf built from
+// source. A RegistryResolver is single-use per goroutine — the cycle
+// guard is not synchronized; share state through the hooks instead.
+type RegistryResolver struct {
+	Reg *registry.Registry
+	// Lookup returns a resident automaton-bearing spanner for a
+	// pinned "name@version" ref, or nil.
+	Lookup func(ref string) *spanners.Spanner
+	// Store records a freshly built leaf under its pinned ref.
+	Store func(ref string, sp *spanners.Spanner)
+	// OnBuild fires after a leaf is built from its manifest's source.
+	OnBuild func(man registry.Manifest)
+
+	resolving map[string]bool
+	depth     int
+}
+
+// Resolve implements LeafResolver over the registry.
+func (r *RegistryResolver) Resolve(name, version string) (*spanners.Spanner, string, error) {
+	man, err := r.Reg.Manifest(name, version)
+	if err != nil {
+		return nil, "", err
+	}
+	ref := man.Ref()
+	if r.Lookup != nil {
+		if sp := r.Lookup(ref); sp != nil {
+			return sp, man.Version, nil
+		}
+	}
+	if r.resolving[ref] {
+		return nil, "", fmt.Errorf("%w: %s", ErrCycle, ref)
+	}
+	if r.depth >= MaxDepth {
+		return nil, "", fmt.Errorf("%w: resolving %s", ErrDepth, ref)
+	}
+	if r.resolving == nil {
+		r.resolving = map[string]bool{}
+	}
+	r.resolving[ref] = true
+	r.depth++
+	sp, err := r.buildFromSource(man)
+	r.depth--
+	delete(r.resolving, ref)
+	if err != nil {
+		return nil, "", err
+	}
+	if r.OnBuild != nil {
+		r.OnBuild(man)
+	}
+	if r.Store != nil {
+		r.Store(ref, sp)
+	}
+	return sp, man.Version, nil
+}
+
+// buildFromSource rebuilds the automaton-bearing spanner behind man,
+// dispatching strictly on the manifest kind: the two concrete
+// syntaxes overlap (a canonical algebra expression also compiles as a
+// literal RGX), so guessing from the text would silently rebuild a
+// composition as a literal matcher. The kind is trustworthy even for
+// raw-bytes imports — it is derived from the artifact envelope's own
+// source mark.
+func (r *RegistryResolver) buildFromSource(man registry.Manifest) (*spanners.Spanner, error) {
+	if man.Kind == registry.KindAlgebra {
+		return r.plan(man)
+	}
+	sp, err := spanners.Compile(man.Source)
+	if err != nil {
+		return nil, fmt.Errorf("algebra: compile source of %s: %w", man.Ref(), err)
+	}
+	return sp, nil
+}
+
+func (r *RegistryResolver) plan(man registry.Manifest) (*spanners.Spanner, error) {
+	node, err := Parse(man.Source)
+	if err != nil {
+		return nil, fmt.Errorf("algebra: stored source of %s: %w", man.Ref(), err)
+	}
+	plan, err := Build(node, r)
+	if err != nil {
+		return nil, fmt.Errorf("algebra: stored source of %s: %w", man.Ref(), err)
+	}
+	return plan.Spanner, nil
+}

@@ -53,10 +53,18 @@ var (
 	versionRE = regexp.MustCompile(`^[0-9a-f]{12}$`)
 )
 
+// KindAlgebra marks a manifest whose Source is a spanner-algebra
+// expression (internal/algebra syntax) rather than an RGX: the stored
+// artifact is the composed compiled program, and the expression text
+// is the source of truth for rebuilding it. An empty Kind is an RGX
+// manifest — the only kind that existed before the field did.
+const KindAlgebra = "algebra"
+
 // Manifest is the JSON metadata stored alongside each artifact.
 type Manifest struct {
 	Name       string                `json:"name"`
 	Version    string                `json:"version"`
+	Kind       string                `json:"kind,omitempty"`
 	Source     string                `json:"source"`
 	Sequential bool                  `json:"sequential"`
 	Vars       []string              `json:"vars"`
@@ -127,7 +135,26 @@ func (r *Registry) Register(name, source string) (Manifest, bool, error) {
 	if err != nil {
 		return Manifest{}, false, fmt.Errorf("registry: %w", err)
 	}
-	return r.put(name, source, sp, artifact)
+	return r.put(name, "", source, sp, artifact)
+}
+
+// RegisterCompiled stores an already-composed spanner under name. The
+// spanner's String() is recorded as the manifest source and its
+// source mark as the manifest kind — callers persisting an algebra
+// composition pass the pinned expression via
+// Spanner.WithAlgebraSource, making the expression text the source of
+// truth the service can replan from when the artifact is lost or
+// corrupt. The spanner must run the compiled engine (MarshalBinary
+// fails otherwise).
+func (r *Registry) RegisterCompiled(name string, sp *spanners.Spanner) (Manifest, bool, error) {
+	if !nameRE.MatchString(name) {
+		return Manifest{}, false, fmt.Errorf("%w: %q", ErrBadName, name)
+	}
+	artifact, err := sp.MarshalBinary()
+	if err != nil {
+		return Manifest{}, false, fmt.Errorf("registry: %w", err)
+	}
+	return r.put(name, kindOf(sp), sp.String(), sp, artifact)
 }
 
 // Put stores a pre-built artifact (an export from another registry)
@@ -140,10 +167,21 @@ func (r *Registry) Put(name string, artifact []byte) (Manifest, bool, error) {
 	if err != nil {
 		return Manifest{}, false, fmt.Errorf("%w: %v", ErrBadArtifact, err)
 	}
-	return r.put(name, sp.String(), sp, artifact)
+	return r.put(name, kindOf(sp), sp.String(), sp, artifact)
 }
 
-func (r *Registry) put(name, source string, sp *spanners.Spanner, artifact []byte) (Manifest, bool, error) {
+// kindOf derives the manifest kind from the spanner's own source
+// mark, which serialization preserves — so importing an exported
+// algebra artifact keeps its kind, and rebuilds replan instead of
+// misreading the expression as an RGX.
+func kindOf(sp *spanners.Spanner) string {
+	if sp.AlgebraSource() {
+		return KindAlgebra
+	}
+	return ""
+}
+
+func (r *Registry) put(name, kind, source string, sp *spanners.Spanner, artifact []byte) (Manifest, bool, error) {
 	version := Version(artifact)
 	vars := make([]string, 0, len(sp.Vars()))
 	for _, v := range sp.Vars() {
@@ -154,6 +192,7 @@ func (r *Registry) put(name, source string, sp *spanners.Spanner, artifact []byt
 	man := Manifest{
 		Name:       name,
 		Version:    version,
+		Kind:       kind,
 		Source:     source,
 		Sequential: sp.Sequential(),
 		Vars:       vars,

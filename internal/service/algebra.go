@@ -1,0 +1,189 @@
+package service
+
+import (
+	"fmt"
+
+	"spanners"
+	"spanners/internal/algebra"
+	"spanners/internal/registry"
+)
+
+// This file is the service side of the spanner algebra: queries whose
+// "algebra" field composes registered spanners with union / project /
+// join (Theorem 4.5) on the server. Compositions are cached in the
+// same LRU as inline expressions — under a disjoint key space — keyed
+// by the canonical expression with every leaf pinned to its resolved
+// content-addressed version, so a cache entry can never change
+// meaning when a name's latest pointer moves. Leaves are rebuilt from
+// their manifests' sources (stored artifacts carry no automaton) into
+// a dedicated resident index, bypassing the expression LRU entirely:
+// algebra traffic neither pollutes nor misses the inline-expression
+// cache.
+
+// The spanner LRU is shared by inline expressions and composed
+// algebra expressions. The key spaces carry distinct prefixes because
+// a canonical algebra expression ("join(a@…,b@…)") is also a
+// syntactically valid RGX — without the prefix, an inline query for
+// that literal text would be served the composed spanner (or vice
+// versa).
+const (
+	exprKeyPrefix    = "e\x00"
+	algebraKeyPrefix = "a\x00"
+)
+
+// AlgebraStats summarizes the algebra subsystem: how many algebra
+// queries were resolved, how they split into composed-spanner cache
+// hits vs fresh compositions, and the leaf traffic behind the
+// compositions (leaf_builds compiled or replanned a manifest source,
+// leaf_hits reused a resident leaf). Leaf work is deliberately not
+// part of the expression-cache counters.
+type AlgebraStats struct {
+	Queries      uint64 `json:"queries"`
+	CacheHits    uint64 `json:"cache_hits"`
+	Compositions uint64 `json:"compositions"`
+	LeafBuilds   uint64 `json:"leaf_builds"`
+	LeafHits     uint64 `json:"leaf_hits"`
+	Registered   uint64 `json:"registered"`
+}
+
+// AlgebraSpanner resolves an algebra expression to a composed, ready
+// spanner: parse, pin every leaf to its current version, and serve
+// the composition from the LRU under the pinned canonical key —
+// composing through the registry only on a miss. Errors are typed:
+// algebra.ErrSyntax / ErrUnbound / ErrDepth / ErrCycle for bad
+// expressions, registry.ErrNotFound for unknown leaves.
+func (s *Service) AlgebraSpanner(expr string) (*spanners.Spanner, error) {
+	if s.reg == nil {
+		return nil, ErrNoRegistry
+	}
+	s.algebraQueries.Add(1)
+	pinned, err := s.pinExpr(expr)
+	if err != nil {
+		return nil, err
+	}
+	key := pinned.Canonical()
+	composed := false
+	sp, err := s.spanners.get(algebraKeyPrefix+key, func() (*spanners.Spanner, error) {
+		composed = true
+		plan, err := algebra.Build(pinned, s.leafResolver())
+		if err != nil {
+			return nil, err
+		}
+		s.recordEngine(plan.Spanner)
+		return plan.Spanner.WithAlgebraSource(key), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if composed {
+		s.algebraCompositions.Add(1)
+	} else {
+		s.algebraCacheHits.Add(1)
+	}
+	return sp, nil
+}
+
+// RegisterAlgebra plans expr, persists the composed program under
+// name as a first-class registry artifact of registry.KindAlgebra,
+// and makes it immediately resolvable — both as a named query target
+// and as a leaf of further algebra expressions. The manifest's source
+// is the pinned canonical expression: content addressing freezes the
+// leaves, so the stored text rebuilds the identical composition even
+// after the leaves' latest pointers move on.
+func (s *Service) RegisterAlgebra(name, expr string) (registry.Manifest, bool, error) {
+	if s.reg == nil {
+		return registry.Manifest{}, false, ErrNoRegistry
+	}
+	pinned, err := s.pinExpr(expr)
+	if err != nil {
+		return registry.Manifest{}, false, err
+	}
+	plan, err := algebra.Build(pinned, s.leafResolver())
+	if err != nil {
+		return registry.Manifest{}, false, err
+	}
+	if !plan.Spanner.Compiled() {
+		return registry.Manifest{}, false, fmt.Errorf("%w: %s", algebra.ErrNotCompiled, plan.Pinned)
+	}
+	man, created, err := s.reg.RegisterCompiled(name, plan.Spanner.WithAlgebraSource(plan.Pinned))
+	if err != nil {
+		return registry.Manifest{}, false, err
+	}
+	s.algebraRegistered.Add(1)
+	// Read the stored artifact back (verifying the round trip) for
+	// the named index, and keep the automaton-bearing composition
+	// resident so the new name is immediately usable as a leaf.
+	sp, man, _, err := s.loadNamed(man.Name, man.Version)
+	if err != nil {
+		return man, created, err
+	}
+	s.install(man, sp, true, false)
+	s.namedMu.Lock()
+	s.leaves[man.Ref()] = plan.Spanner.WithAlgebraSource(plan.Pinned)
+	s.namedMu.Unlock()
+	return man, created, nil
+}
+
+// pinExpr parses an algebra expression and pins every leaf to its
+// current version — the shared front half of AlgebraSpanner and
+// RegisterAlgebra.
+func (s *Service) pinExpr(expr string) (algebra.Expr, error) {
+	node, err := algebra.Parse(expr)
+	if err != nil {
+		return nil, err
+	}
+	return algebra.Pin(node, s.latestVersion)
+}
+
+// latestVersion pins an unpinned leaf: the in-memory latest pointer
+// when the name is known, the registry's latest file otherwise (the
+// result is remembered, so steady-state pinning never touches disk).
+func (s *Service) latestVersion(name string) (string, error) {
+	s.namedMu.Lock()
+	v := s.latest[name]
+	s.namedMu.Unlock()
+	if v != "" {
+		return v, nil
+	}
+	man, err := s.reg.Manifest(name, "")
+	if err != nil {
+		return "", err
+	}
+	s.namedMu.Lock()
+	if s.latest[name] == "" {
+		s.latest[name] = man.Version
+	}
+	s.namedMu.Unlock()
+	return man.Version, nil
+}
+
+// leafResolver builds the per-request resolver: resolution logic
+// lives in algebra.RegistryResolver; the service grafts on its
+// resident leaf index and counters. A named-index entry doubles as a
+// leaf when it carries an automaton (a source-fallback recompile
+// does; a decoded artifact does not).
+func (s *Service) leafResolver() *algebra.RegistryResolver {
+	return &algebra.RegistryResolver{
+		Reg: s.reg,
+		Lookup: func(ref string) *spanners.Spanner {
+			s.namedMu.Lock()
+			sp := s.leaves[ref]
+			if sp == nil {
+				if named := s.named[ref]; named != nil && named.Automaton() != nil {
+					sp = named
+				}
+			}
+			s.namedMu.Unlock()
+			if sp != nil {
+				s.algebraLeafHits.Add(1)
+			}
+			return sp
+		},
+		Store: func(ref string, sp *spanners.Spanner) {
+			s.namedMu.Lock()
+			s.leaves[ref] = sp
+			s.namedMu.Unlock()
+		},
+		OnBuild: func(registry.Manifest) { s.algebraLeafBuilds.Add(1) },
+	}
+}

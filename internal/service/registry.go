@@ -38,17 +38,18 @@ func (s *Service) install(man registry.Manifest, sp *spanners.Spanner, markLates
 		s.latest[man.Name] = man.Version
 	}
 	s.namedMu.Unlock()
-	if seedExpr && man.Source != "" {
-		s.spanners.put(man.Source, sp)
+	if seedExpr && man.Source != "" && man.Kind == "" {
+		s.spanners.put(exprKeyPrefix+man.Source, sp)
 	}
 }
 
 // loadNamed materializes name@version from the registry: decode the
 // stored artifact, or — when the artifact is unusable (corrupt,
 // truncated, or its .bin file missing while the manifest survives) —
-// recompile from the manifest's source so storage damage degrades to
-// a slower start instead of a failed request. The returned fromSource
-// flag reports which path produced the spanner.
+// rebuild from the manifest's source so storage damage degrades to a
+// slower start instead of a failed request: RGX manifests recompile,
+// algebra manifests replan their pinned expression. The returned
+// fromSource flag reports which path produced the spanner.
 func (s *Service) loadNamed(name, version string) (*spanners.Spanner, registry.Manifest, bool, error) {
 	sp, man, err := s.reg.Load(name, version)
 	if err == nil {
@@ -59,9 +60,14 @@ func (s *Service) loadNamed(name, version string) (*spanners.Spanner, registry.M
 	if merr != nil || man.Source == "" {
 		return nil, man, false, err
 	}
-	sp, cerr := s.Spanner(man.Source)
+	var cerr error
+	if man.Kind == registry.KindAlgebra {
+		sp, cerr = s.AlgebraSpanner(man.Source)
+	} else {
+		sp, cerr = s.Spanner(man.Source)
+	}
 	if cerr != nil {
-		return nil, man, false, fmt.Errorf("%v; recompile fallback: %w", err, cerr)
+		return nil, man, false, fmt.Errorf("%v; rebuild-from-source fallback: %w", err, cerr)
 	}
 	s.fallbacks.Add(1)
 	return sp, man, true, nil
@@ -193,10 +199,16 @@ func (s *Service) DeleteSpanner(name, version string) error {
 				delete(s.named, ref)
 			}
 		}
+		for ref := range s.leaves {
+			if n, _, err := registry.ParseRef(ref); err == nil && n == name {
+				delete(s.leaves, ref)
+			}
+		}
 		delete(s.latest, name)
 		return nil
 	}
 	delete(s.named, name+"@"+version)
+	delete(s.leaves, name+"@"+version)
 	if s.latest[name] == version {
 		delete(s.latest, name) // re-resolved from disk on next lookup
 	}

@@ -57,17 +57,28 @@ type Service struct {
 
 	// Registry-backed named spanners: named maps "name@version" to the
 	// decoded artifact (or its recompiled fallback), latest caches each
-	// name's current version so unpinned lookups skip the disk.
+	// name's current version so unpinned lookups skip the disk, and
+	// leaves holds the automaton-bearing spanners the algebra planner
+	// rebuilt from manifest sources (decoded artifacts carry no
+	// automaton and cannot be composed).
 	reg     *registry.Registry
 	namedMu sync.Mutex
 	named   map[string]*spanners.Spanner
 	latest  map[string]string
 	loading map[string]*namedCall
+	leaves  map[string]*spanners.Spanner
 
 	prewarmed     atomic.Uint64
 	namedHits     atomic.Uint64
 	artifactLoads atomic.Uint64
 	fallbacks     atomic.Uint64
+
+	algebraQueries      atomic.Uint64
+	algebraCacheHits    atomic.Uint64
+	algebraCompositions atomic.Uint64
+	algebraLeafBuilds   atomic.Uint64
+	algebraLeafHits     atomic.Uint64
+	algebraRegistered   atomic.Uint64
 
 	inFlight atomic.Int64
 	emitted  atomic.Uint64
@@ -93,6 +104,7 @@ func New(cfg Config) *Service {
 		named:    map[string]*spanners.Spanner{},
 		latest:   map[string]string{},
 		loading:  map[string]*namedCall{},
+		leaves:   map[string]*spanners.Spanner{},
 	}
 }
 
@@ -125,12 +137,13 @@ type RegistryStats struct {
 }
 
 // Stats is the service-level metrics snapshot: the two compile caches
-// plus request-path, engine-selection and registry counters.
+// plus request-path, engine-selection, registry and algebra counters.
 type Stats struct {
 	Spanners CacheStats    `json:"spanner_cache"`
 	Rules    CacheStats    `json:"rule_cache"`
 	Engine   EngineStats   `json:"engine"`
 	Registry RegistryStats `json:"registry"`
+	Algebra  AlgebraStats  `json:"algebra"`
 	InFlight int64         `json:"in_flight"`
 	Emitted  uint64        `json:"mappings_emitted"`
 }
@@ -158,6 +171,14 @@ func (s *Service) Stats() Stats {
 			SourceFallbacks: s.fallbacks.Load(),
 			Resident:        resident,
 		},
+		Algebra: AlgebraStats{
+			Queries:      s.algebraQueries.Load(),
+			CacheHits:    s.algebraCacheHits.Load(),
+			Compositions: s.algebraCompositions.Load(),
+			LeafBuilds:   s.algebraLeafBuilds.Load(),
+			LeafHits:     s.algebraLeafHits.Load(),
+			Registered:   s.algebraRegistered.Load(),
+		},
 		InFlight: s.inFlight.Load(),
 		Emitted:  s.emitted.Load(),
 	}
@@ -166,25 +187,31 @@ func (s *Service) Stats() Stats {
 // Spanner returns the compiled spanner for expr, compiling on a cache
 // miss.
 func (s *Service) Spanner(expr string) (*spanners.Spanner, error) {
-	return s.spanners.get(expr, func() (*spanners.Spanner, error) {
+	return s.spanners.get(exprKeyPrefix+expr, func() (*spanners.Spanner, error) {
 		start := time.Now()
 		sp, err := spanners.Compile(expr)
 		if err != nil {
 			return nil, err
 		}
 		s.compileNanos.Add(time.Since(start).Nanoseconds())
-		if sp.Sequential() {
-			s.seqSpanners.Add(1)
-		} else {
-			s.fptSpanners.Add(1)
-		}
-		if sp.Compiled() {
-			s.compiledProgs.Add(1)
-		} else {
-			s.interpFallbacks.Add(1)
-		}
+		s.recordEngine(sp)
 		return sp, nil
 	})
+}
+
+// recordEngine counts sp into the engine-selection counters, once per
+// spanner entering a cache (inline compile or algebra composition).
+func (s *Service) recordEngine(sp *spanners.Spanner) {
+	if sp.Sequential() {
+		s.seqSpanners.Add(1)
+	} else {
+		s.fptSpanners.Add(1)
+	}
+	if sp.Compiled() {
+		s.compiledProgs.Add(1)
+	} else {
+		s.interpFallbacks.Add(1)
+	}
 }
 
 // Rule returns the compiled extraction rule for input, compiling on a
@@ -196,20 +223,23 @@ func (s *Service) Rule(input string) (*spanners.Rule, error) {
 }
 
 // Query names what to extract with: exactly one of Expr (an RGX
-// expression), Rule (an extraction rule, docExpr && x.(…) syntax) or
-// Spanner (a registry reference, "name" or "name@version") must be
-// set. Limit, when positive, caps the number of mappings per
+// expression), Rule (an extraction rule, docExpr && x.(…) syntax),
+// Spanner (a registry reference, "name" or "name@version") or Algebra
+// (a spanner-algebra expression composing registry entries, e.g.
+// "join(project(invoices@v, buyer), union(sellers, sellers-eu))")
+// must be set. Limit, when positive, caps the number of mappings per
 // document.
 type Query struct {
 	Expr    string `json:"expr,omitempty"`
 	Rule    string `json:"rule,omitempty"`
 	Spanner string `json:"spanner,omitempty"`
+	Algebra string `json:"algebra,omitempty"`
 	Limit   int    `json:"limit,omitempty"`
 }
 
 // ErrBadQuery is returned when a query does not set exactly one of
-// Expr/Rule/Spanner.
-var ErrBadQuery = errors.New("service: query must set exactly one of expr, rule or spanner")
+// Expr/Rule/Spanner/Algebra.
+var ErrBadQuery = errors.New("service: query must set exactly one of expr, rule, spanner or algebra")
 
 // enumerator abstracts the two compiled forms behind a common
 // streaming interface. Spanners stream with polynomial delay and
@@ -222,7 +252,7 @@ type enumerator func(ctx context.Context, d *spanners.Document, yield func(spann
 
 func (s *Service) compile(q Query) (enumerator, error) {
 	set := 0
-	for _, f := range []string{q.Expr, q.Rule, q.Spanner} {
+	for _, f := range []string{q.Expr, q.Rule, q.Spanner, q.Algebra} {
 		if f != "" {
 			set++
 		}
@@ -235,6 +265,14 @@ func (s *Service) compile(q Query) (enumerator, error) {
 		sp, err := s.NamedSpanner(q.Spanner)
 		if err != nil {
 			return nil, fmt.Errorf("resolve spanner: %w", err)
+		}
+		return sp.EnumerateContext, nil
+	case q.Algebra != "":
+		// Not re-wrapped: algebra and registry errors already carry
+		// their own "algebra:" / "leaf name@version:" context.
+		sp, err := s.AlgebraSpanner(q.Algebra)
+		if err != nil {
+			return nil, err
 		}
 		return sp.EnumerateContext, nil
 	case q.Expr != "":

@@ -16,6 +16,7 @@ import (
 //	magic   [4]byte  "SPNA"
 //	version uint16   spannerArtifactVersion
 //	flags   uint16   bit 0: sequential engine
+//	                 bit 1: source is an algebra expression
 //	srcLen  uint32   length of the source expression
 //	source  [srcLen]byte
 //	program …        program codec artifact (self-checksummed)
@@ -23,16 +24,22 @@ import (
 //
 // The source expression rides along so a registry can fall back to
 // recompiling when an artifact fails to decode, and so String() on a
-// loaded spanner reports what it extracts. The trailing checksum
-// covers the envelope too — the program payload alone is checksummed
-// by its own codec, but a flipped flag bit or source byte would
-// otherwise slip through and silently select the wrong engine.
+// loaded spanner reports what it extracts. Bit 1 of the flags records
+// that the source is a spanner-algebra expression rather than an RGX
+// — the two concrete syntaxes overlap (a canonical algebra expression
+// is also a valid RGX), so the artifact must say which reading
+// rebuilds it; guessing would silently rebuild a composition as a
+// literal matcher. The trailing checksum covers the envelope too —
+// the program payload alone is checksummed by its own codec, but a
+// flipped flag bit or source byte would otherwise slip through and
+// silently select the wrong engine.
 const spannerArtifactVersion = 1
 
 var spannerMagic = [4]byte{'S', 'P', 'N', 'A'}
 
 const (
 	seqFlag           = 1 << 0
+	algebraSrcFlag    = 1 << 1
 	maxSourceBytes    = 1 << 20
 	spannerHeaderLen  = 4 + 2 + 2 + 4
 	spannerTrailerLen = 8
@@ -60,6 +67,9 @@ func (s *Spanner) MarshalBinary() ([]byte, error) {
 	var flags uint16
 	if s.engine.Sequential() {
 		flags |= seqFlag
+	}
+	if s.algebraSrc {
+		flags |= algebraSrcFlag
 	}
 	buf = binary.LittleEndian.AppendUint16(buf, flags)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s.source)))
@@ -104,7 +114,7 @@ func LoadCompiledSpanner(data []byte) (*Spanner, error) {
 			program.ErrVersion, v, spannerArtifactVersion)
 	}
 	flags := binary.LittleEndian.Uint16(body[6:])
-	if flags&^uint16(seqFlag) != 0 {
+	if flags&^uint16(seqFlag|algebraSrcFlag) != 0 {
 		return nil, fmt.Errorf("spanners: %w: unknown envelope flags %#x", program.ErrCorrupt, flags)
 	}
 	srcLen := binary.LittleEndian.Uint32(body[8:])
@@ -123,7 +133,8 @@ func LoadCompiledSpanner(data []byte) (*Spanner, error) {
 		return nil, err
 	}
 	return &Spanner{
-		source: source,
-		engine: eval.FromProgram(p, flags&seqFlag != 0),
+		source:     source,
+		algebraSrc: flags&algebraSrcFlag != 0,
+		engine:     eval.FromProgram(p, flags&seqFlag != 0),
 	}, nil
 }

@@ -42,7 +42,8 @@ func MustParseRule(input string) *Rule {
 	return r
 }
 
-// String renders the rule in parseable syntax.
+// String renders the rule back in the concrete syntax ParseRule
+// accepts.
 func (r *Rule) String() string { return r.rule.String() }
 
 // ExtractAll evaluates the rule over d, returning every output
@@ -57,18 +58,23 @@ func (r *Rule) ExtractAll(d *Document) []Mapping {
 // tractable tree-like path when available.
 func (r *Rule) Matches(d *Document) bool { return rules.NonEmpty(r.rule, d) }
 
-// Simple reports whether all conjunct variables are distinct.
+// Simple reports whether all conjunct variables are distinct — the
+// fragment for which the tree-like hierarchy below is stated.
 func (r *Rule) Simple() bool { return r.rule.IsSimple() }
 
 // TreeLike reports whether the rule graph is a tree rooted at the
 // document formula (the tractable class of Theorem 5.9).
 func (r *Rule) TreeLike() bool { return rules.IsTreeLike(r.rule) }
 
-// DagLike reports whether the rule graph is acyclic.
+// DagLike reports whether the rule graph is acyclic — the
+// intermediate class between tree-like and general rules in the
+// Theorem 4.10 rewriting pipeline.
 func (r *Rule) DagLike() bool { return rules.IsDagLike(r.rule) }
 
 // Sequential reports whether every expression in the rule is
-// sequential.
+// sequential (Proposition 5.5 applied conjunct-wise), the fragment
+// whose tree-like members evaluate in polynomial time per output
+// (Theorem 5.9).
 func (r *Rule) Sequential() bool { return r.rule.IsSequential() }
 
 // Satisfiable reports whether some document makes the rule output a
@@ -112,7 +118,8 @@ func (r *Rule) ToSpanner(budget int) (*Spanner, error) {
 	return compileNode(n)
 }
 
-// Vars returns every variable mentioned by the rule.
+// Vars returns every variable mentioned by the rule, conjunct
+// variables and capture variables alike.
 func (r *Rule) Vars() []Var {
 	vars := r.rule.Vars()
 	return append([]span.Var(nil), vars...)

@@ -6,7 +6,12 @@
 #   3. kill the server, restart it on the same directory,
 #   4. extract by the same pin again and assert — via the exported
 #      counters — that the pre-warmed cache served it with ZERO
-#      compile-cache misses (the artifact was decoded, not recompiled).
+#      compile-cache misses (the artifact was decoded, not recompiled),
+#   5. serve a join ALGEBRA expression over the pinned pair and assert
+#      the leaves cost zero expression-cache misses (leaf rebuilds are
+#      accounted under algebra.leaf_builds, outside the LRU), the only
+#      LRU miss is the composition itself, and the repeated expression
+#      is a pure cache hit.
 #
 # Requires: go, curl, jq.
 set -euo pipefail
@@ -62,7 +67,9 @@ names=$(echo "$resp" | jq -r '.results[0][].x.content' | paste -sd, -)
 [ "$names" = "Anna,Bob" ] || die "extracted [$names], want [Anna,Bob]"
 
 echo "== register a second spanner over HTTP, then kill the server"
-curl -sf -X PUT "$base/registry/tax" -d '{"expr": ".*\\$y{[0-9,]+}.*"}' >/dev/null || die "HTTP registration failed"
+tax_ver=$(curl -sf -X PUT "$base/registry/tax" -d '{"expr": ".*\\$y{[0-9,]+}\\n.*"}' | jq -r '.version') \
+  || die "HTTP registration failed"
+case "$tax_ver" in [0-9a-f][0-9a-f][0-9a-f]*) ;; *) die "unexpected tax version $tax_ver";; esac
 stop_spand
 
 echo "== restart on the same registry directory"
@@ -86,4 +93,36 @@ fallbacks=$(echo "$resp" | jq -r '.stats.registry.source_fallbacks')
 metrics_misses=$(curl -sf "$base/metrics" | jq -r '.spand.spanner_cache.misses')
 [ "$metrics_misses" = "0" ] || die "/metrics reports $metrics_misses compile misses, want 0"
 
-echo "registry_roundtrip: PASS (pinned $ref served after restart with zero compile-cache misses)"
+echo "== join the pinned pair server-side, post-restart"
+joinbody=$(jq -n --arg e "join($ref, tax@$tax_ver)" '{algebra: $e, docs: ["Seller: Mark, ID7, $35,000\n"]}')
+resp=$(curl -sf "$base/extract" -d "$joinbody") || die "algebra join failed"
+x=$(echo "$resp" | jq -r '.results[0][0].x.content')
+y=$(echo "$resp" | jq -r '.results[0][0].y.content')
+n=$(echo "$resp" | jq -r '.results[0] | length')
+[ "$x" = "Mark" ] && [ "$y" = "35,000" ] && [ "$n" = "1" ] \
+  || die "join extracted x=$x y=$y n=$n, want Mark / 35,000 / 1"
+
+# The composition is the ONLY expression-LRU miss: both leaves were
+# rebuilt from their manifest sources outside the LRU (counted in
+# algebra.leaf_builds), so pinned-leaf traffic still costs zero
+# compile-cache misses.
+misses=$(echo "$resp" | jq -r '.stats.spanner_cache.misses')
+leaf_builds=$(echo "$resp" | jq -r '.stats.algebra.leaf_builds')
+compositions=$(echo "$resp" | jq -r '.stats.algebra.compositions')
+[ "$misses" = "1" ] || die "spanner_cache.misses=$misses after the join, want 1 (the composition only)"
+[ "$leaf_builds" = "2" ] || die "algebra.leaf_builds=$leaf_builds, want 2"
+[ "$compositions" = "1" ] || die "algebra.compositions=$compositions, want 1"
+
+echo "== repeat the join: pure cache hit"
+resp=$(curl -sf "$base/extract" -d "$joinbody") || die "repeated algebra join failed"
+misses=$(echo "$resp" | jq -r '.stats.spanner_cache.misses')
+hits=$(echo "$resp" | jq -r '.stats.algebra.cache_hits')
+compositions=$(echo "$resp" | jq -r '.stats.algebra.compositions')
+[ "$misses" = "1" ] || die "repeat grew spanner_cache.misses to $misses, want 1"
+[ "$hits" = "1" ] || die "algebra.cache_hits=$hits on repeat, want 1"
+[ "$compositions" = "1" ] || die "repeat recomposed: compositions=$compositions, want 1"
+
+algebra_health=$(curl -sf "$base/healthz" | jq -r '.algebra.compositions')
+[ "$algebra_health" = "1" ] || die "/healthz algebra.compositions=$algebra_health, want 1"
+
+echo "registry_roundtrip: PASS (pinned $ref served after restart with zero compile-cache misses; join(seller, tax) composed once, leaves LRU-miss-free, repeat cache hit)"

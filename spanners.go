@@ -64,13 +64,15 @@ func Sp(start, end int) Span { return span.Sp(start, end) }
 // defines a set of mappings ⟦S⟧_d. Spanners are immutable and safe
 // for concurrent use.
 type Spanner struct {
-	expr   rgx.Node // nil when built directly from an automaton
-	source string
-	engine *eval.Engine
+	expr       rgx.Node // nil when built directly from an automaton
+	source     string
+	algebraSrc bool // source is an algebra expression, not an RGX
+	engine     *eval.Engine
 }
 
-// Compile parses an RGX expression and compiles it. The syntax is
-// standard regex plus x{…} captures: literals, '.', classes [a-z]
+// Compile parses an RGX expression (the variable regex of Section
+// 3.1) and compiles it down to the VA and program layers. The syntax
+// is standard regex plus x{…} captures: literals, '.', classes [a-z]
 // and [^…], alternation '|', repetition '*' '+' '?', grouping, and
 // escapes (\n, \t, \d, \w, \s, \uXXXX, and \ before metacharacters).
 func Compile(expr string) (*Spanner, error) {
@@ -101,6 +103,30 @@ func FromAutomaton(a *va.VA) (*Spanner, error) {
 
 // String returns the source expression (or "<automaton>").
 func (s *Spanner) String() string { return s.source }
+
+// WithSource returns a spanner sharing s's compiled engine but
+// reporting source from String() and embedding it in MarshalBinary
+// output; whether the source is an RGX or an algebra expression is
+// carried over from s.
+func (s *Spanner) WithSource(source string) *Spanner {
+	return &Spanner{expr: s.expr, source: source, algebraSrc: s.algebraSrc, engine: s.engine}
+}
+
+// WithAlgebraSource is WithSource for compositions: the source is
+// recorded as a spanner-algebra expression, and the mark survives
+// MarshalBinary / LoadCompiledSpanner (envelope flag bit 1), so a
+// registry holding the artifact knows to rebuild it by replanning the
+// expression rather than compiling it as an RGX. The distinction
+// cannot be inferred from the text — a canonical algebra expression
+// is also a syntactically valid RGX.
+func (s *Spanner) WithAlgebraSource(source string) *Spanner {
+	return &Spanner{expr: s.expr, source: source, algebraSrc: true, engine: s.engine}
+}
+
+// AlgebraSource reports whether String() is a spanner-algebra
+// expression (set by WithAlgebraSource, persisted through
+// serialization) rather than an RGX.
+func (s *Spanner) AlgebraSource() bool { return s.algebraSrc }
 
 // Expr returns the parsed RGX syntax tree, or nil for automaton-built
 // spanners.
@@ -175,7 +201,8 @@ func (s *Spanner) Functional() bool {
 func (s *Spanner) Matches(d *Document) bool { return s.engine.NonEmpty(d) }
 
 // ModelCheck reports whether m itself (exactly, with every other
-// variable unassigned) is an output on d.
+// variable unassigned) is an output on d — the ModelCheck problem of
+// Table 2, tractable even where Eval is not.
 func (s *Spanner) ModelCheck(d *Document, m Mapping) bool {
 	return s.engine.ModelCheck(d, m)
 }
@@ -284,13 +311,19 @@ func (c Constraints) WithUnassigned(x Var) Constraints {
 }
 
 // Union returns the spanner whose outputs are the union of both
-// spanners' outputs (Theorem 4.5).
+// spanners' outputs (Theorem 4.5: variable automata are closed under
+// union, at linear size). Like every algebra operation, it composes
+// through the operands' automata: spanners loaded from serialized
+// artifacts (LoadCompiledSpanner) carry none and must be recompiled
+// from String() first.
 func Union(a, b *Spanner) *Spanner {
 	u := va.Union(a.Automaton(), b.Automaton())
 	return &Spanner{source: fmt.Sprintf("(%s) ∪ (%s)", a, b), engine: eval.NewEngine(u)}
 }
 
-// Project restricts outputs to the given variables (Theorem 4.5).
+// Project restricts outputs to the given variables (Theorem 4.5:
+// closure under projection, exponential only in the dropped
+// variables).
 func Project(s *Spanner, keep ...Var) *Spanner {
 	p := va.Project(s.Automaton(), keep)
 	return &Spanner{source: fmt.Sprintf("π%v(%s)", keep, s), engine: eval.NewEngine(p)}

@@ -8,14 +8,15 @@ import (
 	"strings"
 )
 
-// The regression gate compares a fresh -engine run against the
-// committed BENCH_engine.json record, failing on gross regressions
-// instead of letting them land silently. Two kinds of checks:
+// The regression gate compares a fresh benchmark run against a
+// committed baseline record (BENCH_engine.json for -engine,
+// BENCH_dfa.json for -dfa), failing on gross regressions instead of
+// letting them land silently. Two kinds of checks:
 //
-//   - head-to-head speedups (compiled vs interpreted on identical
-//     automata) are dimensionless and largely machine-independent, so
-//     a speedup falling below baseline/mult means the compiled core
-//     itself regressed;
+//   - head-to-head speedups (two engines on identical automata and
+//     documents) are dimensionless and largely machine-independent,
+//     so a speedup falling below baseline/mult means the faster
+//     engine itself regressed;
 //   - service-path ns/op are absolute and vary with hardware, which
 //     is why the threshold is deliberately generous (default 2×) —
 //     the gate exists to catch a 5× cliff from an accidental
@@ -24,10 +25,31 @@ import (
 // Scenario names embed workload sizes ("eval/sequential |d|=63848"),
 // so matching uses the stable prefix before the first space.
 
-// baselineFile is the shape of the committed BENCH_engine.json; only
-// the spanbench_engine section participates in gating.
-type baselineFile struct {
-	SpanbenchEngine engineReport `json:"spanbench_engine"`
+// gatedReport is the gate's view of any benchmark report: scenario
+// names with their speedups and service ns/op. Both the -engine and
+// -dfa reports project onto it via JSON (their head-to-head rows all
+// carry "name" and "speedup").
+type gatedReport struct {
+	Quick      bool `json:"quick"`
+	HeadToHead []struct {
+		Name    string  `json:"name"`
+		Speedup float64 `json:"speedup"`
+	} `json:"head_to_head"`
+	Service []serviceScenario `json:"service_path"`
+}
+
+// asGated projects a concrete report through JSON onto the gate's
+// shape.
+func asGated(report any) (gatedReport, error) {
+	raw, err := json.Marshal(report)
+	if err != nil {
+		return gatedReport{}, err
+	}
+	var g gatedReport
+	if err := json.Unmarshal(raw, &g); err != nil {
+		return gatedReport{}, err
+	}
+	return g, nil
 }
 
 func scenarioKey(name string) string {
@@ -35,33 +57,48 @@ func scenarioKey(name string) string {
 	return key
 }
 
-func gateAgainstBaseline(cur engineReport, baselinePath string, mult float64) error {
+// gateAgainstBaseline compares cur against the named section of the
+// committed baseline file ("spanbench_engine" or "spanbench_dfa") and
+// returns the joined regression failures, nil when the gate passes.
+func gateAgainstBaseline(report any, baselinePath, section string, mult float64) error {
+	cur, err := asGated(report)
+	if err != nil {
+		return fmt.Errorf("project report: %w", err)
+	}
 	raw, err := os.ReadFile(baselinePath)
 	if err != nil {
 		return fmt.Errorf("read baseline: %w", err)
 	}
-	var base baselineFile
-	if err := json.Unmarshal(raw, &base); err != nil {
+	var sections map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &sections); err != nil {
 		return fmt.Errorf("parse baseline: %w", err)
 	}
-	if len(base.SpanbenchEngine.HeadToHead) == 0 {
-		return fmt.Errorf("baseline %s has no spanbench_engine.head_to_head section", baselinePath)
+	secRaw, ok := sections[section]
+	if !ok {
+		return fmt.Errorf("baseline %s has no %q section", baselinePath, section)
+	}
+	var base gatedReport
+	if err := json.Unmarshal(secRaw, &base); err != nil {
+		return fmt.Errorf("parse baseline section %q: %w", section, err)
+	}
+	if len(base.HeadToHead) == 0 {
+		return fmt.Errorf("baseline section %q has no head_to_head rows", section)
 	}
 	if mult < 1 {
 		return fmt.Errorf("gate multiplier %.2f must be >= 1", mult)
 	}
-	if cur.Quick != base.SpanbenchEngine.Quick {
+	if cur.Quick != base.Quick {
 		fmt.Fprintf(os.Stderr, "spanbench: warning: comparing quick=%v run against quick=%v baseline; workload sizes differ\n",
-			cur.Quick, base.SpanbenchEngine.Quick)
+			cur.Quick, base.Quick)
 	}
 
-	baseH2H := map[string]engineScenario{}
-	for _, s := range base.SpanbenchEngine.HeadToHead {
-		baseH2H[scenarioKey(s.Name)] = s
+	baseH2H := map[string]float64{}
+	for _, s := range base.HeadToHead {
+		baseH2H[scenarioKey(s.Name)] = s.Speedup
 	}
-	baseSvc := map[string]serviceScenario{}
-	for _, s := range base.SpanbenchEngine.Service {
-		baseSvc[scenarioKey(s.Name)] = s
+	baseSvc := map[string]int64{}
+	for _, s := range base.Service {
+		baseSvc[scenarioKey(s.Name)] = s.NsOp
 	}
 
 	var failures []error
@@ -70,10 +107,10 @@ func gateAgainstBaseline(cur engineReport, baselinePath string, mult float64) er
 		if !ok {
 			continue // new scenario: nothing to regress against
 		}
-		if floor := b.Speedup / mult; s.Speedup < floor {
+		if floor := b / mult; s.Speedup < floor {
 			failures = append(failures, fmt.Errorf(
 				"head-to-head %q: speedup %.2fx fell below %.2fx (baseline %.2fx / %.1f)",
-				s.Name, s.Speedup, floor, b.Speedup, mult))
+				s.Name, s.Speedup, floor, b, mult))
 		}
 	}
 	for _, s := range cur.Service {
@@ -81,10 +118,10 @@ func gateAgainstBaseline(cur engineReport, baselinePath string, mult float64) er
 		if !ok {
 			continue
 		}
-		if ceil := float64(b.NsOp) * mult; float64(s.NsOp) > ceil {
+		if ceil := float64(b) * mult; float64(s.NsOp) > ceil {
 			failures = append(failures, fmt.Errorf(
 				"service %q: %d ns/op exceeds %.0f ns/op (baseline %d × %.1f)",
-				s.Name, s.NsOp, ceil, b.NsOp, mult))
+				s.Name, s.NsOp, ceil, b, mult))
 		}
 	}
 	return errors.Join(failures...)

@@ -9,14 +9,18 @@
 //	spanbench [-run E6] [-quick]
 //	spanbench -engine [-quick] [-enginejson BENCH_engine.json]
 //	spanbench -engine -gatebase BENCH_engine.json [-gatemult 2]
+//	spanbench -dfa [-quick] [-dfajson BENCH_dfa.json]
+//	spanbench -dfa -gatebase BENCH_dfa.json [-gatemult 2]
 //
 // The -engine mode instead benchmarks the compiled execution core
 // against the interpreted engines (head-to-head on the same automata)
 // and records the service-path numbers tracked in BENCH_engine.json.
-// With -gatebase it additionally compares the run against that
-// committed record and exits nonzero on gross regressions (speedups
-// below baseline/mult, service ns/op above baseline×mult) — the CI
-// regression gate.
+// The -dfa mode benchmarks the lazy-DFA + superinstruction layer
+// against plain bitset stepping on the same compiled programs,
+// tracked in BENCH_dfa.json. With -gatebase either mode additionally
+// compares the run against its committed record and exits nonzero on
+// gross regressions (speedups below baseline/mult, service ns/op
+// above baseline×mult) — the CI regression gates.
 package main
 
 import (
@@ -42,8 +46,10 @@ var (
 	quick      = flag.Bool("quick", false, "smaller sweeps")
 	engineFlag = flag.Bool("engine", false, "run the compiled-vs-interpreted engine benchmarks instead of the experiment tables")
 	engineJSON = flag.String("enginejson", "", "with -engine: write results as JSON to this file")
-	gateBase   = flag.String("gatebase", "", "with -engine: compare against this committed BENCH_engine.json and exit nonzero on gross regressions")
-	gateMult   = flag.Float64("gatemult", 2.0, "with -engine -gatebase: allowed regression factor before the gate fails")
+	dfaFlag    = flag.Bool("dfa", false, "run the lazy-DFA-vs-bitset-stepping benchmarks instead of the experiment tables")
+	dfaJSON    = flag.String("dfajson", "", "with -dfa: write results as JSON to this file")
+	gateBase   = flag.String("gatebase", "", "with -engine or -dfa: compare against the committed baseline JSON and exit nonzero on gross regressions")
+	gateMult   = flag.Float64("gatemult", 2.0, "with -gatebase: allowed regression factor before the gate fails")
 )
 
 type experiment struct {
@@ -54,15 +60,23 @@ type experiment struct {
 
 func main() {
 	flag.Parse()
-	if *engineFlag {
-		rep := runEngineBench(*quick, *engineJSON)
+	if *engineFlag || *dfaFlag {
+		var (
+			rep     any
+			section string
+		)
+		if *engineFlag {
+			rep, section = runEngineBench(*quick, *engineJSON), "spanbench_engine"
+		} else {
+			rep, section = runDFABench(*quick, *dfaJSON), "spanbench_dfa"
+		}
 		if *gateBase != "" {
-			if err := gateAgainstBaseline(rep, *gateBase, *gateMult); err != nil {
+			if err := gateAgainstBaseline(rep, *gateBase, section, *gateMult); err != nil {
 				fmt.Fprintln(os.Stderr, "spanbench: REGRESSION GATE FAILED")
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}
-			fmt.Printf("\nregression gate passed (baseline %s, threshold %.1fx)\n", *gateBase, *gateMult)
+			fmt.Printf("\nregression gate passed (baseline %s §%s, threshold %.1fx)\n", *gateBase, section, *gateMult)
 		}
 		return
 	}
@@ -325,5 +339,3 @@ func max(a, b int) int {
 	}
 	return b
 }
-
-var _ = os.Exit

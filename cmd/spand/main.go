@@ -6,6 +6,7 @@
 //
 //	spand [-addr :8080] [-spanner-cache 256] [-rule-cache 64] [-workers 4]
 //	      [-max-body 8388608] [-request-timeout 60s] [-registry DIR]
+//	      [-persist-dfa=true]
 //
 // Endpoints:
 //
@@ -36,7 +37,11 @@
 // programs are also persisted as serialized artifacts: on startup the
 // cache is pre-warmed from the registry, so queries that pin
 // "name@version" never compile at all — the stored instruction tables
-// are decoded and executed directly.
+// are decoded and executed directly. The lazy-DFA transition caches
+// warmed by traffic persist as registry sidecars on graceful shutdown
+// (-persist-dfa, on by default) and are loaded back at the next
+// start, so a restart serves with the determinized state space
+// already resident (dfa.* counters on /healthz and /metrics).
 //
 // An "algebra" query composes registered spanners on the server with
 // the closure operators of Theorem 4.5 — e.g. "join(project(invoices,
@@ -75,6 +80,7 @@ func main() {
 		maxBody      = flag.Int64("max-body", defaultMaxBody, "request body size cap in bytes")
 		reqTimeout   = flag.Duration("request-timeout", defaultRequestTimeout, "per-request extraction deadline (negative disables)")
 		registryDir  = flag.String("registry", "", "persistent spanner registry directory (empty disables)")
+		persistDFA   = flag.Bool("persist-dfa", true, "with -registry: save warmed DFA caches as sidecars on shutdown and load them at startup")
 	)
 	flag.Parse()
 
@@ -128,6 +134,15 @@ func main() {
 		if err := srv.Shutdown(shutdownCtx); err != nil {
 			log.Printf("spand: drain window expired: %v", err)
 			srv.Close()
+		}
+		// Persist the warmed DFA caches so the next start serves with
+		// the determinized state space already resident.
+		if cfg.Registry != nil && *persistDFA {
+			if n, err := svc.SaveDFAs(); err != nil {
+				log.Printf("spand: persist DFA caches: %v", err)
+			} else {
+				log.Printf("spand: persisted %d DFA cache sidecar(s)", n)
+			}
 		}
 	}
 }

@@ -301,14 +301,16 @@ func (s *server) handleRegistryList(w http.ResponseWriter, _ *http.Request) {
 }
 
 // healthzResponse is the /healthz body: liveness plus the
-// engine-selection, registry and algebra summaries, so probes (and
-// operators) can see at a glance whether the cached spanners run
-// compiled sequential programs, whether the pre-warmed registry is
-// serving, and how algebra compositions split between cache hits and
-// fresh leaf work.
+// engine-selection, lazy-DFA, registry and algebra summaries, so
+// probes (and operators) can see at a glance whether the cached
+// spanners run compiled sequential programs, how the DFA transition
+// caches are hitting (and whether they are flushing or falling back),
+// whether the pre-warmed registry is serving, and how algebra
+// compositions split between cache hits and fresh leaf work.
 type healthzResponse struct {
 	Status   string                `json:"status"`
 	Engine   service.EngineStats   `json:"engine"`
+	DFA      service.DFAStats      `json:"dfa"`
 	Registry service.RegistryStats `json:"registry"`
 	Algebra  service.AlgebraStats  `json:"algebra"`
 }
@@ -317,7 +319,7 @@ func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	st := s.svc.Stats()
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(healthzResponse{
-		Status: "ok", Engine: st.Engine, Registry: st.Registry, Algebra: st.Algebra,
+		Status: "ok", Engine: st.Engine, DFA: st.DFA, Registry: st.Registry, Algebra: st.Algebra,
 	})
 }
 

@@ -303,3 +303,43 @@ func TestEngineMetricsExported(t *testing.T) {
 		t.Fatalf("metrics engine stats %+v diverge from healthz %+v", vars.Spand.Engine, hz.Engine)
 	}
 }
+
+// TestDFAMetricsExported asserts the dfa.* counters of the lazy-DFA
+// layer appear on /healthz and /metrics once traffic has warmed a
+// cache.
+func TestDFAMetricsExported(t *testing.T) {
+	ts, _ := newTestServer(t)
+	for i := 0; i < 2; i++ {
+		postJSON(t, ts.URL+"/extract", map[string]any{
+			"expr": "x{a*}b", "docs": []string{"aaab", "ab"},
+		}).Body.Close()
+	}
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var hz healthzResponse
+	if err := json.NewDecoder(resp.Body).Decode(&hz); err != nil {
+		t.Fatalf("healthz decode: %v", err)
+	}
+	if hz.DFA.Caches != 1 || hz.DFA.States == 0 || hz.DFA.Hits == 0 {
+		t.Fatalf("healthz dfa section did not move with traffic: %+v", hz.DFA)
+	}
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	var vars struct {
+		Spand service.Stats `json:"spand"`
+	}
+	if err := json.NewDecoder(mresp.Body).Decode(&vars); err != nil {
+		t.Fatalf("metrics decode: %v", err)
+	}
+	if vars.Spand.DFA.Caches != 1 || vars.Spand.DFA.Hits == 0 {
+		t.Fatalf("metrics dfa section = %+v", vars.Spand.DFA)
+	}
+}

@@ -21,7 +21,11 @@ import (
 // obligation sets of the interpreted evalSequential become uint64
 // masks: popcount gives the obligation count, and a transition's mask
 // tells in one AND whether it consumes an obligation, is blocked, or
-// passes as ε.
+// passes as ε. The unconstrained case — no obligation may block any
+// operation, which covers NonEmpty/Matches — runs on the lazy DFA
+// (memoized determinized transitions, fused runs, skip loops),
+// falling back to per-rune bitset stepping when the cache thrashes
+// its budget.
 func (e *Engine) evalSeqProg(d *span.Document, mu span.Extended) bool {
 	p := e.prog
 	n := d.Len()
@@ -41,6 +45,13 @@ func (e *Engine) evalSeqProg(d *span.Document, mu span.Extended) bool {
 		}
 		need[o.Span.Start] |= program.OpenBit(id)
 		need[o.Span.End] |= program.CloseBit(id)
+	}
+	if blocked == 0 && e.DFAEnabled() {
+		// No obligations anywhere (need bits imply blocked bits), so
+		// the permissive forward DFA decides the run.
+		if res, ok := e.dfa.Match(d); ok {
+			return res
+		}
 	}
 
 	cur := program.NewBits(p.NumStates)
@@ -120,7 +131,15 @@ type pcfg struct {
 func pstatus(st uint64, v int) uint64 { return (st >> (2 * uint(v))) & 3 }
 
 // evalFPTProg is Theorem 5.10 on the compiled program: reachability
-// over (state, packed status vector) configurations.
+// over (state, packed status vector) configurations. The frontier is
+// group-native — a map from status vector to the bitset of states
+// carrying it — so individual configurations materialize only around
+// variable-operation edges: the boundary closure expands per-config
+// exclusively from states with op edges (the bulk of a letter-heavy
+// frontier never enters the worklist), and the letter step advances
+// each group's bitset wholesale, through the DFA's raw memoized
+// transitions when the cache is enabled and the group is big enough
+// to amortize the lookup.
 func (e *Engine) evalFPTProg(d *span.Document, mu span.Extended) bool {
 	p := e.prog
 	n := d.Len()
@@ -151,14 +170,44 @@ func (e *Engine) evalFPTProg(d *span.Document, mu span.Extended) bool {
 		}
 	}
 
-	frontier := map[pcfg]bool{{q: int32(p.Start)}: true}
+	start := program.NewBits(p.NumStates)
+	start.Set(p.Start)
+	frontier := map[uint64]program.Bits{0: start}
 
-	closure := func(frontier map[pcfg]bool, pos int) map[pcfg]bool {
-		seen := make(map[pcfg]bool, len(frontier))
-		stack := make([]pcfg, 0, len(frontier))
-		for c := range frontier {
-			seen[c] = true
-			stack = append(stack, c)
+	// closure saturates the frontier at one boundary under op edges,
+	// respecting each variable's constraint class. Only states with op
+	// edges enter the per-config worklist; everything else is carried
+	// over by whole-group bitset ORs.
+	closure := func(frontier map[uint64]program.Bits, pos int) map[uint64]program.Bits {
+		out := make(map[uint64]program.Bits, len(frontier))
+		var stack []pcfg
+		add := func(q int32, st uint64) {
+			g := out[st]
+			if g == nil {
+				g = program.NewBits(p.NumStates)
+				out[st] = g
+			}
+			if g.Has(int(q)) {
+				return
+			}
+			g.Set(int(q))
+			if p.HasOps.Has(int(q)) {
+				stack = append(stack, pcfg{q: q, st: st})
+			}
+		}
+		for st, g := range frontier {
+			if !g.Intersects(p.HasOps) {
+				// Fast path: no state can fire an operation; adopt the
+				// group wholesale.
+				og := out[st]
+				if og == nil {
+					out[st] = g.Clone()
+					continue
+				}
+				og.Or(g)
+				continue
+			}
+			g.ForEach(func(q int) { add(int32(q), st) })
 		}
 		for len(stack) > 0 {
 			c := stack[len(stack)-1]
@@ -188,16 +237,23 @@ func (e *Engine) evalFPTProg(d *span.Document, mu span.Extended) bool {
 					}
 					nst = c.st&^(3<<(2*uint(v))) | 2<<(2*uint(v))
 				}
-				nc := pcfg{q: ed.To, st: nst}
-				if !seen[nc] {
-					seen[nc] = true
-					stack = append(stack, nc)
-				}
+				add(ed.To, nst)
 			}
 		}
-		return seen
+		return out
 	}
 
+	// The DFA pays for a group step once the group is big enough that
+	// one memoized lookup beats the direct successor ORs; a cache that
+	// starts thrashing its budget mid-document is abandoned for the
+	// rest of the run.
+	const dfaGroupMinStates = 4
+	useDFA := e.DFAEnabled()
+	var flush0 uint64
+	var scratch []byte
+	if useDFA {
+		flush0 = e.dfa.Flushes()
+	}
 	for pos := 1; pos <= n+1; pos++ {
 		frontier = closure(frontier, pos)
 		if len(frontier) == 0 {
@@ -210,12 +266,26 @@ func (e *Engine) evalFPTProg(d *span.Document, mu span.Extended) bool {
 		if c < 0 {
 			return false
 		}
-		next := make(map[pcfg]bool, len(frontier))
-		for cf := range frontier {
-			st := cf.st
-			p.Succ(int(cf.q), c).ForEach(func(to int) {
-				next[pcfg{q: int32(to), st: st}] = true
-			})
+		if useDFA && e.dfa.Flushes()-flush0 > program.MaxFlushesPerSweep {
+			e.dfa.NoteFallback()
+			useDFA = false
+		}
+		next := make(map[uint64]program.Bits, len(frontier))
+		for st, g := range frontier {
+			var stepped program.Bits
+			if useDFA && g.Count() >= dfaGroupMinStates {
+				// Aliases an interned (read-only) frontier; closure
+				// never mutates input groups, so no clone is needed.
+				var s *program.DState
+				s, scratch = e.dfa.StateScratch(g, scratch)
+				stepped = e.dfa.Step(s, c, program.StepRaw).Frontier()
+			} else {
+				stepped = program.NewBits(p.NumStates)
+				p.LetterStep(g, c, stepped)
+			}
+			if stepped.Any() {
+				next[st] = stepped
+			}
 		}
 		frontier = next
 		if len(frontier) == 0 {
@@ -223,18 +293,15 @@ func (e *Engine) evalFPTProg(d *span.Document, mu span.Extended) bool {
 		}
 	}
 
-	for cf := range frontier {
-		if !p.Final.Has(int(cf.q)) {
-			continue
-		}
+	for st, g := range frontier {
 		ok := true
 		for v := 0; v < k; v++ {
-			if class[v] == clsPinned && pstatus(cf.st, v) != 2 {
+			if class[v] == clsPinned && pstatus(st, v) != 2 {
 				ok = false
 				break
 			}
 		}
-		if ok {
+		if ok && g.Intersects(p.Final) {
 			return true
 		}
 	}
@@ -491,8 +558,15 @@ func (e *Engine) countProg(d *span.Document) int {
 
 // forwardReachProg computes, for every position, the states reachable
 // from the start reading the document prefix, operations treated
-// permissively as ε.
+// permissively as ε. With the DFA enabled the sweep is one memoized
+// transition per rune and the returned frontiers alias interned
+// (read-only) cache states; the bitset sweep remains as the fallback.
 func (e *Engine) forwardReachProg(d *span.Document) []program.Bits {
+	if e.DFAEnabled() {
+		if out, ok := e.dfa.ForwardFrontiers(d); ok {
+			return out
+		}
+	}
 	p := e.prog
 	n := d.Len()
 	out := make([]program.Bits, n+2)
@@ -515,8 +589,16 @@ func (e *Engine) forwardReachProg(d *span.Document) []program.Bits {
 
 // backwardReachProg computes, for every position, the states from
 // which a final state is reachable reading the document suffix,
-// operations treated permissively as ε.
+// operations treated permissively as ε. The reverse DFA memoizes the
+// per-rune LetterStepBack + ROpClosure composition, which dominates
+// enumeration and counting on letter-heavy documents; frontiers it
+// returns alias interned (read-only) cache states.
 func (e *Engine) backwardReachProg(d *span.Document) []program.Bits {
+	if e.DFAEnabled() {
+		if out, ok := e.dfa.BackwardFrontiers(d); ok {
+			return out
+		}
+	}
 	p := e.prog
 	n := d.Len()
 	out := make([]program.Bits, n+2)

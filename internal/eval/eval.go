@@ -51,6 +51,13 @@ type Engine struct {
 	// prog exists (ablation and differential testing only).
 	prog        *program.Program
 	interpreted bool
+
+	// dfa is the lazy-DFA transition cache layered over prog — shared
+	// with every other engine executing the same program; nodfa forces
+	// plain bitset stepping even when the cache exists (the
+	// differential-oracle switch mirroring ForceInterpreted).
+	dfa   *program.DFA
+	nodfa bool
 }
 
 // NewEngine wraps an automaton, detecting once whether the sequential
@@ -68,6 +75,7 @@ func NewEngine(a *va.VA) *Engine {
 	}
 	if p, err := program.Compile(a); err == nil {
 		e.prog = p
+		e.dfa = p.DFA()
 	}
 	return e
 }
@@ -89,6 +97,7 @@ func FromProgram(p *program.Program, sequential bool) *Engine {
 		vars:       append([]span.Var(nil), p.Vars...),
 		sequential: sequential,
 		prog:       p,
+		dfa:        p.DFA(),
 	}
 	e.varSet = make(map[span.Var]bool, len(e.vars))
 	for _, v := range e.vars {
@@ -132,6 +141,34 @@ func (e *Engine) ForceInterpreted() {
 // Compiled reports whether evaluation executes the compiled program
 // (true) or the interpreted transition-walking fallback (false).
 func (e *Engine) Compiled() bool { return e.prog != nil && !e.interpreted }
+
+// ForceNoDFA downgrades the engine to plain bitset stepping even when
+// the program's lazy-DFA cache exists. Like ForceInterpreted it is a
+// differential-oracle switch for head-to-head benchmarks and
+// property tests; production callers should never need it.
+func (e *Engine) ForceNoDFA() { e.nodfa = true }
+
+// UseDFA replaces the engine's DFA cache — tests use it to install a
+// tiny-budget cache and probe the budget-exhausted fallback boundary.
+// It must be called before the engine evaluates anything.
+func (e *Engine) UseDFA(d *program.DFA) { e.dfa = d }
+
+// DFAEnabled reports whether evaluation consults the lazy-DFA cache.
+func (e *Engine) DFAEnabled() bool { return e.dfa != nil && !e.nodfa && e.Compiled() }
+
+// DFAStats returns the counters of the engine's DFA cache; ok is
+// false when the engine has none (interpreted fallback).
+func (e *Engine) DFAStats() (program.DFAStats, bool) {
+	if e.dfa == nil {
+		return program.DFAStats{}, false
+	}
+	return e.dfa.Stats(), true
+}
+
+// DFA returns the engine's lazy-DFA cache, or nil for interpreted
+// engines. Callers use it to persist (Encode) or seed
+// (WarmFromArtifact) the cache.
+func (e *Engine) DFA() *program.DFA { return e.dfa }
 
 // ProgramStats returns the compiled program's statistics; ok is false
 // when the automaton could not be compiled and the engine interprets.

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"spanners/internal/program"
 	"spanners/internal/runeclass"
 	"spanners/internal/span"
 	"spanners/internal/va"
@@ -17,22 +18,38 @@ import (
 // constraints. It extends the randomExpr generator of
 // enumerate_test.go.
 
-// engines builds the four engine configurations under test from one
-// automaton: {compiled, interpreted} × {auto-selected, forced FPT}.
+// engines builds the engine configurations under test from one
+// automaton: {compiled (DFA on), compiled without DFA, compiled with
+// a 2-state DFA budget (permanent flush/fallback boundary),
+// interpreted} × {auto-selected, forced FPT}.
 func engines(a *va.VA) map[string]*Engine {
 	compiled := NewEngine(a)
+	nodfa := NewEngine(a)
+	nodfa.ForceNoDFA()
+	tiny := NewEngine(a)
+	if p := tiny.Program(); p != nil {
+		tiny.UseDFA(program.NewDFA(p, 2))
+	}
 	interp := NewEngine(a)
 	interp.ForceInterpreted()
 	cFPT := NewEngine(a)
 	cFPT.ForceFPT()
+	tFPT := NewEngine(a)
+	tFPT.ForceFPT()
+	if p := tFPT.Program(); p != nil {
+		tFPT.UseDFA(program.NewDFA(p, 2))
+	}
 	iFPT := NewEngine(a)
 	iFPT.ForceInterpreted()
 	iFPT.ForceFPT()
 	return map[string]*Engine{
-		"compiled":        compiled,
-		"interpreted":     interp,
-		"compiled-fpt":    cFPT,
-		"interpreted-fpt": iFPT,
+		"compiled":         compiled,
+		"compiled-nodfa":   nodfa,
+		"compiled-tinydfa": tiny,
+		"interpreted":      interp,
+		"compiled-fpt":     cFPT,
+		"tinydfa-fpt":      tFPT,
+		"interpreted-fpt":  iFPT,
 	}
 }
 

@@ -92,11 +92,17 @@ func (b Bits) ForEach(f func(i int)) {
 // Key returns the bitset's raw words as a string, usable as a map key
 // for memoization without per-bit formatting.
 func (b Bits) Key() string {
-	buf := make([]byte, 0, len(b)*8)
+	return string(b.AppendKey(make([]byte, 0, len(b)*8)))
+}
+
+// AppendKey appends the raw-word key bytes to buf and returns it —
+// the allocation-free form of Key for lookup paths that reuse a
+// scratch buffer (map lookups via string(buf) do not allocate).
+func (b Bits) AppendKey(buf []byte) []byte {
 	for _, w := range b {
 		buf = append(buf,
 			byte(w), byte(w>>8), byte(w>>16), byte(w>>24),
 			byte(w>>32), byte(w>>40), byte(w>>48), byte(w>>56))
 	}
-	return string(buf)
+	return buf
 }

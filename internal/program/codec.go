@@ -445,6 +445,7 @@ func Decode(data []byte) (*Program, error) {
 		// CompileNS measures lowering work, which decoding skips — that
 		// is the point of the artifact — so it stays zero.
 	}
+	p.finishTables()
 	return p, nil
 }
 

@@ -1,0 +1,596 @@
+package program
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"spanners/internal/span"
+)
+
+// This file is the lazy-DFA layer over the compiled program: a
+// bounded, hit-counted memoization of
+//
+//	(frontier bitset, rune equivalence class) → next frontier
+//
+// built on demand during execution — determinization restricted to
+// the state space a real document stream actually visits, the move
+// behind the paper's P-time Boolean evaluation for sequential VAs.
+// Frontiers are interned into DFA states; each state carries one
+// lazily filled transition row per stepping kind:
+//
+//	StepForward  LetterStep then OpClosure(·, 0) — the permissive
+//	             forward simulation of NonEmpty and forward reach;
+//	StepReverse  LetterStepBack then ROpClosure — co-reachability;
+//	StepRaw      LetterStep alone — the letter half of a step whose
+//	             closure the engine handles itself (FPT status
+//	             groups, the enumerator's pruned advances).
+//
+// The cache is shared by every engine executing the program (it hangs
+// off the Program, which the service caches and the registry decodes)
+// and is safe for concurrent use: the hit path is a single atomic
+// pointer load, misses take the cache mutex to compute and intern.
+//
+// The budget keeps determinization from exploding: when the interned
+// state count would exceed it, the whole cache is flushed (counted in
+// evictions/flushes) and rebuilding starts from the live run — the
+// classic lazy-DFA policy of RE2 and regexp. Callers performing a
+// document sweep watch the flush counter; a run that keeps flushing
+// abandons the DFA for that document and falls back to plain bitset
+// stepping (counted in fallbacks). Stale states held by in-flight
+// runs stay valid after a flush: transitions are pure functions of
+// the frontier, so an old subgraph can never go wrong, only cold.
+//
+// Superinstructions execute inside Match: when a state's frontier is
+// the singleton head of a fused letter run (fuse.go), the whole run
+// is one class-sequence comparison; when a state's completed forward
+// row shows ASCII self-loops, a memchr-style skip consumes the
+// self-looping byte run in one tight loop.
+
+// StepKind selects the transition semantics of one DFA step.
+type StepKind uint8
+
+const (
+	// StepForward composes LetterStep with the permissive forward
+	// boundary closure OpClosure(·, 0).
+	StepForward StepKind = iota
+	// StepReverse composes LetterStepBack with ROpClosure.
+	StepReverse
+	// StepRaw is LetterStep with no closure.
+	StepRaw
+
+	numStepKinds = 3
+)
+
+// DefaultDFABudget bounds the interned state count of the shared
+// per-program DFA cache created by Program.DFA.
+var DefaultDFABudget = 4096
+
+// MaxFlushesPerSweep is how many cache flushes a single document
+// sweep tolerates before abandoning the DFA for that document and
+// falling back to direct bitset stepping. Engine-side sweeps (the FPT
+// letter steps) apply the same policy.
+const MaxFlushesPerSweep = 4
+
+// flushCheckInterval is how many positions a sweep advances between
+// looks at the flush counter.
+const flushCheckInterval = 1024
+
+// DFAStats is a point-in-time snapshot of one DFA cache.
+type DFAStats struct {
+	// ID identifies the cache within the process, so aggregators can
+	// deduplicate spanners sharing one program (and therefore one
+	// cache).
+	ID     uint64 `json:"id"`
+	States int    `json:"states"`
+	Budget int    `json:"budget"`
+	// Hits and Misses count memoized-transition lookups; Evictions
+	// counts states dropped by budget flushes, Flushes the flushes
+	// themselves; Fallbacks counts document sweeps abandoned to plain
+	// bitset stepping after the flush limit.
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Flushes   uint64 `json:"flushes"`
+	Fallbacks uint64 `json:"fallbacks"`
+	// FusedExecs counts fused-run superinstruction executions;
+	// SkippedRunes counts runes consumed by memchr-style self-loop
+	// skips.
+	FusedExecs   uint64 `json:"fused_execs"`
+	SkippedRunes uint64 `json:"skipped_runes"`
+	// PrewarmedStates counts states seeded from a persisted cache
+	// artifact rather than discovered during execution.
+	PrewarmedStates uint64 `json:"prewarmed_states"`
+}
+
+// dfaIDs hands out process-unique cache identities.
+var dfaIDs atomic.Uint64
+
+// skipInfo is the memchr-style superinstruction of one state: the
+// ASCII bytes whose class self-loops on the state.
+type skipInfo struct {
+	ascii [2]uint64
+	any   bool
+}
+
+// DState is one interned frontier of the lazy DFA. All fields are
+// written before the state is published (or through atomics after);
+// Frontier must be treated as read-only.
+type DState struct {
+	frontier Bits
+	accept   bool // frontier ∩ Final ≠ ∅
+	dead     bool // empty frontier
+
+	// next holds the memoized transitions, numStepKinds rows of
+	// NumClasses entries each; nil = not yet computed. The forward row
+	// is materialized whole on the state's first forward visit (lazy
+	// per state, eager per row — the point where the skip
+	// superinstruction becomes derivable); reverse and raw rows fill
+	// per class.
+	next     []atomic.Pointer[DState]
+	fwdReady atomic.Bool
+	skip     atomic.Pointer[skipInfo]
+
+	// Fused-run superinstruction, set when the frontier is the
+	// singleton head of a program-level fused letter run.
+	runClasses []uint16
+	runLand    int32 // program state the run lands in
+	runTo      atomic.Pointer[DState]
+}
+
+// Frontier returns the state's frontier bitset. It is shared across
+// the cache and must not be modified.
+func (s *DState) Frontier() Bits { return s.frontier }
+
+// Accept reports whether the frontier contains an accepting state.
+func (s *DState) Accept() bool { return s.accept }
+
+// Dead reports whether the frontier is empty (every continuation
+// rejects).
+func (s *DState) Dead() bool { return s.dead }
+
+// DFA is the lazy transition cache over one program's frontiers. Use
+// Program.DFA for the shared instance or NewDFA for a private one
+// (tests, tiny-budget boundary probes).
+type DFA struct {
+	p      *Program
+	id     uint64
+	budget int
+
+	mu     sync.RWMutex
+	states map[string]*DState
+	// start and dead are replaced wholesale on a budget flush (so the
+	// old transition graph they anchor becomes collectable); sweeps
+	// load them once and may finish on a stale — but still correct —
+	// generation.
+	start atomic.Pointer[DState]
+	dead  atomic.Pointer[DState]
+
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
+	flushes   atomic.Uint64
+	fallbacks atomic.Uint64
+	fused     atomic.Uint64
+	skipped   atomic.Uint64
+	prewarmed atomic.Uint64
+}
+
+// DFA returns the program's shared lazy-DFA cache, creating it with
+// DefaultDFABudget on first use. Every engine executing the program
+// shares the instance, so transition work warmed by one request (or
+// restored from a persisted artifact) is visible to all.
+func (p *Program) DFA() *DFA {
+	p.dfaOnce.Do(func() { p.dfa = NewDFA(p, DefaultDFABudget) })
+	return p.dfa
+}
+
+// NewDFA builds a DFA cache over p with the given interned-state
+// budget (values < 2 are raised to 2: the start and dead states are
+// permanently useful).
+func NewDFA(p *Program, budget int) *DFA {
+	if budget < 2 {
+		budget = 2
+	}
+	d := &DFA{
+		p:      p,
+		id:     dfaIDs.Add(1),
+		budget: budget,
+		states: make(map[string]*DState),
+	}
+	d.mu.Lock()
+	d.seedLocked()
+	d.mu.Unlock()
+	return d
+}
+
+// seedLocked interns fresh start and dead states into the current
+// (empty or just-flushed) generation.
+func (d *DFA) seedLocked() {
+	d.dead.Store(d.internLocked(NewBits(d.p.NumStates)))
+	startFrontier := NewBits(d.p.NumStates)
+	startFrontier.Set(d.p.Start)
+	d.p.OpClosure(startFrontier, 0)
+	d.start.Store(d.internLocked(startFrontier))
+}
+
+// Stats snapshots the cache counters.
+func (d *DFA) Stats() DFAStats {
+	d.mu.Lock()
+	size := len(d.states)
+	d.mu.Unlock()
+	return DFAStats{
+		ID:              d.id,
+		States:          size,
+		Budget:          d.budget,
+		Hits:            d.hits.Load(),
+		Misses:          d.misses.Load(),
+		Evictions:       d.evictions.Load(),
+		Flushes:         d.flushes.Load(),
+		Fallbacks:       d.fallbacks.Load(),
+		FusedExecs:      d.fused.Load(),
+		SkippedRunes:    d.skipped.Load(),
+		PrewarmedStates: d.prewarmed.Load(),
+	}
+}
+
+// Start returns the forward start state: the op-closure of the
+// program's start state (of the current cache generation).
+func (d *DFA) Start() *DState { return d.start.Load() }
+
+// Flushes returns the cumulative flush count; sweeps compare it
+// against a starting snapshot to detect state-space explosion.
+func (d *DFA) Flushes() uint64 { return d.flushes.Load() }
+
+// NoteFallback records one abandoned sweep.
+func (d *DFA) NoteFallback() { d.fallbacks.Add(1) }
+
+// State interns frontier (which must be exactly the program's state
+// width) and returns its DFA state. The frontier is cloned when a new
+// state is created, so the caller keeps ownership of its buffer.
+func (d *DFA) State(frontier Bits) *DState {
+	s, _ := d.StateScratch(frontier, nil)
+	return s
+}
+
+// StateScratch is State with a reusable key buffer: resident
+// frontiers resolve through a read-locked, allocation-free lookup,
+// which is what makes per-position interning (the FPT letter step)
+// cheaper than recomputing the transition. The grown scratch buffer
+// is returned for the next call.
+func (d *DFA) StateScratch(frontier Bits, scratch []byte) (*DState, []byte) {
+	scratch = frontier.AppendKey(scratch[:0])
+	d.mu.RLock()
+	s := d.states[string(scratch)]
+	d.mu.RUnlock()
+	if s != nil {
+		return s, scratch
+	}
+	d.mu.Lock()
+	s = d.internLocked(frontier.Clone())
+	d.mu.Unlock()
+	return s, scratch
+}
+
+// internLocked interns an owned frontier under d.mu, flushing the
+// cache when the budget would be exceeded.
+func (d *DFA) internLocked(frontier Bits) *DState {
+	key := frontier.Key()
+	if s, ok := d.states[key]; ok {
+		return s
+	}
+	if len(d.states) >= d.budget {
+		d.flushLocked()
+	}
+	s := &DState{
+		frontier: frontier,
+		accept:   frontier.Intersects(d.p.Final),
+		dead:     !frontier.Any(),
+		next:     make([]atomic.Pointer[DState], numStepKinds*d.p.NumClasses),
+		runLand:  -1,
+	}
+	// Fused-run superinstruction: fires only on closed singleton
+	// frontiers whose one state heads a program-level run.
+	if q, ok := singleBit(frontier); ok {
+		if classes, to, ok := d.p.FusedRunOf(q); ok {
+			s.runClasses = classes
+			s.runLand = int32(to)
+		}
+	}
+	d.states[key] = s
+	return s
+}
+
+// flushLocked drops every interned state — including the current
+// start and dead states, which are re-created fresh so the old
+// transition graph they anchor becomes garbage once in-flight sweeps
+// finish. Stale pointers held by those sweeps remain semantically
+// valid (transitions are pure functions of the frontier); new states
+// they link are interned into the new generation, never the reverse,
+// so nothing old stays reachable from the cache afterwards.
+func (d *DFA) flushLocked() {
+	dropped := len(d.states)
+	d.states = make(map[string]*DState, d.budget)
+	d.evictions.Add(uint64(dropped))
+	d.flushes.Add(1)
+	d.seedLocked()
+}
+
+// singleBit reports the index of the only set bit, if exactly one is.
+func singleBit(b Bits) (int, bool) {
+	if b.Count() != 1 {
+		return 0, false
+	}
+	q := -1
+	b.ForEach(func(i int) { q = i })
+	return q, true
+}
+
+// Step returns the memoized transition of s on class c under kind,
+// computing and interning it on a miss. c must be a valid class
+// (0 ≤ c < NumClasses). Forward steps materialize the state's whole
+// forward row on first visit.
+func (d *DFA) Step(s *DState, c int, kind StepKind) *DState {
+	if kind == StepForward {
+		d.fillFwdRow(s, true)
+	}
+	idx := int(kind)*d.p.NumClasses + c
+	if ns := s.next[idx].Load(); ns != nil {
+		d.hits.Add(1)
+		return ns
+	}
+	d.misses.Add(1)
+	return d.stepSlow(s, c, kind)
+}
+
+// fillFwdRow materializes the complete forward row of s (lazy per
+// state, eager per row) and derives the skip superinstruction from
+// it. counted selects whether the computed transitions show up in the
+// miss counter — artifact warming provisions rows silently.
+// Concurrent fills are benign: targets dedup through interning and
+// skip derivation is idempotent.
+func (d *DFA) fillFwdRow(s *DState, counted bool) {
+	if s.fwdReady.Load() {
+		return
+	}
+	computed := 0
+	base := int(StepForward) * d.p.NumClasses
+	for c := 0; c < d.p.NumClasses; c++ {
+		if s.next[base+c].Load() == nil {
+			d.stepSlow(s, c, StepForward)
+			computed++
+		}
+	}
+	d.deriveSkip(s)
+	s.fwdReady.Store(true)
+	if counted && computed > 0 {
+		d.misses.Add(uint64(computed))
+	}
+}
+
+// stepSlow computes one transition, interns the target, and publishes
+// it in the row. Concurrent computations of the same entry intern the
+// same target; the first CompareAndSwap wins.
+func (d *DFA) stepSlow(s *DState, c int, kind StepKind) *DState {
+	next := NewBits(d.p.NumStates)
+	switch kind {
+	case StepForward:
+		d.p.LetterStep(s.frontier, c, next)
+		d.p.OpClosure(next, 0)
+	case StepReverse:
+		d.p.LetterStepBack(s.frontier, c, next)
+		d.p.ROpClosure(next)
+	default:
+		d.p.LetterStep(s.frontier, c, next)
+	}
+	d.mu.Lock()
+	ns := d.internLocked(next)
+	d.mu.Unlock()
+	idx := int(kind)*d.p.NumClasses + c
+	s.next[idx].CompareAndSwap(nil, ns)
+	return ns
+}
+
+// deriveSkip computes the memchr-style skip superinstruction once the
+// state's forward row is complete: the ASCII bytes whose class leaves
+// the state unchanged.
+func (d *DFA) deriveSkip(s *DState) {
+	var si skipInfo
+	for b := 0; b < 128; b++ {
+		c := d.p.asciiClass[b]
+		if c < 0 {
+			continue
+		}
+		if s.next[int(StepForward)*d.p.NumClasses+int(c)].Load() == s {
+			si.ascii[b>>6] |= 1 << (uint(b) & 63)
+			si.any = true
+		}
+	}
+	s.skip.Store(&si)
+}
+
+// runTarget interns (once) the landing state of s's fused run: the
+// op-closure of the singleton landing frontier.
+func (d *DFA) runTarget(s *DState) *DState {
+	if t := s.runTo.Load(); t != nil {
+		return t
+	}
+	fr := NewBits(d.p.NumStates)
+	fr.Set(int(s.runLand))
+	d.p.OpClosure(fr, 0)
+	d.mu.Lock()
+	t := d.internLocked(fr)
+	d.mu.Unlock()
+	s.runTo.CompareAndSwap(nil, t)
+	return t
+}
+
+// Match runs the forward DFA over the whole document and reports
+// whether an accepting frontier survives — NonEmpty on the
+// determinized tables, with fused runs and skip loops. ok is false
+// when the sweep abandoned the cache (budget thrash); the caller must
+// fall back to bitset stepping and ignore matched.
+func (d *DFA) Match(doc *span.Document) (matched, ok bool) {
+	runes := doc.Runes()
+	s := d.start.Load()
+	flush0 := d.flushes.Load()
+	var hits, skipped uint64
+	defer func() {
+		d.hits.Add(hits)
+		d.skipped.Add(skipped)
+	}()
+
+	for i := 0; i < len(runes); {
+		if i%flushCheckInterval == 0 && d.flushes.Load()-flush0 > MaxFlushesPerSweep {
+			d.NoteFallback()
+			return false, false
+		}
+		// Memchr-style skip: consume the run of self-looping ASCII
+		// bytes in one loop.
+		if si := s.skip.Load(); si != nil && si.any {
+			j := i
+			for j < len(runes) {
+				r := runes[j]
+				if r >= 0 && r < 128 && si.ascii[r>>6]&(1<<(uint(r)&63)) != 0 {
+					j++
+					continue
+				}
+				break
+			}
+			if j > i {
+				hits += uint64(j - i)
+				skipped += uint64(j - i)
+				i = j
+				continue
+			}
+		}
+		// Fused-run superinstruction on singleton chain heads.
+		if s.runClasses != nil {
+			if len(runes)-i < len(s.runClasses) {
+				// The document ends strictly inside the chain: every
+				// continuation is a non-accepting interior state or a
+				// dead frontier.
+				d.fused.Add(1)
+				return false, true
+			}
+			match := true
+			for k, want := range s.runClasses {
+				if d.p.ClassOf(runes[i+k]) != int(want) {
+					match = false
+					break
+				}
+			}
+			d.fused.Add(1)
+			if !match {
+				return false, true // single-exit chain: mismatch is death
+			}
+			i += len(s.runClasses)
+			s = d.runTarget(s)
+			continue
+		}
+		c := d.p.ClassOf(runes[i])
+		if c < 0 {
+			return false, true
+		}
+		idx := int(StepForward)*d.p.NumClasses + c
+		ns := s.next[idx].Load()
+		if ns != nil {
+			hits++
+		} else {
+			d.fillFwdRow(s, true)
+			ns = s.next[idx].Load()
+		}
+		if ns.dead {
+			return false, true
+		}
+		s = ns
+		i++
+	}
+	return s.accept, true
+}
+
+// ForwardFrontiers computes, for every position 1..n+1, the states
+// reachable from the start reading the document prefix with
+// operations treated permissively as ε — forwardReach on the
+// determinized tables. The returned bitsets alias interned frontiers
+// and must be treated as read-only. ok is false when the sweep
+// abandoned the cache. Counter traffic is batched per sweep, not per
+// rune.
+func (d *DFA) ForwardFrontiers(doc *span.Document) (out []Bits, ok bool) {
+	n := doc.Len()
+	out = make([]Bits, n+2)
+	s := d.start.Load()
+	flush0 := d.flushes.Load()
+	var hits uint64
+	defer func() { d.hits.Add(hits) }()
+	base := int(StepForward) * d.p.NumClasses
+	for pos := 1; pos <= n+1; pos++ {
+		if pos%flushCheckInterval == 0 && d.flushes.Load()-flush0 > MaxFlushesPerSweep {
+			d.NoteFallback()
+			return nil, false
+		}
+		out[pos] = s.frontier
+		if pos == n+1 {
+			break
+		}
+		if c := d.p.ClassOf(doc.RuneAt(pos)); c >= 0 {
+			if ns := s.next[base+c].Load(); ns != nil {
+				hits++
+				s = ns
+			} else {
+				d.fillFwdRow(s, true)
+				s = s.next[base+c].Load()
+			}
+		} else {
+			s = d.dead.Load()
+		}
+	}
+	return out, true
+}
+
+// BackwardFrontiers computes, for every position 1..n+1, the states
+// from which acceptance is reachable reading the document suffix —
+// backwardReach on the determinized tables. The returned bitsets
+// alias interned frontiers and must be treated as read-only. ok is
+// false when the sweep abandoned the cache. Counter traffic is
+// batched per sweep, not per rune.
+func (d *DFA) BackwardFrontiers(doc *span.Document) (out []Bits, ok bool) {
+	n := doc.Len()
+	out = make([]Bits, n+2)
+	final := d.p.Final.Clone()
+	d.p.ROpClosure(final)
+	s := d.State(final)
+	out[n+1] = s.frontier
+	flush0 := d.flushes.Load()
+	var hits, misses uint64
+	defer func() {
+		d.hits.Add(hits)
+		d.misses.Add(misses)
+	}()
+	base := int(StepReverse) * d.p.NumClasses
+	for pos := n; pos >= 1; pos-- {
+		if pos%flushCheckInterval == 0 && d.flushes.Load()-flush0 > MaxFlushesPerSweep {
+			d.NoteFallback()
+			return nil, false
+		}
+		if c := d.p.ClassOf(doc.RuneAt(pos)); c >= 0 {
+			if ns := s.next[base+c].Load(); ns != nil {
+				hits++
+				s = ns
+			} else {
+				misses++
+				s = d.stepSlow(s, c, StepReverse)
+			}
+		} else {
+			s = d.dead.Load()
+		}
+		out[pos] = s.frontier
+	}
+	return out, true
+}
+
+// StepSet interns cur and returns its memoized transition frontier on
+// class c under kind. The result aliases an interned frontier and
+// must be treated as read-only (clone before mutating).
+func (d *DFA) StepSet(cur Bits, c int, kind StepKind) Bits {
+	return d.Step(d.State(cur), c, kind).frontier
+}

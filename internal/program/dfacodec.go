@@ -1,0 +1,205 @@
+package program
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// This file serializes a warmed lazy-DFA cache so it can persist
+// beside the registry's program artifact and be restored after a
+// restart — the determinized state space a workload discovered is the
+// expensive part to rediscover. Only the interned frontiers are
+// persisted: transition rows are recomputed (and thereby verified)
+// during warming, so hostile sidecar bytes can cost work but can
+// never smuggle in a wrong transition. The format follows the program
+// codec's discipline — magic, version, length, checksum, typed decode
+// errors, deterministic encoding — and binds itself to its program
+// through the program's artifact fingerprint.
+//
+// Layout (all integers little-endian, fixed width):
+//
+//	magic   [4]byte  "SPDF"
+//	version uint16   dfaCodecVersion
+//	_       uint16   reserved, must be zero
+//	length  uint64   payload length in bytes
+//	payload [length]byte
+//	check   uint64   FNV-64a of payload
+//
+// The payload is:
+//
+//	progSum    uint64  Program.Fingerprint() of the owning program
+//	numStates  uint32  program state count (frontier width)
+//	numClasses uint32  program class count
+//	count      uint32  number of cached frontiers
+//	frontiers  count × ⌈numStates/64⌉ uint64, sorted by raw words
+const dfaCodecVersion = 1
+
+var dfaMagic = [4]byte{'S', 'P', 'D', 'F'}
+
+// Typed DFA-artifact errors. ErrTruncated, ErrChecksum, ErrCorrupt,
+// ErrVersion and ErrTooLarge are shared with the program codec.
+var (
+	// ErrDFABadMagic marks bytes that are not a DFA-cache artifact.
+	ErrDFABadMagic = errors.New("program: not a DFA-cache artifact")
+	// ErrDFAMismatch marks a well-formed DFA-cache artifact bound to a
+	// different program than the one warming from it.
+	ErrDFAMismatch = errors.New("program: DFA cache does not match its program")
+)
+
+// maxDecodeDFAStates bounds how many cached frontiers a sidecar may
+// carry, so a hostile length cannot balloon allocation.
+const maxDecodeDFAStates = 1 << 16
+
+// Encode snapshots the cache's interned frontiers as a persistable
+// artifact. The encoding is deterministic for a given set of states
+// (frontiers are sorted), though which states a lazy cache holds
+// naturally depends on the traffic that warmed it.
+func (d *DFA) Encode() []byte {
+	d.mu.Lock()
+	keys := make([]string, 0, len(d.states))
+	for k := range d.states {
+		keys = append(keys, k)
+	}
+	d.mu.Unlock()
+	sort.Strings(keys)
+
+	words := (d.p.NumStates + 63) / 64
+	payloadLen := 8 + 4 + 4 + 4 + len(keys)*words*8
+	buf := make([]byte, 0, len(dfaMagic)+2+2+8+payloadLen+8)
+	buf = append(buf, dfaMagic[:]...)
+	buf = binary.LittleEndian.AppendUint16(buf, dfaCodecVersion)
+	buf = binary.LittleEndian.AppendUint16(buf, 0)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(payloadLen))
+
+	buf = binary.LittleEndian.AppendUint64(buf, d.p.Fingerprint())
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(d.p.NumStates))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(d.p.NumClasses))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(keys)))
+	for _, k := range keys {
+		// Keys are the frontier's raw little-endian words (Bits.Key),
+		// so they append verbatim.
+		buf = append(buf, k...)
+	}
+
+	h := fnv.New64a()
+	h.Write(buf[headerLen:])
+	return binary.LittleEndian.AppendUint64(buf, h.Sum64())
+}
+
+// WarmFromArtifact seeds the cache from Encode output: every
+// persisted frontier is validated, interned, and its forward
+// transition row is materialized by recomputation, so a restarted
+// process starts with the workload's determinized state space (and
+// the hot forward path) already resident; reverse and raw rows fill
+// on demand, usually without discovering new states. Frontiers beyond the cache budget are
+// ignored rather than flushing what is already warm. The call returns
+// the number of states seeded (excluding ones already present).
+//
+// Malformed, truncated, oversized or bit-flipped artifacts — and
+// artifacts bound to a different program — yield typed errors
+// (ErrDFABadMagic, ErrVersion, ErrTruncated, ErrChecksum, ErrCorrupt,
+// ErrTooLarge, ErrDFAMismatch) and leave the cache unchanged. Warming
+// never panics on hostile input.
+func (d *DFA) WarmFromArtifact(data []byte) (int, error) {
+	if len(data) < 4 || string(data[:4]) != string(dfaMagic[:]) {
+		return 0, ErrDFABadMagic
+	}
+	if len(data) < headerLen+trailerLen {
+		return 0, ErrTruncated
+	}
+	if v := binary.LittleEndian.Uint16(data[4:]); v != dfaCodecVersion {
+		return 0, fmt.Errorf("%w: got DFA-cache version %d, want %d", ErrVersion, v, dfaCodecVersion)
+	}
+	if binary.LittleEndian.Uint16(data[6:]) != 0 {
+		return 0, corrupt("nonzero reserved DFA-cache header field")
+	}
+	payloadLen := binary.LittleEndian.Uint64(data[8:])
+	if payloadLen > uint64(len(data)) || int(payloadLen) != len(data)-headerLen-trailerLen {
+		return 0, fmt.Errorf("%w: payload length %d does not match %d artifact bytes",
+			ErrTruncated, payloadLen, len(data))
+	}
+	payload := data[headerLen : headerLen+int(payloadLen)]
+	h := fnv.New64a()
+	h.Write(payload)
+	if got := binary.LittleEndian.Uint64(data[len(data)-trailerLen:]); got != h.Sum64() {
+		return 0, ErrChecksum
+	}
+
+	r := &reader{buf: payload}
+	progSum := r.u64()
+	numStates := int(r.u32())
+	numClasses := int(r.u32())
+	count := int(r.u32())
+	if r.err != nil {
+		return 0, r.err
+	}
+	if progSum != d.p.Fingerprint() {
+		return 0, fmt.Errorf("%w: artifact fingerprint %016x, program %016x",
+			ErrDFAMismatch, progSum, d.p.Fingerprint())
+	}
+	if numStates != d.p.NumStates || numClasses != d.p.NumClasses {
+		return 0, fmt.Errorf("%w: artifact tables are %d states × %d classes, program %d × %d",
+			ErrDFAMismatch, numStates, numClasses, d.p.NumStates, d.p.NumClasses)
+	}
+	if count < 0 || count > maxDecodeDFAStates {
+		return 0, fmt.Errorf("%w: %d cached frontiers", ErrTooLarge, count)
+	}
+	words := (numStates + 63) / 64
+	frontiers := make([]Bits, 0, count)
+	var prev string
+	for i := 0; i < count; i++ {
+		fr := make(Bits, words)
+		for w := 0; w < words; w++ {
+			fr[w] = r.u64()
+		}
+		if r.err != nil {
+			return 0, r.err
+		}
+		if err := checkPadding(fr, numStates); err != nil {
+			return 0, err
+		}
+		key := fr.Key()
+		if i > 0 && key <= prev {
+			return 0, corrupt("DFA-cache frontiers unsorted or duplicated at index %d", i)
+		}
+		prev = key
+		frontiers = append(frontiers, fr)
+	}
+	if r.off != len(payload) {
+		return 0, corrupt("%d trailing DFA-cache payload bytes", len(payload)-r.off)
+	}
+
+	// Intern the persisted frontiers, respecting the budget.
+	seeded := make([]*DState, 0, len(frontiers))
+	added := 0
+	d.mu.Lock()
+	for _, fr := range frontiers {
+		key := fr.Key()
+		if s, ok := d.states[key]; ok {
+			seeded = append(seeded, s) // still materialize its rows below
+			continue
+		}
+		if len(d.states) >= d.budget {
+			break
+		}
+		seeded = append(seeded, d.internLocked(fr))
+		added++
+	}
+	d.mu.Unlock()
+	d.prewarmed.Add(uint64(added))
+
+	// Materialize the forward rows of the seeded states — the hot path
+	// of Match and the forward sweeps. Reverse and raw rows fill on
+	// demand like any other cold entry (their target frontiers are
+	// usually already in the seeded set, so demand fills intern
+	// nothing new). Rows are always recomputed from the program
+	// tables, never read from the artifact — that recomputation is
+	// what makes a hostile sidecar harmless.
+	for _, s := range seeded {
+		d.fillFwdRow(s, false)
+	}
+	return added, nil
+}

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"spanners/internal/rgx"
+	"spanners/internal/span"
 	"spanners/internal/va"
 )
 
@@ -48,6 +49,59 @@ func FuzzDecode(f *testing.F) {
 		}
 		if _, err := Decode(re); err != nil {
 			t.Fatalf("re-encoded artifact rejected: %v", err)
+		}
+	})
+}
+
+// FuzzDecodeDFA throws arbitrary bytes at the DFA-cache sidecar
+// decoder. The invariants: WarmFromArtifact never panics, rejects
+// hostile input with a typed error, and anything it accepts leaves
+// the cache semantically intact — the warmed DFA must still agree
+// with direct bitset stepping (transitions are recomputed, never
+// trusted, so even an accepted artifact cannot corrupt execution).
+func FuzzDecodeDFA(f *testing.F) {
+	for _, expr := range codecCorpus {
+		p, err := Compile(va.FromRGX(rgx.MustParse(expr)))
+		if err != nil {
+			f.Fatal(err)
+		}
+		// A genuinely warmed cache artifact, plus structural
+		// truncations and deterministic corruptions of it.
+		warm := NewDFA(p, 64)
+		warm.Match(span.NewDocument("Seller: ab, ID1\naba"))
+		enc := warm.Encode()
+		f.Add(enc)
+		for _, n := range []int{0, 3, headerLen, headerLen + 7, headerLen + 19, len(enc) / 2, len(enc) - 9, len(enc) - 1} {
+			if n >= 0 && n <= len(enc) {
+				f.Add(enc[:n])
+			}
+		}
+		for _, off := range []int{5, headerLen + 1, headerLen + 17, len(enc) - trailerLen} {
+			if off < len(enc) {
+				bad := append([]byte{}, enc...)
+				bad[off] ^= 0xff
+				f.Add(bad)
+			}
+		}
+	}
+
+	target, err := Compile(va.FromRGX(rgx.MustParse(codecCorpus[2])))
+	if err != nil {
+		f.Fatal(err)
+	}
+	probe := span.NewDocument("Seller: ab, ID1\n")
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d := NewDFA(target, 64)
+		if _, err := d.WarmFromArtifact(data); err != nil {
+			return
+		}
+		// Accepted: the warmed cache must still execute correctly.
+		got, ok := d.Match(probe)
+		if !ok {
+			return
+		}
+		if want := matchDirect(target, probe); got != want {
+			t.Fatalf("warmed cache diverges from direct stepping: %v vs %v", got, want)
 		}
 	})
 }

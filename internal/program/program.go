@@ -23,7 +23,9 @@ package program
 
 import (
 	"fmt"
+	"hash/fnv"
 	"sort"
+	"sync"
 	"time"
 
 	"spanners/internal/runeclass"
@@ -63,6 +65,7 @@ type Stats struct {
 	OpEdges     int   `json:"op_edges"`
 	LetterEdges int   `json:"letter_edges"`
 	DeltaWords  int   `json:"delta_words"`
+	FusedRuns   int   `json:"fused_runs,omitempty"`
 	CompileNS   int64 `json:"compile_ns"`
 }
 
@@ -110,7 +113,33 @@ type Program struct {
 	HasOps  Bits
 	RHasOps Bits
 
+	// Derived accelerators (fuse.go): O(1) ASCII classification and
+	// the superinstruction tables of the peephole pass.
+	asciiClass [128]int16
+	runOf      []int32
+	runs       []fusedRun
+
+	// Lazily created shared state: the per-program lazy-DFA cache and
+	// the artifact fingerprint binding persisted caches to the program.
+	dfaOnce sync.Once
+	dfa     *DFA
+	fpOnce  sync.Once
+	fp      uint64
+
 	stats Stats
+}
+
+// Fingerprint returns the FNV-64a hash of the program's encoded
+// artifact. It is the identity a persisted DFA-cache sidecar is bound
+// to: because Encode is deterministic, equal programs — compiled or
+// decoded — share a fingerprint.
+func (p *Program) Fingerprint() uint64 {
+	p.fpOnce.Do(func() {
+		h := fnv.New64a()
+		h.Write(p.Encode())
+		p.fp = h.Sum64()
+	})
+	return p.fp
 }
 
 // Stats returns the compile-time statistics of the program.
@@ -126,8 +155,12 @@ func (p *Program) VarID(v span.Var) (int, bool) {
 }
 
 // ClassOf classifies a rune into its equivalence class, or -1 when no
-// letter edge of the program can read it.
+// letter edge of the program can read it. ASCII runes resolve through
+// a direct-indexed table; the rest binary-search the range list.
 func (p *Program) ClassOf(r rune) int {
+	if r >= 0 && r < 128 {
+		return int(p.asciiClass[r])
+	}
 	lo, hi := 0, len(p.lo)
 	for lo < hi {
 		mid := (lo + hi) / 2
@@ -318,8 +351,9 @@ func Compile(a *va.VA) (*Program, error) {
 		OpEdges:     len(p.OpEdges),
 		LetterEdges: letterEdges,
 		DeltaWords:  len(backing),
-		CompileNS:   time.Since(start).Nanoseconds(),
 	}
+	p.finishTables()
+	p.stats.CompileNS = time.Since(start).Nanoseconds()
 	return p, nil
 }
 

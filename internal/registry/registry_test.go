@@ -257,3 +257,41 @@ func TestListSortedByName(t *testing.T) {
 		t.Fatalf("List order = %v", names)
 	}
 }
+
+func TestDFASidecarStorage(t *testing.T) {
+	dir := t.TempDir()
+	r, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	man, _, err := r.Register("s", `x{a*}b`)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// No sidecar yet.
+	if _, err := r.DFAArtifact("s", ""); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing sidecar: got %v, want ErrNotFound", err)
+	}
+	// Sidecars require an existing version.
+	if err := r.SaveDFA("s", "aaaaaaaaaaaa", []byte("x")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("sidecar for absent version: got %v, want ErrNotFound", err)
+	}
+
+	payload := []byte("opaque sidecar bytes")
+	if err := r.SaveDFA("s", "", payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.DFAArtifact("s", man.Version)
+	if err != nil || string(got) != string(payload) {
+		t.Fatalf("DFAArtifact = %q, %v", got, err)
+	}
+
+	// Deleting the version removes its sidecar.
+	if err := r.Delete("s", man.Version); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "s", man.Version+".dfa")); !os.IsNotExist(err) {
+		t.Fatalf("sidecar survived version delete: %v", err)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+	"weak"
 
 	"spanners"
 	"spanners/internal/registry"
@@ -80,6 +81,20 @@ type Service struct {
 	algebraLeafHits     atomic.Uint64
 	algebraRegistered   atomic.Uint64
 
+	// Lazy-DFA observability: dfaSpanners indexes one spanner per
+	// distinct DFA cache the service has compiled or loaded (caches
+	// are per-program and shared, so the index deduplicates by cache
+	// id); Stats sums their live counters. References are weak so the
+	// index never pins a spanner the LRU has evicted — collected
+	// entries drop out of the aggregate (and the map) at the next
+	// snapshot. The index is also capped; a service churning through
+	// more distinct programs than the cap reports a lower bound, which
+	// the snapshot flags.
+	dfaMu          sync.Mutex
+	dfaSpanners    map[uint64]weak.Pointer[spanners.Spanner]
+	sidecarsLoaded atomic.Uint64
+	sidecarsSaved  atomic.Uint64
+
 	inFlight atomic.Int64
 	emitted  atomic.Uint64
 
@@ -97,15 +112,97 @@ type Service struct {
 func New(cfg Config) *Service {
 	cfg = cfg.withDefaults()
 	return &Service{
-		cfg:      cfg,
-		spanners: newLRU[*spanners.Spanner](cfg.SpannerCacheSize),
-		rules:    newLRU[*spanners.Rule](cfg.RuleCacheSize),
-		reg:      cfg.Registry,
-		named:    map[string]*spanners.Spanner{},
-		latest:   map[string]string{},
-		loading:  map[string]*namedCall{},
-		leaves:   map[string]*spanners.Spanner{},
+		cfg:         cfg,
+		spanners:    newLRU[*spanners.Spanner](cfg.SpannerCacheSize),
+		rules:       newLRU[*spanners.Rule](cfg.RuleCacheSize),
+		reg:         cfg.Registry,
+		named:       map[string]*spanners.Spanner{},
+		latest:      map[string]string{},
+		loading:     map[string]*namedCall{},
+		leaves:      map[string]*spanners.Spanner{},
+		dfaSpanners: map[uint64]weak.Pointer[spanners.Spanner]{},
 	}
+}
+
+// maxTrackedDFAs caps the DFA-observability index: beyond it new
+// caches still serve, they just stop being aggregated (Truncated is
+// set on the snapshot).
+const maxTrackedDFAs = 1024
+
+// trackDFA records sp's DFA cache in the observability index, once
+// per distinct cache (refreshing entries whose spanner has been
+// collected).
+func (s *Service) trackDFA(sp *spanners.Spanner) {
+	st := sp.DFAStats()
+	if !st.Enabled {
+		return
+	}
+	s.dfaMu.Lock()
+	if prev, ok := s.dfaSpanners[st.CacheID]; (!ok || prev.Value() == nil) && len(s.dfaSpanners) < maxTrackedDFAs {
+		s.dfaSpanners[st.CacheID] = weak.Make(sp)
+	}
+	s.dfaMu.Unlock()
+}
+
+// DFAStats aggregates the lazy-DFA transition caches behind every
+// compiled spanner the service has produced or loaded: resident
+// determinized states, transition hit/miss traffic, budget flushes
+// with their evictions, sweeps that fell back to bitset stepping,
+// superinstruction activity, and how much of the state space came
+// pre-warmed from persisted sidecars.
+type DFAStats struct {
+	Caches          int    `json:"caches"`
+	States          int    `json:"states"`
+	Hits            uint64 `json:"hits"`
+	Misses          uint64 `json:"misses"`
+	Evictions       uint64 `json:"evictions"`
+	Flushes         uint64 `json:"flushes"`
+	Fallbacks       uint64 `json:"fallbacks"`
+	FusedExecs      uint64 `json:"fused_execs"`
+	SkippedRunes    uint64 `json:"skipped_runes"`
+	PrewarmedStates uint64 `json:"prewarmed_states"`
+	// SidecarsLoaded and SidecarsSaved count registry DFA-cache
+	// sidecar round trips (load at pre-warm, save on shutdown).
+	SidecarsLoaded uint64 `json:"sidecars_loaded"`
+	SidecarsSaved  uint64 `json:"sidecars_saved"`
+	// Truncated reports that the observability index hit its cap and
+	// the sums above are a lower bound.
+	Truncated bool `json:"truncated,omitempty"`
+}
+
+// dfaStats sums the live counters of every tracked cache, pruning
+// entries whose spanner has been collected.
+func (s *Service) dfaStats() DFAStats {
+	s.dfaMu.Lock()
+	tracked := make([]*spanners.Spanner, 0, len(s.dfaSpanners))
+	for id, ref := range s.dfaSpanners {
+		if sp := ref.Value(); sp != nil {
+			tracked = append(tracked, sp)
+		} else {
+			delete(s.dfaSpanners, id)
+		}
+	}
+	truncated := len(s.dfaSpanners) >= maxTrackedDFAs
+	s.dfaMu.Unlock()
+	out := DFAStats{
+		Caches:         len(tracked),
+		SidecarsLoaded: s.sidecarsLoaded.Load(),
+		SidecarsSaved:  s.sidecarsSaved.Load(),
+		Truncated:      truncated,
+	}
+	for _, sp := range tracked {
+		st := sp.DFAStats()
+		out.States += st.States
+		out.Hits += st.Hits
+		out.Misses += st.Misses
+		out.Evictions += st.Evictions
+		out.Flushes += st.Flushes
+		out.Fallbacks += st.Fallbacks
+		out.FusedExecs += st.FusedExecs
+		out.SkippedRunes += st.SkippedRunes
+		out.PrewarmedStates += st.PrewarmedStates
+	}
+	return out
 }
 
 // EngineStats summarizes engine selection and compile cost across the
@@ -142,6 +239,7 @@ type Stats struct {
 	Spanners CacheStats    `json:"spanner_cache"`
 	Rules    CacheStats    `json:"rule_cache"`
 	Engine   EngineStats   `json:"engine"`
+	DFA      DFAStats      `json:"dfa"`
 	Registry RegistryStats `json:"registry"`
 	Algebra  AlgebraStats  `json:"algebra"`
 	InFlight int64         `json:"in_flight"`
@@ -156,6 +254,7 @@ func (s *Service) Stats() Stats {
 	return Stats{
 		Spanners: s.spanners.stats(),
 		Rules:    s.rules.stats(),
+		DFA:      s.dfaStats(),
 		Engine: EngineStats{
 			SequentialSpanners:   s.seqSpanners.Load(),
 			FPTSpanners:          s.fptSpanners.Load(),
@@ -202,6 +301,7 @@ func (s *Service) Spanner(expr string) (*spanners.Spanner, error) {
 // recordEngine counts sp into the engine-selection counters, once per
 // spanner entering a cache (inline compile or algebra composition).
 func (s *Service) recordEngine(sp *spanners.Spanner) {
+	s.trackDFA(sp)
 	if sp.Sequential() {
 		s.seqSpanners.Add(1)
 	} else {

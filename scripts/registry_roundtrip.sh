@@ -11,7 +11,10 @@
 #      the leaves cost zero expression-cache misses (leaf rebuilds are
 #      accounted under algebra.leaf_builds, outside the LRU), the only
 #      LRU miss is the composition itself, and the repeated expression
-#      is a pure cache hit.
+#      is a pure cache hit;
+#   6. assert the restart loaded the DFA-cache sidecars the first
+#      server persisted on graceful shutdown (dfa.sidecars_loaded,
+#      dfa.prewarmed_states on /healthz).
 #
 # Requires: go, curl, jq.
 set -euo pipefail
@@ -78,6 +81,14 @@ start_spand
 health=$(curl -sf "$base/healthz")
 prewarmed=$(echo "$health" | jq -r '.registry.prewarmed')
 [ "$prewarmed" = "2" ] || die "prewarmed=$prewarmed after restart, want 2"
+
+# The first server's graceful shutdown persisted its warmed DFA
+# caches as registry sidecars; the restart must load them and start
+# with the determinized state space already resident.
+dfa_loaded=$(echo "$health" | jq -r '.dfa.sidecars_loaded')
+dfa_prewarmed=$(echo "$health" | jq -r '.dfa.prewarmed_states')
+[ "$dfa_loaded" -ge 1 ] || die "dfa.sidecars_loaded=$dfa_loaded after restart, want >= 1"
+[ "$dfa_prewarmed" -gt 0 ] || die "dfa.prewarmed_states=$dfa_prewarmed after restart, want > 0"
 
 resp=$(curl -sf "$base/extract" -d "$body") || die "extract by pin after restart failed"
 names=$(echo "$resp" | jq -r '.results[0][].x.content' | paste -sd, -)

@@ -168,6 +168,9 @@ type ProgramStats struct {
 	// Vars and OpEdges size the bit-packed variable operation tables.
 	Vars    int `json:"vars"`
 	OpEdges int `json:"op_edges"`
+	// FusedRuns counts the superinstructions the peephole pass fused
+	// out of variable-op-free letter chains.
+	FusedRuns int `json:"fused_runs,omitempty"`
 	// CompileNS is the time spent lowering the automaton.
 	CompileNS int64 `json:"compile_ns"`
 }
@@ -185,7 +188,64 @@ func (s *Spanner) ProgramStats() ProgramStats {
 		Classes:    ps.Classes,
 		Vars:       ps.Vars,
 		OpEdges:    ps.OpEdges,
+		FusedRuns:  ps.FusedRuns,
 		CompileNS:  ps.CompileNS,
+	}
+}
+
+// DFAStats is a snapshot of the lazy-DFA transition cache layered
+// over a spanner's compiled program: the memoized (frontier bitset,
+// rune class) → frontier table built on demand during evaluation.
+// Because the cache belongs to the program and programs are shared
+// (service caches, registry decodes), spanners compiled from the same
+// artifact report the same cache — CacheID identifies it so
+// aggregators can deduplicate.
+type DFAStats struct {
+	// Enabled is false for spanners running the interpreted fallback,
+	// which have no program to determinize.
+	Enabled bool `json:"enabled"`
+	// CacheID is the process-unique identity of the shared cache.
+	CacheID uint64 `json:"cache_id,omitempty"`
+	// States counts resident determinized states; Budget bounds them.
+	States int `json:"states"`
+	Budget int `json:"budget"`
+	// Hits and Misses count memoized-transition lookups. Evictions
+	// counts states dropped by budget flushes, Flushes those flushes,
+	// and Fallbacks document sweeps that abandoned the cache for plain
+	// bitset stepping after repeated flushing.
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Flushes   uint64 `json:"flushes"`
+	Fallbacks uint64 `json:"fallbacks"`
+	// FusedExecs counts fused-run superinstruction executions and
+	// SkippedRunes the runes consumed by memchr-style self-loop skips.
+	FusedExecs   uint64 `json:"fused_execs"`
+	SkippedRunes uint64 `json:"skipped_runes"`
+	// PrewarmedStates counts states seeded from a persisted cache
+	// artifact (WarmDFA) rather than discovered during evaluation.
+	PrewarmedStates uint64 `json:"prewarmed_states"`
+}
+
+// DFAStats returns the counters of the spanner's lazy-DFA cache.
+func (s *Spanner) DFAStats() DFAStats {
+	st, ok := s.engine.DFAStats()
+	if !ok {
+		return DFAStats{}
+	}
+	return DFAStats{
+		Enabled:         true,
+		CacheID:         st.ID,
+		States:          st.States,
+		Budget:          st.Budget,
+		Hits:            st.Hits,
+		Misses:          st.Misses,
+		Evictions:       st.Evictions,
+		Flushes:         st.Flushes,
+		Fallbacks:       st.Fallbacks,
+		FusedExecs:      st.FusedExecs,
+		SkippedRunes:    st.SkippedRunes,
+		PrewarmedStates: st.PrewarmedStates,
 	}
 }
 

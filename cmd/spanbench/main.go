@@ -11,6 +11,7 @@
 //	spanbench -engine -gatebase BENCH_engine.json [-gatemult 2]
 //	spanbench -dfa [-quick] [-dfajson BENCH_dfa.json]
 //	spanbench -dfa -gatebase BENCH_dfa.json [-gatemult 2]
+//	spanbench -obs [-quick] [-obsjson BENCH_obs.json] [-obsgate 0.03]
 //
 // The -engine mode instead benchmarks the compiled execution core
 // against the interpreted engines (head-to-head on the same automata)
@@ -21,6 +22,12 @@
 // compares the run against its committed record and exits nonzero on
 // gross regressions (speedups below baseline/mult, service ns/op
 // above baseline×mult) — the CI regression gates.
+//
+// The -obs mode A/B-measures the observability layer itself: the
+// gated service-path workloads against a twin service built with
+// DisableObservability. With -obsgate it exits nonzero when any
+// scenario's overhead exceeds the given fraction — the CI check that
+// tracing stays cheap enough to leave on in production.
 package main
 
 import (
@@ -50,6 +57,9 @@ var (
 	dfaJSON    = flag.String("dfajson", "", "with -dfa: write results as JSON to this file")
 	gateBase   = flag.String("gatebase", "", "with -engine or -dfa: compare against the committed baseline JSON and exit nonzero on gross regressions")
 	gateMult   = flag.Float64("gatemult", 2.0, "with -gatebase: allowed regression factor before the gate fails")
+	obsFlag    = flag.Bool("obs", false, "measure the observability layer's overhead against a DisableObservability twin service")
+	obsJSON    = flag.String("obsjson", "", "with -obs: write results as JSON to this file")
+	obsGate    = flag.Float64("obsgate", 0, "with -obs: exit nonzero when any scenario's overhead exceeds this fraction (0 disables)")
 )
 
 type experiment struct {
@@ -60,6 +70,25 @@ type experiment struct {
 
 func main() {
 	flag.Parse()
+	if *obsFlag {
+		rep := runObsBench(*quick, *obsJSON, *obsGate)
+		if *obsGate > 0 {
+			failed := false
+			for _, sc := range rep.Scenarios {
+				if sc.Overhead > *obsGate {
+					fmt.Fprintf(os.Stderr, "spanbench: OBSERVABILITY GATE FAILED: %s overhead %+.2f%% exceeds %.2f%%\n",
+						sc.Name, sc.Overhead*100, *obsGate*100)
+					failed = true
+				}
+			}
+			if failed {
+				os.Exit(1)
+			}
+			fmt.Printf("observability gate passed (max overhead %+.2f%% <= %.2f%%)\n",
+				rep.MaxOverhead*100, *obsGate*100)
+		}
+		return
+	}
 	if *engineFlag || *dfaFlag {
 		var (
 			rep     any

@@ -6,7 +6,8 @@
 //
 //	spand [-addr :8080] [-spanner-cache 256] [-rule-cache 64] [-workers 4]
 //	      [-max-body 8388608] [-request-timeout 60s] [-registry DIR]
-//	      [-persist-dfa=true]
+//	      [-persist-dfa=true] [-trace-retain 128] [-slow-request 0]
+//	      [-pprof-addr ADDR]
 //
 // Endpoints:
 //
@@ -26,10 +27,26 @@
 //	GET    /registry/{name}  manifest of the latest (?version= pins).
 //	DELETE /registry/{name}  drop a name (?version= drops one version).
 //	GET  /healthz          liveness + engine + registry summary.
-//	GET  /metrics          expvar, including the "spand" snapshot:
-//	                       cache hit/miss/eviction counters, registry
-//	                       pre-warm/hit/fallback counters, in-flight
-//	                       requests, mappings emitted.
+//	GET  /metrics          expvar by default, including the "spand"
+//	                       snapshot: cache hit/miss/eviction counters,
+//	                       registry pre-warm/hit/fallback counters,
+//	                       in-flight requests, mappings emitted. With
+//	                       ?format=prom (or a text/plain / OpenMetrics
+//	                       Accept header): Prometheus text exposition —
+//	                       per-stage latency and stream emission-delay
+//	                       histograms plus the counter families (see
+//	                       docs/OBSERVABILITY.md).
+//	GET  /debug/trace      last-N retained request traces (?n= caps);
+//	                       /debug/trace/{id} one trace by request ID —
+//	                       the per-stage span tree and, for streams,
+//	                       the emission-delay digest.
+//
+// Every request carries an ID (inbound X-Request-ID is honored,
+// otherwise one is generated) that is echoed in the response header,
+// keys the retained trace, and tags the structured request log line.
+// -slow-request dumps the full span tree of any request slower than
+// the threshold; -pprof-addr serves net/http/pprof on a separate
+// listener so profiling is never exposed on the service port.
 //
 // Compilation (parse → decompose → VA construction) is amortized
 // through an LRU cache keyed by source expression, so repeated
@@ -61,12 +78,15 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"spanners/internal/obs"
 	"spanners/internal/registry"
 	"spanners/internal/service"
 )
@@ -81,13 +101,18 @@ func main() {
 		reqTimeout   = flag.Duration("request-timeout", defaultRequestTimeout, "per-request extraction deadline (negative disables)")
 		registryDir  = flag.String("registry", "", "persistent spanner registry directory (empty disables)")
 		persistDFA   = flag.Bool("persist-dfa", true, "with -registry: save warmed DFA caches as sidecars on shutdown and load them at startup")
+		traceRetain  = flag.Int("trace-retain", obs.DefaultTraceRetention, "request traces retained for /debug/trace")
+		slowRequest  = flag.Duration("slow-request", 0, "log the full span tree of requests slower than this (0 disables)")
+		pprofAddr    = flag.String("pprof-addr", "", "serve net/http/pprof on this separate address (empty disables)")
 	)
 	flag.Parse()
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
 
 	cfg := service.Config{
 		SpannerCacheSize: *spannerCache,
 		RuleCacheSize:    *ruleCache,
 		Workers:          *workers,
+		TraceRetention:   *traceRetain,
 	}
 	if *registryDir != "" {
 		reg, err := registry.Open(*registryDir)
@@ -105,11 +130,31 @@ func main() {
 		}
 		log.Printf("spand: pre-warmed %d spanner(s) from %s", n, *registryDir)
 	}
-	publishExpvar(svc)
+	if *pprofAddr != "" {
+		// A dedicated mux on a dedicated listener: profiling never
+		// rides the service port.
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			log.Printf("spand: pprof listening on %s", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, pmux); err != nil {
+				log.Printf("spand: pprof server: %v", err)
+			}
+		}()
+	}
 
 	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           newServer(svc, *maxBody, *reqTimeout),
+		Addr: *addr,
+		Handler: newServer(svc, serverOptions{
+			maxBody:    *maxBody,
+			reqTimeout: *reqTimeout,
+			slowReq:    *slowRequest,
+			logger:     logger,
+		}),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	log.Printf("spand: listening on %s (workers=%d, spanner cache=%d, rule cache=%d, request timeout=%v)",

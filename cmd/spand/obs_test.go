@@ -1,0 +1,193 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"spanners/internal/obs"
+	"spanners/internal/service"
+)
+
+// TestRequestIDAndDebugTrace covers the request-ID plumbing end to
+// end: an inbound X-Request-ID is honored and echoed, keys the
+// retained trace, and /debug/trace/{id} serves that trace's span
+// tree; a request without the header gets a generated ID back.
+func TestRequestIDAndDebugTrace(t *testing.T) {
+	ts, _ := newTestServer(t)
+
+	body := `{"expr": "x{a*}b", "docs": ["aab"]}`
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/extract", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Request-ID", "req-42")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Request-ID"); got != "req-42" {
+		t.Fatalf("X-Request-ID echoed as %q, want req-42", got)
+	}
+
+	tr, err := http.Get(ts.URL + "/debug/trace/req-42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Body.Close()
+	if tr.StatusCode != http.StatusOK {
+		t.Fatalf("debug/trace/req-42: status %d", tr.StatusCode)
+	}
+	var snap obs.TraceSnapshot
+	if err := json.NewDecoder(tr.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.ID != "req-42" || len(snap.Spans) == 0 || !snap.Done {
+		t.Fatalf("trace snapshot = %+v, want finished req-42 with spans", snap)
+	}
+
+	// No inbound ID: one is generated and echoed.
+	resp2 := postJSON(t, ts.URL+"/extract", map[string]any{"expr": "a", "docs": []string{"a"}})
+	resp2.Body.Close()
+	if resp2.Header.Get("X-Request-ID") == "" {
+		t.Fatal("no generated X-Request-ID on response")
+	}
+
+	// The list endpoint returns both traces, most recent first.
+	lr, err := http.Get(ts.URL + "/debug/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lr.Body.Close()
+	var list []obs.TraceSnapshot
+	if err := json.NewDecoder(lr.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 2 || list[1].ID != "req-42" {
+		t.Fatalf("trace list = %d entries (last %+v), want req-42 second", len(list), list)
+	}
+
+	// Unknown IDs are 404; probe traffic (GET /healthz) is not traced.
+	nr, err := http.Get(ts.URL + "/debug/trace/ghost")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nr.Body.Close()
+	if nr.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown trace: status %d", nr.StatusCode)
+	}
+}
+
+// TestMetricsContentNegotiation pins the /metrics contract: expvar
+// JSON by default, Prometheus text exposition via ?format=prom or an
+// Accept header, and no side effects on the handler (the expvar
+// publication happens at construction).
+func TestMetricsContentNegotiation(t *testing.T) {
+	ts, _ := newTestServer(t)
+	postJSON(t, ts.URL+"/extract", map[string]any{"expr": "x{a*}b", "docs": []string{"aab"}}).Body.Close()
+
+	// Explicit format query.
+	resp, err := http.Get(ts.URL + "/metrics?format=prom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != obs.ContentType {
+		t.Fatalf("Content-Type = %q, want %q", ct, obs.ContentType)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(raw)
+	for _, want := range []string{
+		"# TYPE spand_extract_duration_seconds histogram",
+		`spand_extract_duration_seconds_bucket{stage="enumerate"`,
+		"# TYPE spand_stream_emission_delay_seconds histogram",
+		"spand_mappings_emitted_total",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prom exposition missing %q", want)
+		}
+	}
+
+	// Accept-header negotiation (what a Prometheus scraper sends).
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/metrics", nil)
+	req.Header.Set("Accept", "text/plain;version=0.0.4;q=0.5,*/*;q=0.1")
+	aresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer aresp.Body.Close()
+	if ct := aresp.Header.Get("Content-Type"); ct != obs.ContentType {
+		t.Fatalf("Accept negotiation: Content-Type = %q", ct)
+	}
+
+	// Default stays the expvar JSON map.
+	dresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dresp.Body.Close()
+	var vars map[string]json.RawMessage
+	if err := json.NewDecoder(dresp.Body).Decode(&vars); err != nil {
+		t.Fatalf("default /metrics is not a JSON object: %v", err)
+	}
+	if _, ok := vars["spand"]; !ok {
+		t.Fatal("default /metrics missing spand var")
+	}
+}
+
+// TestDeadlineTyped503 asserts the server-imposed deadline surfaces
+// as a typed 503 with a Retry-After hint and a tick of the
+// deadline-expiry counter — distinguishable from a client disconnect.
+func TestDeadlineTyped503(t *testing.T) {
+	svc := service.New(service.Config{Workers: 2})
+	ts := httptest.NewServer(newServer(svc, serverOptions{reqTimeout: 50 * time.Millisecond}))
+	t.Cleanup(ts.Close)
+
+	resp := postJSON(t, ts.URL+"/extract", map[string]any{
+		"expr": `a*x{a*}a*`, "docs": []string{strings.Repeat("a", 3000)},
+	})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "1" {
+		t.Fatalf("Retry-After = %q, want 1 (the deadline in whole seconds, min 1)", got)
+	}
+	if got := svc.Observability().DeadlineExpiries(); got != 1 {
+		t.Fatalf("deadline expiries = %d, want 1", got)
+	}
+}
+
+// TestDebugTraceDisabled: with observability off, the trace
+// endpoints 404 and the Prometheus exposition is empty while the
+// expvar map still serves.
+func TestDebugTraceDisabled(t *testing.T) {
+	svc := service.New(service.Config{DisableObservability: true})
+	ts := httptest.NewServer(newServer(svc, serverOptions{}))
+	t.Cleanup(ts.Close)
+
+	resp, err := http.Get(ts.URL + "/debug/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("debug/trace with observability off: status %d", resp.StatusCode)
+	}
+	mresp, err := http.Get(ts.URL + "/metrics?format=prom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	if mresp.StatusCode != http.StatusOK {
+		t.Fatalf("prom metrics with observability off: status %d", mresp.StatusCode)
+	}
+}

@@ -6,11 +6,15 @@ import (
 	"errors"
 	"expvar"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"spanners/internal/obs"
 	"spanners/internal/registry"
 	"spanners/internal/service"
 )
@@ -61,27 +65,55 @@ const defaultMaxBody = 8 << 20 // 8 MiB
 // input; this bounds compute.
 const defaultRequestTimeout = 60 * time.Second
 
+// serverOptions configures newServer. The zero value selects the
+// production defaults: defaultMaxBody, defaultRequestTimeout, no
+// slow-request dumping, no request logs.
+type serverOptions struct {
+	// maxBody caps request body size in bytes (0 selects
+	// defaultMaxBody) so an oversized batch cannot exhaust memory
+	// before extraction starts.
+	maxBody int64
+	// reqTimeout caps one extraction's wall time (0 selects
+	// defaultRequestTimeout, negative disables the deadline).
+	reqTimeout time.Duration
+	// slowReq, when positive, logs the full span tree of any request
+	// slower than the threshold.
+	slowReq time.Duration
+	// logger receives structured request logs; nil discards them.
+	logger *slog.Logger
+}
+
 type server struct {
 	svc        *service.Service
 	mux        *http.ServeMux
 	maxBody    int64
 	reqTimeout time.Duration
+	slowReq    time.Duration
+	log        *slog.Logger
 }
 
 // newServer wires the service into an http.Handler exposing
-// /extract, /extract/stream, /registry, /healthz and /metrics.
-// maxBody caps request body size in bytes (0 selects defaultMaxBody)
-// so an oversized batch cannot exhaust memory before extraction
-// starts; reqTimeout caps one extraction's wall time (0 selects
-// defaultRequestTimeout, negative disables the deadline).
-func newServer(svc *service.Service, maxBody int64, reqTimeout time.Duration) *server {
-	if maxBody <= 0 {
-		maxBody = defaultMaxBody
+// /extract, /extract/stream, /registry, /healthz, /metrics and
+// /debug/trace. It also publishes the service's expvar snapshot, so
+// /metrics stays a side-effect-free read path.
+func newServer(svc *service.Service, opt serverOptions) *server {
+	if opt.maxBody <= 0 {
+		opt.maxBody = defaultMaxBody
 	}
-	if reqTimeout == 0 {
-		reqTimeout = defaultRequestTimeout
+	if opt.reqTimeout == 0 {
+		opt.reqTimeout = defaultRequestTimeout
 	}
-	s := &server{svc: svc, mux: http.NewServeMux(), maxBody: maxBody, reqTimeout: reqTimeout}
+	if opt.logger == nil {
+		opt.logger = slog.New(slog.DiscardHandler)
+	}
+	s := &server{
+		svc:        svc,
+		mux:        http.NewServeMux(),
+		maxBody:    opt.maxBody,
+		reqTimeout: opt.reqTimeout,
+		slowReq:    opt.slowReq,
+		log:        opt.logger,
+	}
 	s.mux.HandleFunc("POST /extract", s.handleExtract)
 	s.mux.HandleFunc("POST /extract/stream", s.handleStream)
 	s.mux.HandleFunc("PUT /registry/{name}", s.handleRegistryPut)
@@ -91,17 +123,145 @@ func newServer(svc *service.Service, maxBody int64, reqTimeout time.Duration) *s
 	s.mux.HandleFunc("GET /registry/{$}", s.handleRegistryList)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /debug/trace", s.handleTraceList)
+	s.mux.HandleFunc("GET /debug/trace/{id}", s.handleTraceGet)
+	publishExpvar(svc)
 	return s
 }
 
-func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP is the request middleware: assign (or honor) the request
+// ID, begin a trace for extraction routes, and emit one structured
+// log line per request — plus the full span tree when the request
+// exceeded the slow-request threshold. The deferred tail runs even
+// when a handler aborts the connection (http.ErrAbortHandler), so
+// aborted streams are still logged and their traces finished.
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	id := r.Header.Get("X-Request-ID")
+	if id == "" {
+		id = obs.NewRequestID()
+	}
+	w.Header().Set("X-Request-ID", id)
+
+	var trace *obs.Trace
+	if o := s.svc.Observability(); o != nil && tracedRoute(r) {
+		trace = o.Tracer.Begin(id)
+		r = r.WithContext(obs.WithTrace(r.Context(), trace))
+	}
+	sw := &statusWriter{ResponseWriter: w}
+	start := time.Now()
+	defer func() {
+		d := time.Since(start)
+		trace.Finish(d)
+		s.log.Info("request",
+			slog.String("id", id),
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.Int("status", sw.Status()),
+			slog.Duration("duration", d),
+		)
+		if s.slowReq > 0 && d >= s.slowReq && trace != nil {
+			if tree, err := json.Marshal(trace.Snapshot()); err == nil {
+				s.log.Warn("slow request",
+					slog.String("id", id),
+					slog.Duration("duration", d),
+					slog.String("spans", string(tree)),
+				)
+			}
+		}
+	}()
+	s.mux.ServeHTTP(sw, r)
+}
+
+// tracedRoute reports whether a request should carry a trace: only
+// the extraction endpoints — tracing probe traffic (/healthz, scrape
+// hits on /metrics) would churn the retention ring with empty traces.
+func tracedRoute(r *http.Request) bool {
+	return r.Method == http.MethodPost &&
+		(r.URL.Path == "/extract" || r.URL.Path == "/extract/stream")
+}
+
+// statusWriter records the response status for the request log. It
+// implements http.Flusher unconditionally (delegating when the
+// underlying writer supports it) so wrapping never hides streaming
+// capability from the NDJSON handler.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Status returns the recorded status, defaulting to 200 for handlers
+// that never called WriteHeader explicitly.
+func (w *statusWriter) Status() int {
+	if w.status == 0 {
+		return http.StatusOK
+	}
+	return w.status
+}
+
+// errDeadline is the cause attached to the server-imposed extraction
+// deadline, so handlers can distinguish "the server cut this off"
+// (typed 503 with Retry-After) from a client-supplied deadline or
+// disconnect.
+var errDeadline = errors.New("request exceeded the server extraction deadline; back off or simplify the query")
 
 // requestCtx derives the extraction deadline for one request.
 func (s *server) requestCtx(r *http.Request) (context.Context, context.CancelFunc) {
 	if s.reqTimeout <= 0 {
 		return r.Context(), func() {}
 	}
-	return context.WithTimeout(r.Context(), s.reqTimeout)
+	return context.WithTimeoutCause(r.Context(), s.reqTimeout, errDeadline)
+}
+
+// deadlineExpired reports whether err is the server-imposed deadline
+// firing on ctx (as opposed to a client disconnect or any other
+// failure).
+func deadlineExpired(ctx context.Context, err error) bool {
+	return errors.Is(err, context.DeadlineExceeded) && errors.Is(context.Cause(ctx), errDeadline)
+}
+
+// extractError maps one extraction failure to a response. The
+// server-imposed deadline gets the typed treatment: 503 with a
+// Retry-After hint and a tick of spand_deadline_expiries_total;
+// everything else goes through extractErrCode.
+func (s *server) extractError(ctx context.Context, w http.ResponseWriter, err error) {
+	if deadlineExpired(ctx, err) {
+		s.svc.Observability().NoteDeadlineExpiry()
+		w.Header().Set("Retry-After", s.retryAfter())
+		httpError(w, http.StatusServiceUnavailable, errDeadline)
+		return
+	}
+	httpError(w, extractErrCode(err), err)
+}
+
+// retryAfter renders the Retry-After hint for deadline 503s: the
+// deadline itself in whole seconds (minimum 1) — retrying sooner than
+// one deadline window would just pin another worker.
+func (s *server) retryAfter() string {
+	secs := int(s.reqTimeout / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
 }
 
 func httpError(w http.ResponseWriter, code int, err error) {
@@ -176,7 +336,7 @@ func (s *server) handleExtract(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	results, err := s.svc.ExtractBatch(ctx, req.Query, req.Docs)
 	if err != nil {
-		httpError(w, extractErrCode(err), err)
+		s.extractError(ctx, w, err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -195,14 +355,15 @@ func (s *server) handleStream(w http.ResponseWriter, r *http.Request) {
 	}
 	// Compile (one cache lookup) before committing to the NDJSON
 	// format, so a bad query still gets a JSON 400 and an empty
-	// result set still gets the right Content-Type.
-	compiled, err := s.svc.CompileQuery(req.Query)
-	if err != nil {
-		httpError(w, extractErrCode(err), err)
-		return
-	}
+	// result set still gets the right Content-Type. Compilation runs
+	// under the request context so its stage lands on the trace.
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()
+	compiled, err := s.svc.CompileQueryCtx(ctx, req.Query)
+	if err != nil {
+		s.extractError(ctx, w, err)
+		return
+	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
@@ -220,7 +381,12 @@ func (s *server) handleStream(w http.ResponseWriter, r *http.Request) {
 		// The stream was cut short (cancellation or deadline
 		// mid-enumeration). Abort the connection instead of
 		// terminating the chunked body cleanly, so clients can
-		// distinguish a truncated stream from a complete one.
+		// distinguish a truncated stream from a complete one. The
+		// status is already committed, so a server-deadline expiry
+		// can only be counted, not turned into a 503.
+		if deadlineExpired(ctx, err) {
+			s.svc.Observability().NoteDeadlineExpiry()
+		}
 		panic(http.ErrAbortHandler)
 	}
 }
@@ -323,12 +489,81 @@ func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
-// handleMetrics serves the process expvar map (which includes the
-// "spand" service snapshot once publishExpvar has run) so standard
-// expvar tooling works against it.
+// handleMetrics serves the process metrics in one of two formats:
+// the expvar JSON map by default (which includes the "spand" service
+// snapshot published at construction — the handler itself is a pure
+// read), or the Prometheus text exposition when the client asks for
+// it via ?format=prom or an Accept header naming text/plain or
+// OpenMetrics. With observability disabled the Prometheus body is
+// empty (a valid exposition of zero families).
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	publishExpvar(s.svc)
+	if wantsPrometheus(r) {
+		w.Header().Set("Content-Type", obs.ContentType)
+		if err := s.svc.Observability().WritePrometheus(w); err != nil {
+			s.log.Error("metrics exposition", slog.Any("error", err))
+		}
+		return
+	}
 	expvar.Handler().ServeHTTP(w, r)
+}
+
+// wantsPrometheus implements the /metrics content negotiation. The
+// explicit ?format= query wins; otherwise any Accept header naming
+// text/plain or an OpenMetrics type selects the exposition format
+// (Prometheus scrapers send both; plain `curl` and expvar tooling
+// send neither and keep the JSON map).
+func wantsPrometheus(r *http.Request) bool {
+	switch r.URL.Query().Get("format") {
+	case "prom", "prometheus":
+		return true
+	case "":
+	default:
+		return false
+	}
+	accept := r.Header.Get("Accept")
+	return strings.Contains(accept, "text/plain") || strings.Contains(accept, "openmetrics")
+}
+
+// handleTraceList serves the retained request traces, most recent
+// first. ?n= caps how many (default: the full retention ring).
+func (s *server) handleTraceList(w http.ResponseWriter, r *http.Request) {
+	o := s.svc.Observability()
+	if o == nil {
+		httpError(w, http.StatusNotFound, errors.New("tracing disabled"))
+		return
+	}
+	n := obs.DefaultTraceRetention
+	if q := r.URL.Query().Get("n"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v <= 0 {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad n %q", q))
+			return
+		}
+		n = v
+	}
+	traces := o.Tracer.Last(n)
+	if traces == nil {
+		traces = []obs.TraceSnapshot{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(traces)
+}
+
+// handleTraceGet serves one retained trace by request ID — the span
+// tree plus the emission-delay digest for a streamed extraction.
+func (s *server) handleTraceGet(w http.ResponseWriter, r *http.Request) {
+	o := s.svc.Observability()
+	if o == nil {
+		httpError(w, http.StatusNotFound, errors.New("tracing disabled"))
+		return
+	}
+	snap, ok := o.Tracer.Get(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("no retained trace %q", r.PathValue("id")))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(snap)
 }
 
 // publishExpvar registers the service snapshot under the "spand"

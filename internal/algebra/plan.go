@@ -2,6 +2,7 @@ package algebra
 
 import (
 	"fmt"
+	"time"
 
 	"spanners"
 )
@@ -29,6 +30,19 @@ type Plan struct {
 	Pinned string
 	// Leaves counts leaf references (duplicates included).
 	Leaves int
+	// OpCosts records the wall time of every composition step the
+	// build performed, in tree order: one entry per leaf resolution
+	// ("leaf"), binary union/join application ("union", "join") and
+	// projection ("project"). Peterfreund et al. 2019 predicts which
+	// operators blow up; these timings are how the service confirms it
+	// per plan.
+	OpCosts []OpCost
+}
+
+// OpCost is the wall time of one composition step of a plan build.
+type OpCost struct {
+	Op    string `json:"op"`
+	DurNs int64  `json:"duration_ns"`
 }
 
 // Build resolves every leaf of e through r and folds the tree through
@@ -43,12 +57,21 @@ func Build(e Expr, r LeafResolver) (*Plan, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Plan{Spanner: sp, Pinned: pinned.Canonical(), Leaves: b.leaves}, nil
+	return &Plan{Spanner: sp, Pinned: pinned.Canonical(), Leaves: b.leaves, OpCosts: b.costs}, nil
 }
 
 type builder struct {
 	resolver LeafResolver
 	leaves   int
+	costs    []OpCost
+}
+
+// timed runs one composition step and records its wall time.
+func timed[T any](b *builder, op string, f func() T) T {
+	start := time.Now()
+	v := f()
+	b.costs = append(b.costs, OpCost{Op: op, DurNs: time.Since(start).Nanoseconds()})
+	return v
 }
 
 // build returns the composed spanner for e together with the pinned
@@ -56,7 +79,9 @@ type builder struct {
 func (b *builder) build(e Expr) (*spanners.Spanner, Expr, error) {
 	switch n := e.(type) {
 	case Ref:
+		start := time.Now()
 		sp, version, err := b.resolver.Resolve(n.Name, n.Version)
+		b.costs = append(b.costs, OpCost{Op: "leaf", DurNs: time.Since(start).Nanoseconds()})
 		if err != nil {
 			return nil, nil, fmt.Errorf("leaf %s: %w", n.Canonical(), err)
 		}
@@ -67,10 +92,10 @@ func (b *builder) build(e Expr) (*spanners.Spanner, Expr, error) {
 		return sp, Ref{Name: n.Name, Version: version}, nil
 
 	case Union:
-		return b.fold(n.Args, spanners.Union, func(args []Expr) Expr { return Union{Args: args} })
+		return b.fold("union", n.Args, spanners.Union, func(args []Expr) Expr { return Union{Args: args} })
 
 	case Join:
-		return b.fold(n.Args, spanners.Join, func(args []Expr) Expr { return Join{Args: args} })
+		return b.fold("join", n.Args, spanners.Join, func(args []Expr) Expr { return Join{Args: args} })
 
 	case Project:
 		arg, pinnedArg, err := b.build(n.Arg)
@@ -87,14 +112,15 @@ func (b *builder) build(e Expr) (*spanners.Spanner, Expr, error) {
 					ErrUnbound, v, n.Canonical(), arg.Vars())
 			}
 		}
-		return spanners.Project(arg, n.Vars...), Project{Arg: pinnedArg, Vars: n.Vars}, nil
+		proj := timed(b, "project", func() *spanners.Spanner { return spanners.Project(arg, n.Vars...) })
+		return proj, Project{Arg: pinnedArg, Vars: n.Vars}, nil
 
 	default:
 		return nil, nil, fmt.Errorf("%w: unknown node type %T", ErrSyntax, e)
 	}
 }
 
-func (b *builder) fold(args []Expr, op func(a, b *spanners.Spanner) *spanners.Spanner, rebuild func([]Expr) Expr) (*spanners.Spanner, Expr, error) {
+func (b *builder) fold(name string, args []Expr, op func(a, b *spanners.Spanner) *spanners.Spanner, rebuild func([]Expr) Expr) (*spanners.Spanner, Expr, error) {
 	pinnedArgs := make([]Expr, len(args))
 	var acc *spanners.Spanner
 	for i, a := range args {
@@ -106,7 +132,7 @@ func (b *builder) fold(args []Expr, op func(a, b *spanners.Spanner) *spanners.Sp
 		if i == 0 {
 			acc = sp
 		} else {
-			acc = op(acc, sp)
+			acc = timed(b, name, func() *spanners.Spanner { return op(acc, sp) })
 		}
 	}
 	return acc, rebuild(pinnedArgs), nil

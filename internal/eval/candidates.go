@@ -30,10 +30,15 @@ func (e *Engine) candidates(d *span.Document) map[span.Var][]span.Span {
 // slices; candidateSpansProg in compiled.go is the program-backed
 // equivalent.
 func (e *Engine) candidateSpans(d *span.Document) map[span.Var][]span.Span {
-	n := d.Len()
-	fwd := e.forwardReach(d)  // fwd[pos][state]: reachable from the start
-	bwd := e.backwardReach(d) // bwd[pos][state]: final reachable from here
+	// fwd[pos][state]: reachable from the start; bwd[pos][state]: final
+	// reachable from here.
+	return e.candidateSpansFrom(d, e.forwardReach(d), e.backwardReach(d))
+}
 
+// candidateSpansFrom is candidateSpans with both reachability sweeps
+// hoisted out, so the observed path can time them as separate stages.
+func (e *Engine) candidateSpansFrom(d *span.Document, fwd, bwd [][]bool) map[span.Var][]span.Span {
+	n := d.Len()
 	adj := e.a.Adj()
 	out := make(map[span.Var][]span.Span, len(e.vars))
 	for _, x := range e.vars {

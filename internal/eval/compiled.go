@@ -322,9 +322,15 @@ type progOpAt struct {
 // identical to the interpreted enumerator (choices are keyed by the
 // same canonical op-set strings).
 func (e *Engine) enumerateSequentialProg(d *span.Document, yield func(span.Mapping) bool) {
+	e.enumerateSequentialProgFrom(d, e.backwardReachProg(d), yield)
+}
+
+// enumerateSequentialProgFrom is enumerateSequentialProg with the
+// co-reach sweep hoisted out, so the observed path can time the sweep
+// and the walk as separate stages.
+func (e *Engine) enumerateSequentialProgFrom(d *span.Document, bwd []program.Bits, yield func(span.Mapping) bool) {
 	p := e.prog
 	n := d.Len()
-	bwd := e.backwardReachProg(d)
 
 	var fired []progOpAt
 	emit := func() bool {
@@ -620,10 +626,15 @@ func (e *Engine) backwardReachProg(d *span.Document) []program.Bits {
 // candidateSpansProg is the candidate-span prefilter of
 // EnumerateFiltered on the compiled program.
 func (e *Engine) candidateSpansProg(d *span.Document) map[span.Var][]span.Span {
+	return e.candidateSpansProgFrom(d, e.forwardReachProg(d), e.backwardReachProg(d))
+}
+
+// candidateSpansProgFrom is candidateSpansProg with both reachability
+// sweeps hoisted out, so the observed path can time them as separate
+// stages.
+func (e *Engine) candidateSpansProgFrom(d *span.Document, fwd, bwd []program.Bits) map[span.Var][]span.Span {
 	p := e.prog
 	n := d.Len()
-	fwd := e.forwardReachProg(d)
-	bwd := e.backwardReachProg(d)
 
 	// Per-variable open and close edge lists (from, to).
 	type edge struct{ from, to int32 }

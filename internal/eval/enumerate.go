@@ -28,8 +28,14 @@ import (
 // needed. Outputs are emitted in deterministic order (boundary sets
 // in canonical order at each position).
 func (e *Engine) enumerateSequential(d *span.Document, yield func(span.Mapping) bool) {
+	e.enumerateSequentialFrom(d, e.backwardReach(d), yield)
+}
+
+// enumerateSequentialFrom is enumerateSequential with the co-reach
+// sweep hoisted out, so the observed path (EnumerateObserved) can time
+// the sweep and the walk as separate stages.
+func (e *Engine) enumerateSequentialFrom(d *span.Document, bwd [][]bool, yield func(span.Mapping) bool) {
 	n := d.Len()
-	bwd := e.backwardReach(d)
 
 	// opAt records one fired operation for mapping reconstruction.
 	type opAt struct {

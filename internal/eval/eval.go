@@ -583,7 +583,13 @@ func (e *Engine) EnumerateFiltered(d *span.Document, yield func(span.Mapping) bo
 	if !e.Eval(d, span.Extended{}) {
 		return
 	}
-	candidates := e.candidates(d)
+	e.enumerateFilteredFrom(d, e.candidates(d), yield)
+}
+
+// enumerateFilteredFrom is the probing walk of EnumerateFiltered with
+// the emptiness check and candidate sweep hoisted out, so the observed
+// path can time the three phases as separate stages.
+func (e *Engine) enumerateFilteredFrom(d *span.Document, candidates map[span.Var][]span.Span, yield func(span.Mapping) bool) {
 	var rec func(mu span.Extended, rest []span.Var) bool
 	rec = func(mu span.Extended, rest []span.Var) bool {
 		if len(rest) == 0 {

@@ -1,0 +1,297 @@
+// Package obs is the service's observability substrate: lock-cheap
+// fixed-bucket latency histograms, a lightweight span/trace recorder,
+// and a Prometheus text-exposition encoder. It deliberately depends on
+// nothing but the standard library — every subsystem (eval, service,
+// cmd/spand) can import it without dragging in a metrics framework,
+// and the hot-path cost of an observation is a handful of atomic adds.
+//
+// The package exists to make the paper's flagship operational claim —
+// polynomial-delay enumeration (Theorem 5.7) — observable in
+// production: the enumerator's inter-mapping emission delay lands in a
+// histogram whose p50/p99/max are scrapeable, turning a theorem into a
+// monitorable SLO.
+package obs
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultBuckets returns the log-spaced histogram upper bounds used by
+// every latency histogram in the service, in seconds: ×4 steps from
+// 250ns to 16s. The range covers everything from a single memoized DFA
+// transition to a pathological enumeration hitting the request
+// deadline; log spacing keeps relative error roughly constant across
+// five orders of magnitude with 14 buckets.
+func DefaultBuckets() []float64 {
+	return []float64{
+		250e-9, 1e-6, 4e-6, 16e-6, 64e-6, 256e-6,
+		1e-3, 4e-3, 16e-3, 64e-3, 256e-3,
+		1, 4, 16,
+	}
+}
+
+// Histogram is a fixed-bucket latency histogram with atomic counters:
+// Observe is a bounds scan plus three atomic adds, safe for concurrent
+// use with no locking on the hot path. Bucket bounds are fixed at
+// construction (Prometheus classic-histogram semantics: each bound is
+// an inclusive upper edge, with an implicit +Inf bucket at the end).
+//
+// A nil *Histogram is a valid no-op receiver, so instrumentation
+// points need no enabled-checks.
+type Histogram struct {
+	bounds   []float64 // upper bounds in seconds, ascending
+	boundsNs []int64   // the same bounds in nanoseconds, for Observe
+	buckets  []atomic.Uint64
+	count    atomic.Uint64
+	sumNs    atomic.Int64
+	maxNs    atomic.Int64
+}
+
+// NewHistogram builds a histogram over the given upper bounds in
+// seconds (nil selects DefaultBuckets). Bounds must be ascending.
+func NewHistogram(bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = DefaultBuckets()
+	}
+	h := &Histogram{
+		bounds:   append([]float64(nil), bounds...),
+		boundsNs: make([]int64, len(bounds)),
+		buckets:  make([]atomic.Uint64, len(bounds)+1),
+	}
+	for i, b := range h.bounds {
+		h.boundsNs[i] = int64(math.Round(b * 1e9))
+	}
+	return h
+}
+
+// Observe records one duration. Negative durations (clock steps) are
+// clamped to zero rather than dropped, so count stays equal to the
+// number of events.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	ns := d.Nanoseconds()
+	if ns < 0 {
+		ns = 0
+	}
+	i := 0
+	for i < len(h.boundsNs) && ns > h.boundsNs[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sumNs.Add(ns)
+	for {
+		old := h.maxNs.Load()
+		if ns <= old || h.maxNs.CompareAndSwap(old, ns) {
+			break
+		}
+	}
+}
+
+// Absorb folds every sample recorded in src into h with one atomic
+// add per bucket, instead of one per sample. It exists for the
+// scatter/gather pattern: concurrent workers record into private
+// histograms (uncontended atomics on core-local cache lines) and merge
+// once at the end, so a hot parallel loop never ping-pongs the shared
+// counters. src must use the same bucket layout (it does when both
+// sides were built with the same bounds argument) and must be quiescent
+// — absorbing a histogram that is still being written double-counts
+// nothing but can tear the max. A nil receiver or source is a no-op.
+func (h *Histogram) Absorb(src *Histogram) {
+	if h == nil || src == nil {
+		return
+	}
+	if len(h.buckets) != len(src.buckets) {
+		panic("obs: Absorb across histograms with different bucket layouts")
+	}
+	for i := range src.buckets {
+		if c := src.buckets[i].Load(); c > 0 {
+			h.buckets[i].Add(c)
+		}
+	}
+	if c := src.count.Load(); c > 0 {
+		h.count.Add(c)
+	}
+	if s := src.sumNs.Load(); s != 0 {
+		h.sumNs.Add(s)
+	}
+	srcMax := src.maxNs.Load()
+	for {
+		old := h.maxNs.Load()
+		if srcMax <= old || h.maxNs.CompareAndSwap(old, srcMax) {
+			break
+		}
+	}
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram, safe to
+// read while writers keep observing. Counts are per-bucket (not
+// cumulative); Cumulative and Quantile derive the Prometheus views.
+type HistogramSnapshot struct {
+	// Bounds are the upper bucket edges in seconds; Counts has one
+	// extra entry for the +Inf bucket.
+	Bounds []float64 `json:"bounds"`
+	Counts []uint64  `json:"counts"`
+	Count  uint64    `json:"count"`
+	SumNs  int64     `json:"sum_ns"`
+	MaxNs  int64     `json:"max_ns"`
+}
+
+// Snapshot copies the live counters. Individual loads are atomic but
+// the set is not a single consistent cut — good enough for monitoring,
+// and Count is re-derived from the buckets so cumulative series never
+// exceed it.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	s := HistogramSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]uint64, len(h.buckets)),
+		SumNs:  h.sumNs.Load(),
+		MaxNs:  h.maxNs.Load(),
+	}
+	for i := range h.buckets {
+		c := h.buckets[i].Load()
+		s.Counts[i] = c
+		s.Count += c
+	}
+	return s
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) in seconds by linear
+// interpolation inside the target bucket, the same estimator
+// Prometheus's histogram_quantile uses. It returns 0 on an empty
+// histogram; observations in the +Inf bucket resolve to the largest
+// finite bound.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Bounds) == 0 {
+		return 0
+	}
+	rank := q * float64(s.Count)
+	var cum uint64
+	for i, c := range s.Counts {
+		cum += c
+		if float64(cum) < rank {
+			continue
+		}
+		if i >= len(s.Bounds) {
+			return s.Bounds[len(s.Bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = s.Bounds[i-1]
+		}
+		hi := s.Bounds[i]
+		if c == 0 {
+			return hi
+		}
+		inBucket := rank - float64(cum-c)
+		return lo + (hi-lo)*(inBucket/float64(c))
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
+// Mean returns the mean observation in seconds, 0 when empty.
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.SumNs) / 1e9 / float64(s.Count)
+}
+
+// HistogramVec is a family of histograms sharing one metric name and
+// bucket layout, split by the value of a single label (e.g. per-stage
+// extraction latency split by stage). Lookups take a read lock only;
+// the write lock is hit once per new label value.
+type HistogramVec struct {
+	label  string
+	bounds []float64
+	mu     sync.RWMutex
+	m      map[string]*Histogram
+	order  []string // label values in first-seen order, for stable exposition
+}
+
+// NewHistogramVec builds a histogram family keyed by label. bounds nil
+// selects DefaultBuckets.
+func NewHistogramVec(label string, bounds []float64) *HistogramVec {
+	if bounds == nil {
+		bounds = DefaultBuckets()
+	}
+	return &HistogramVec{label: label, bounds: bounds, m: map[string]*Histogram{}}
+}
+
+// With returns the histogram for one label value, creating it on first
+// use. Safe for concurrent use; a nil receiver returns a nil (no-op)
+// histogram.
+func (v *HistogramVec) With(value string) *Histogram {
+	if v == nil {
+		return nil
+	}
+	v.mu.RLock()
+	h := v.m[value]
+	v.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if h = v.m[value]; h == nil {
+		h = NewHistogram(v.bounds)
+		v.m[value] = h
+		v.order = append(v.order, value)
+	}
+	return h
+}
+
+// Observe records d under the given label value.
+func (v *HistogramVec) Observe(value string, d time.Duration) {
+	v.With(value).Observe(d)
+}
+
+// Label returns the family's label name.
+func (v *HistogramVec) Label() string { return v.label }
+
+// Absorb folds every histogram of src into v, creating label values as
+// needed — the HistogramVec side of the scatter/gather pattern (see
+// Histogram.Absorb). src must share v's bucket layout and be quiescent.
+func (v *HistogramVec) Absorb(src *HistogramVec) {
+	if v == nil || src == nil {
+		return
+	}
+	src.mu.RLock()
+	vals := append([]string(nil), src.order...)
+	hs := make([]*Histogram, len(vals))
+	for i, val := range vals {
+		hs[i] = src.m[val]
+	}
+	src.mu.RUnlock()
+	for i, val := range vals {
+		v.With(val).Absorb(hs[i])
+	}
+}
+
+// Snapshots returns (label value, snapshot) pairs in first-seen order.
+func (v *HistogramVec) Snapshots() []LabeledSnapshot {
+	if v == nil {
+		return nil
+	}
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	out := make([]LabeledSnapshot, 0, len(v.order))
+	for _, val := range v.order {
+		out = append(out, LabeledSnapshot{Value: val, Snapshot: v.m[val].Snapshot()})
+	}
+	return out
+}
+
+// LabeledSnapshot pairs one label value with its histogram snapshot.
+type LabeledSnapshot struct {
+	Value    string
+	Snapshot HistogramSnapshot
+}

@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramBucketsAndSum(t *testing.T) {
+	h := NewHistogram([]float64{1e-6, 1e-3, 1})
+	h.Observe(500 * time.Nanosecond) // bucket 0 (le 1µs)
+	h.Observe(1 * time.Microsecond)  // bucket 0 (bounds are inclusive)
+	h.Observe(2 * time.Microsecond)  // bucket 1
+	h.Observe(time.Second)           // bucket 2
+	h.Observe(5 * time.Second)       // +Inf
+	s := h.Snapshot()
+	want := []uint64{2, 1, 1, 1}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (all: %v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+	if s.Count != 5 {
+		t.Fatalf("count = %d, want 5", s.Count)
+	}
+	wantSum := int64(500 + 1000 + 2000 + 1e9 + 5e9)
+	if s.SumNs != wantSum {
+		t.Fatalf("sum = %d ns, want %d", s.SumNs, wantSum)
+	}
+	if s.MaxNs != int64(5e9) {
+		t.Fatalf("max = %d ns, want 5e9", s.MaxNs)
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	h := NewHistogram(nil)
+	h.Observe(-time.Second)
+	s := h.Snapshot()
+	if s.Count != 1 || s.SumNs != 0 || s.Counts[0] != 1 {
+		t.Fatalf("negative observation not clamped to zero: %+v", s)
+	}
+}
+
+func TestNilHistogramIsNoOp(t *testing.T) {
+	var h *Histogram
+	h.Observe(time.Second) // must not panic
+	if s := h.Snapshot(); s.Count != 0 {
+		t.Fatalf("nil snapshot = %+v", s)
+	}
+	var v *HistogramVec
+	v.Observe("x", time.Second)
+	if v.With("x") != nil {
+		t.Fatal("nil vec returned a histogram")
+	}
+	if v.Snapshots() != nil {
+		t.Fatal("nil vec returned snapshots")
+	}
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	h := NewHistogram([]float64{0.1, 0.2, 0.4})
+	// 100 observations uniformly in (0.1, 0.2]: p50 should land mid-bucket.
+	for i := 0; i < 100; i++ {
+		h.Observe(150 * time.Millisecond)
+	}
+	s := h.Snapshot()
+	p50 := s.Quantile(0.5)
+	if p50 < 0.1 || p50 > 0.2 {
+		t.Fatalf("p50 = %v, want within (0.1, 0.2]", p50)
+	}
+	if got := s.Quantile(1.0); math.Abs(got-0.2) > 1e-9 {
+		t.Fatalf("p100 = %v, want 0.2", got)
+	}
+	if got := (HistogramSnapshot{}).Quantile(0.5); got != 0 {
+		t.Fatalf("empty quantile = %v, want 0", got)
+	}
+	// +Inf observations resolve to the largest finite bound.
+	h2 := NewHistogram([]float64{0.1})
+	h2.Observe(time.Hour)
+	if got := h2.Snapshot().Quantile(0.99); got != 0.1 {
+		t.Fatalf("inf-bucket quantile = %v, want 0.1", got)
+	}
+}
+
+func TestHistogramMean(t *testing.T) {
+	h := NewHistogram(nil)
+	h.Observe(time.Second)
+	h.Observe(3 * time.Second)
+	if m := h.Snapshot().Mean(); math.Abs(m-2) > 1e-9 {
+		t.Fatalf("mean = %v, want 2", m)
+	}
+	if m := (HistogramSnapshot{}).Mean(); m != 0 {
+		t.Fatalf("empty mean = %v", m)
+	}
+}
+
+// TestHistogramConcurrent hammers one histogram from parallel writers
+// while snapshots are taken concurrently; run under -race this is the
+// data-race check, and the final count must see every observation.
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram(nil)
+	const writers, perWriter = 8, 2000
+	stop := make(chan struct{})
+	snapDone := make(chan struct{})
+	go func() { // snapshot-while-writing
+		defer close(snapDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				s := h.Snapshot()
+				var sum uint64
+				for _, c := range s.Counts {
+					sum += c
+				}
+				if sum != s.Count {
+					panic("snapshot count diverged from bucket sum")
+				}
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				h.Observe(time.Duration(w*i) * time.Microsecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	<-snapDone
+	if got := h.Snapshot().Count; got != writers*perWriter {
+		t.Fatalf("count = %d, want %d", got, writers*perWriter)
+	}
+}
+
+func TestHistogramVecConcurrent(t *testing.T) {
+	v := NewHistogramVec("stage", nil)
+	stages := []string{"compile", "enumerate", "co-reach-sweep"}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				v.Observe(stages[(w+i)%len(stages)], time.Microsecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	snaps := v.Snapshots()
+	if len(snaps) != len(stages) {
+		t.Fatalf("got %d labeled snapshots, want %d", len(snaps), len(stages))
+	}
+	var total uint64
+	for _, ls := range snaps {
+		total += ls.Snapshot.Count
+	}
+	if total != 8*500 {
+		t.Fatalf("total samples = %d, want %d", total, 8*500)
+	}
+}

@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func buildTestRegistry() *Registry {
+	r := NewRegistry()
+	r.RegisterCounterFunc("spand_requests_total", "Requests served.", func() []Sample {
+		return []Sample{
+			{Labels: []string{L("code", "200")}, Value: 40},
+			{Labels: []string{L("code", "400")}, Value: 2},
+		}
+	})
+	r.RegisterGaugeFunc("spand_cache_entries", "Compiled-spanner cache size.", func() []Sample {
+		return []Sample{{Value: 7}}
+	})
+	h := NewHistogram([]float64{0.001, 0.01})
+	h.Observe(500 * time.Microsecond)
+	h.Observe(5 * time.Millisecond)
+	h.Observe(time.Second)
+	r.RegisterHistogram("spand_stream_emission_delay_seconds", "Inter-mapping emission delay.", h)
+	v := NewHistogramVec("stage", []float64{0.001})
+	v.Observe("compile", 2*time.Millisecond)
+	v.Observe("enumerate", 100*time.Microsecond)
+	r.RegisterHistogramVec("spand_extract_duration_seconds", "Per-stage extraction latency.", v)
+	return r
+}
+
+func TestWritePrometheusShape(t *testing.T) {
+	var b strings.Builder
+	if err := buildTestRegistry().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	for _, want := range []string{
+		"# HELP spand_requests_total Requests served.\n",
+		"# TYPE spand_requests_total counter\n",
+		`spand_requests_total{code="200"} 40` + "\n",
+		`spand_requests_total{code="400"} 2` + "\n",
+		"# TYPE spand_cache_entries gauge\n",
+		"spand_cache_entries 7\n",
+		"# TYPE spand_stream_emission_delay_seconds histogram\n",
+		`spand_stream_emission_delay_seconds_bucket{le="0.001"} 1` + "\n",
+		`spand_stream_emission_delay_seconds_bucket{le="0.01"} 2` + "\n",
+		`spand_stream_emission_delay_seconds_bucket{le="+Inf"} 3` + "\n",
+		"spand_stream_emission_delay_seconds_count 3\n",
+		"# TYPE spand_extract_duration_seconds histogram\n",
+		`spand_extract_duration_seconds_bucket{stage="compile",le="+Inf"} 1` + "\n",
+		`spand_extract_duration_seconds_bucket{stage="enumerate",le="0.001"} 1` + "\n",
+		`spand_extract_duration_seconds_sum{stage="compile"} 0.002` + "\n",
+		`spand_extract_duration_seconds_count{stage="enumerate"} 1` + "\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n--- got ---\n%s", want, out)
+		}
+	}
+
+	// _sum is in seconds: 0.0005 + 0.005 + 1.
+	if !strings.Contains(out, "spand_stream_emission_delay_seconds_sum 1.0055\n") {
+		t.Errorf("histogram _sum wrong:\n%s", out)
+	}
+}
+
+func TestWritePrometheusNoDuplicateSeries(t *testing.T) {
+	var b strings.Builder
+	if err := buildTestRegistry().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[string]bool)
+	for _, line := range strings.Split(b.String(), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		series := line[:strings.LastIndexByte(line, ' ')]
+		if seen[series] {
+			t.Fatalf("duplicate series %q", series)
+		}
+		seen[series] = true
+	}
+}
+
+func TestRegistryDuplicateFamilyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate family name did not panic")
+		}
+	}()
+	r := NewRegistry()
+	r.RegisterGaugeFunc("x", "", func() []Sample { return nil })
+	r.RegisterGaugeFunc("x", "", func() []Sample { return nil })
+}
+
+func TestNilRegistryWrite(t *testing.T) {
+	var r *Registry
+	if err := r.WritePrometheus(&strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRenderLabelsEscaping(t *testing.T) {
+	got := renderLabels([]string{L("name", `a"b\c`+"\n")})
+	want := `{name="a\"b\\c\n"}`
+	if got != want {
+		t.Fatalf("got %s want %s", got, want)
+	}
+	if renderLabels(nil) != "" {
+		t.Fatal("empty labels rendered braces")
+	}
+}

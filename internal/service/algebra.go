@@ -53,34 +53,42 @@ type AlgebraStats struct {
 // algebra.ErrSyntax / ErrUnbound / ErrDepth / ErrCycle for bad
 // expressions, registry.ErrNotFound for unknown leaves.
 func (s *Service) AlgebraSpanner(expr string) (*spanners.Spanner, error) {
+	sp, _, _, err := s.algebraSpannerTracked(expr)
+	return sp, err
+}
+
+// algebraSpannerTracked is AlgebraSpanner reporting whether this call
+// performed the composition, and — when it did — the plan, whose
+// per-operator timings the observed compile path records.
+func (s *Service) algebraSpannerTracked(expr string) (*spanners.Spanner, *algebra.Plan, bool, error) {
 	if s.reg == nil {
-		return nil, ErrNoRegistry
+		return nil, nil, false, ErrNoRegistry
 	}
 	s.algebraQueries.Add(1)
 	pinned, err := s.pinExpr(expr)
 	if err != nil {
-		return nil, err
+		return nil, nil, false, err
 	}
 	key := pinned.Canonical()
-	composed := false
+	var plan *algebra.Plan
 	sp, err := s.spanners.get(algebraKeyPrefix+key, func() (*spanners.Spanner, error) {
-		composed = true
-		plan, err := algebra.Build(pinned, s.leafResolver())
+		p, err := algebra.Build(pinned, s.leafResolver())
 		if err != nil {
 			return nil, err
 		}
-		s.recordEngine(plan.Spanner)
-		return plan.Spanner.WithAlgebraSource(key), nil
+		plan = p
+		s.recordEngine(p.Spanner)
+		return p.Spanner.WithAlgebraSource(key), nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, false, err
 	}
-	if composed {
+	if plan != nil {
 		s.algebraCompositions.Add(1)
 	} else {
 		s.algebraCacheHits.Add(1)
 	}
-	return sp, nil
+	return sp, plan, plan != nil, nil
 }
 
 // RegisterAlgebra plans expr, persists the composed program under

@@ -1,0 +1,254 @@
+package service
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+
+	"spanners/internal/obs"
+)
+
+// TestStreamRecordsDelayPerMapping is the satellite stream assertion:
+// every emitted mapping of a streaming extraction must land one sample
+// in the emission-delay histogram, and — when the request carries a
+// trace — in the trace's per-request digest.
+func TestStreamRecordsDelayPerMapping(t *testing.T) {
+	svc := New(Config{})
+	o := svc.Observability()
+	if o == nil {
+		t.Fatal("observability disabled by default")
+	}
+
+	trace := o.Tracer.Begin("stream-1")
+	ctx := obs.WithTrace(context.Background(), trace)
+	n := 0
+	if err := svc.ExtractStream(ctx, Query{Expr: sellerExpr}, sellerDoc, func(Result) bool {
+		n++
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("stream produced no mappings")
+	}
+	if got := o.EmissionDelay.Snapshot().Count; got != uint64(n) {
+		t.Fatalf("emission-delay samples = %d, mappings = %d", got, n)
+	}
+
+	snap := trace.Snapshot()
+	if snap.Delays == nil || snap.Delays.Count != uint64(n) {
+		t.Fatalf("trace delay digest = %+v, want %d samples", snap.Delays, n)
+	}
+	names := map[string]bool{}
+	for _, sp := range snap.Spans {
+		names[sp.Name] = true
+	}
+	for _, want := range []string{obs.StageCompile, obs.StageCoReachSweep, obs.StageEnumerate, obs.StageStream} {
+		if !names[want] {
+			t.Errorf("trace missing span %q (got %v)", want, names)
+		}
+	}
+
+	// A second identical stream resolves from cache: the compile span
+	// becomes a cache-lookup.
+	trace2 := o.Tracer.Begin("stream-2")
+	if err := svc.ExtractStream(obs.WithTrace(context.Background(), trace2),
+		Query{Expr: sellerExpr}, sellerDoc, func(Result) bool { return true }); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, sp := range trace2.Snapshot().Spans {
+		if sp.Name == obs.StageCacheLookup {
+			found = true
+		}
+		if sp.Name == obs.StageCompile {
+			t.Fatalf("second stream recompiled: %+v", trace2.Snapshot().Spans)
+		}
+	}
+	if !found {
+		t.Fatal("second stream recorded no cache-lookup span")
+	}
+}
+
+func TestBatchRecordsStagesNotDelays(t *testing.T) {
+	svc := New(Config{})
+	o := svc.Observability()
+	trace := o.Tracer.Begin("batch-1")
+	ctx := obs.WithTrace(context.Background(), trace)
+	docs := []string{sellerDoc, sellerDoc, sellerDoc}
+	if _, err := svc.ExtractBatch(ctx, Query{Expr: sellerExpr}, docs); err != nil {
+		t.Fatal(err)
+	}
+	// The batch path feeds stage histograms but not the stream-delay
+	// histogram (that metric is stream-only by contract).
+	if got := o.EmissionDelay.Snapshot().Count; got != 0 {
+		t.Fatalf("batch recorded %d emission delays", got)
+	}
+	var enumSamples uint64
+	for _, ls := range o.StageDur.Snapshots() {
+		if ls.Value == obs.StageEnumerate {
+			enumSamples = ls.Snapshot.Count
+		}
+	}
+	if enumSamples != uint64(len(docs)) {
+		t.Fatalf("enumerate stage samples = %d, want %d (one per doc)", enumSamples, len(docs))
+	}
+	snap := trace.Snapshot()
+	var batchSpan bool
+	for _, sp := range snap.Spans {
+		if sp.Name == obs.StageBatch && sp.Detail == "3 docs" {
+			batchSpan = true
+		}
+		if sp.Name == obs.StageEnumerate {
+			t.Fatalf("per-document span leaked into batch trace: %+v", snap.Spans)
+		}
+	}
+	if !batchSpan {
+		t.Fatalf("no batch span with doc count: %+v", snap.Spans)
+	}
+}
+
+func TestAlgebraOpTimings(t *testing.T) {
+	svc := newRegistryService(t, t.TempDir())
+	if _, _, err := svc.RegisterSpanner("ya", "y{a}"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := svc.RegisterSpanner("zb", "z{b}"); err != nil {
+		t.Fatal(err)
+	}
+	o := svc.Observability()
+	trace := o.Tracer.Begin("alg-1")
+	ctx := obs.WithTrace(context.Background(), trace)
+	if _, err := svc.Extract(ctx, Query{Algebra: "union(ya, zb)"}, "ab"); err != nil {
+		t.Fatal(err)
+	}
+	ops := map[string]uint64{}
+	for _, ls := range o.AlgebraOpDur.Snapshots() {
+		ops[ls.Value] = ls.Snapshot.Count
+	}
+	if ops["leaf"] != 2 || ops["union"] != 1 {
+		t.Fatalf("op samples = %v, want 2 leaves + 1 union", ops)
+	}
+	var unionSpan bool
+	for _, sp := range trace.Snapshot().Spans {
+		if sp.Name == obs.AlgebraStage("union") {
+			unionSpan = true
+		}
+	}
+	if !unionSpan {
+		t.Fatalf("no algebra:union span on trace: %+v", trace.Snapshot().Spans)
+	}
+
+	// Cached composition: no new op samples.
+	if _, err := svc.Extract(context.Background(), Query{Algebra: "union(ya, zb)"}, "ab"); err != nil {
+		t.Fatal(err)
+	}
+	for _, ls := range o.AlgebraOpDur.Snapshots() {
+		if ls.Snapshot.Count != ops[ls.Value] {
+			t.Fatalf("cached algebra query re-recorded op %s", ls.Value)
+		}
+	}
+}
+
+func TestObservabilityDisabled(t *testing.T) {
+	svc := New(Config{DisableObservability: true})
+	if svc.Observability() != nil {
+		t.Fatal("observability present despite DisableObservability")
+	}
+	// Extraction still works, through the unobserved path.
+	res, err := svc.Extract(context.Background(), Query{Expr: sellerExpr}, sellerDoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) == 0 {
+		t.Fatal("no results on unobserved path")
+	}
+	var b strings.Builder
+	if err := svc.Observability().WritePrometheus(&b); err != nil || b.Len() != 0 {
+		t.Fatalf("nil observability wrote %q, err %v", b.String(), err)
+	}
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	svc := New(Config{})
+	if err := svc.ExtractStream(context.Background(), Query{Expr: sellerExpr}, sellerDoc,
+		func(Result) bool { return true }); err != nil {
+		t.Fatal(err)
+	}
+	svc.Observability().NoteDeadlineExpiry()
+	var b strings.Builder
+	if err := svc.Observability().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE spand_extract_duration_seconds histogram",
+		`spand_extract_duration_seconds_bucket{stage="enumerate"`,
+		"# TYPE spand_stream_emission_delay_seconds histogram",
+		"spand_stream_emission_delay_seconds_count",
+		"spand_deadline_expiries_total 1",
+		`spand_cache_events_total{cache="spanner",event="miss"} 1`,
+		"spand_mappings_emitted_total 2",
+		`spand_spanners_compiled_total{engine="sequential"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+// TestConcurrentObservedExtractions exercises the full observed path
+// from parallel goroutines while snapshots/scrapes run — the -race
+// check for the service-level instrumentation.
+func TestConcurrentObservedExtractions(t *testing.T) {
+	svc := New(Config{TraceRetention: 8})
+	o := svc.Observability()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	scrapeDone := make(chan struct{})
+	go func() {
+		defer close(scrapeDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				var b strings.Builder
+				if err := o.WritePrometheus(&b); err != nil {
+					panic(err)
+				}
+				o.Tracer.Last(8)
+				svc.Stats()
+			}
+		}
+	}()
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				trace := o.Tracer.Begin("")
+				ctx := obs.WithTrace(context.Background(), trace)
+				if w%2 == 0 {
+					if err := svc.ExtractStream(ctx, Query{Expr: sellerExpr}, sellerDoc,
+						func(Result) bool { return true }); err != nil {
+						panic(err)
+					}
+				} else {
+					if _, err := svc.ExtractBatch(ctx, Query{Expr: sellerExpr},
+						[]string{sellerDoc, sellerDoc}); err != nil {
+						panic(err)
+					}
+				}
+				trace.Finish(0)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	<-scrapeDone
+	if got := o.EmissionDelay.Snapshot().Count; got != 3*20*2 {
+		t.Fatalf("emission-delay samples = %d, want %d", got, 3*20*2)
+	}
+}

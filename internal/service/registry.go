@@ -3,8 +3,10 @@ package service
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"spanners"
+	"spanners/internal/obs"
 	"spanners/internal/registry"
 )
 
@@ -52,6 +54,8 @@ func (s *Service) install(man registry.Manifest, sp *spanners.Spanner, markLates
 // algebra manifests replan their pinned expression. The returned
 // fromSource flag reports which path produced the spanner.
 func (s *Service) loadNamed(name, version string) (*spanners.Spanner, registry.Manifest, bool, error) {
+	start := time.Now()
+	defer func() { s.obs.stage(obs.StageRegistryLoad, time.Since(start)) }()
 	sp, man, err := s.reg.Load(name, version)
 	if err == nil {
 		s.artifactLoads.Add(1)
@@ -86,9 +90,11 @@ func (s *Service) warmDFASidecar(sp *spanners.Spanner, man registry.Manifest) {
 	if err != nil {
 		return
 	}
+	start := time.Now()
 	if _, err := sp.WarmDFA(data); err == nil {
 		s.sidecarsLoaded.Add(1)
 	}
+	s.obs.stage(obs.StageDFAWarm, time.Since(start))
 }
 
 // SaveDFAs persists the warmed lazy-DFA cache of every resident named
@@ -143,12 +149,21 @@ type namedCall struct {
 // Resolved artifacts stay resident, so repeated references cost one
 // map lookup and never touch the compile pipeline.
 func (s *Service) NamedSpanner(ref string) (*spanners.Spanner, error) {
+	sp, _, err := s.namedSpannerTracked(ref)
+	return sp, err
+}
+
+// namedSpannerTracked is NamedSpanner reporting whether this call hit
+// the registry (cold load) rather than the resident index — the
+// signal the observed compile path uses to label its span
+// "registry-load" vs "cache-lookup".
+func (s *Service) namedSpannerTracked(ref string) (*spanners.Spanner, bool, error) {
 	if s.reg == nil {
-		return nil, ErrNoRegistry
+		return nil, false, ErrNoRegistry
 	}
 	name, version, err := registry.ParseRef(ref)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	pinned := version != ""
 	s.namedMu.Lock()
@@ -159,7 +174,7 @@ func (s *Service) NamedSpanner(ref string) (*spanners.Spanner, error) {
 		if sp, ok := s.named[name+"@"+version]; ok {
 			s.namedMu.Unlock()
 			s.namedHits.Add(1)
-			return sp, nil
+			return sp, false, nil
 		}
 	}
 	// Cold: join an in-flight load of the same reference or start one.
@@ -167,7 +182,7 @@ func (s *Service) NamedSpanner(ref string) (*spanners.Spanner, error) {
 	if call, ok := s.loading[key]; ok {
 		s.namedMu.Unlock()
 		<-call.done
-		return call.sp, call.err
+		return call.sp, false, call.err
 	}
 	call := &namedCall{done: make(chan struct{})}
 	s.loading[key] = call
@@ -182,7 +197,7 @@ func (s *Service) NamedSpanner(ref string) (*spanners.Spanner, error) {
 	delete(s.loading, key)
 	s.namedMu.Unlock()
 	close(call.done)
-	return sp, err
+	return sp, true, err
 }
 
 // Prewarm loads the latest version of every registered spanner into

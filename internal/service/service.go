@@ -10,6 +10,8 @@ import (
 	"weak"
 
 	"spanners"
+	"spanners/internal/algebra"
+	"spanners/internal/obs"
 	"spanners/internal/registry"
 )
 
@@ -26,6 +28,14 @@ type Config struct {
 	// "name@version", and Prewarm loads every registered artifact into
 	// the caches at startup. Nil disables registry features.
 	Registry *registry.Registry
+	// TraceRetention bounds the ring of retained request traces
+	// (default obs.DefaultTraceRetention).
+	TraceRetention int
+	// DisableObservability turns off the tracing/histogram layer
+	// entirely: no tracer, no stage or delay histograms, no Prometheus
+	// registry. Exists for the instrumentation-overhead benchmarks;
+	// production services leave it false.
+	DisableObservability bool
 }
 
 // DefaultConfig returns the defaults used for zero-valued fields.
@@ -106,12 +116,16 @@ type Service struct {
 	compiledProgs   atomic.Uint64
 	interpFallbacks atomic.Uint64
 	compileNanos    atomic.Int64
+
+	// obs is the instrumentation hub (tracer, stage/delay histograms,
+	// Prometheus registry); nil when Config.DisableObservability.
+	obs *Observability
 }
 
 // New builds a service from cfg (zero fields take defaults).
 func New(cfg Config) *Service {
 	cfg = cfg.withDefaults()
-	return &Service{
+	s := &Service{
 		cfg:         cfg,
 		spanners:    newLRU[*spanners.Spanner](cfg.SpannerCacheSize),
 		rules:       newLRU[*spanners.Rule](cfg.RuleCacheSize),
@@ -122,6 +136,10 @@ func New(cfg Config) *Service {
 		leaves:      map[string]*spanners.Spanner{},
 		dfaSpanners: map[uint64]weak.Pointer[spanners.Spanner]{},
 	}
+	if !cfg.DisableObservability {
+		s.obs = newObservability(s, cfg.TraceRetention)
+	}
+	return s
 }
 
 // maxTrackedDFAs caps the DFA-observability index: beyond it new
@@ -286,7 +304,18 @@ func (s *Service) Stats() Stats {
 // Spanner returns the compiled spanner for expr, compiling on a cache
 // miss.
 func (s *Service) Spanner(expr string) (*spanners.Spanner, error) {
-	return s.spanners.get(exprKeyPrefix+expr, func() (*spanners.Spanner, error) {
+	sp, _, err := s.spannerTracked(expr)
+	return sp, err
+}
+
+// spannerTracked is Spanner reporting whether this call performed the
+// compilation (false: served from cache or joined another caller's
+// in-flight compile) — the signal the observed compile path uses to
+// label its span "compile" vs "cache-lookup".
+func (s *Service) spannerTracked(expr string) (*spanners.Spanner, bool, error) {
+	compiled := false
+	sp, err := s.spanners.get(exprKeyPrefix+expr, func() (*spanners.Spanner, error) {
+		compiled = true
 		start := time.Now()
 		sp, err := spanners.Compile(expr)
 		if err != nil {
@@ -296,6 +325,7 @@ func (s *Service) Spanner(expr string) (*spanners.Spanner, error) {
 		s.recordEngine(sp)
 		return sp, nil
 	})
+	return sp, compiled, err
 }
 
 // recordEngine counts sp into the engine-selection counters, once per
@@ -317,9 +347,18 @@ func (s *Service) recordEngine(sp *spanners.Spanner) {
 // Rule returns the compiled extraction rule for input, compiling on a
 // cache miss.
 func (s *Service) Rule(input string) (*spanners.Rule, error) {
-	return s.rules.get(input, func() (*spanners.Rule, error) {
+	r, _, err := s.ruleTracked(input)
+	return r, err
+}
+
+// ruleTracked is Rule reporting whether this call performed the parse.
+func (s *Service) ruleTracked(input string) (*spanners.Rule, bool, error) {
+	compiled := false
+	r, err := s.rules.get(input, func() (*spanners.Rule, error) {
+		compiled = true
 		return spanners.ParseRule(input)
 	})
+	return r, compiled, err
 }
 
 // Query names what to extract with: exactly one of Expr (an RGX
@@ -350,7 +389,26 @@ var ErrBadQuery = errors.New("service: query must set exactly one of expr, rule,
 // completion — cancellation cannot reach inside ExtractAll today.
 type enumerator func(ctx context.Context, d *spanners.Document, yield func(spanners.Mapping) bool) error
 
-func (s *Service) compile(q Query) (enumerator, error) {
+// resolved is the outcome of query resolution: the enumerator, the
+// spanner behind it (nil for rule queries, whose evaluation cannot
+// stream), the stage label describing how the query was resolved
+// (cache-lookup / compile / registry-load), and — for a fresh algebra
+// composition — the plan carrying per-operator timings.
+type resolved struct {
+	enum  enumerator
+	sp    *spanners.Spanner
+	stage string
+	plan  *algebra.Plan
+}
+
+func stageFor(fresh bool, freshStage string) string {
+	if fresh {
+		return freshStage
+	}
+	return obs.StageCacheLookup
+}
+
+func (s *Service) compile(q Query) (resolved, error) {
 	set := 0
 	for _, f := range []string{q.Expr, q.Rule, q.Spanner, q.Algebra} {
 		if f != "" {
@@ -358,35 +416,35 @@ func (s *Service) compile(q Query) (enumerator, error) {
 		}
 	}
 	if set > 1 {
-		return nil, ErrBadQuery
+		return resolved{}, ErrBadQuery
 	}
 	switch {
 	case q.Spanner != "":
-		sp, err := s.NamedSpanner(q.Spanner)
+		sp, cold, err := s.namedSpannerTracked(q.Spanner)
 		if err != nil {
-			return nil, fmt.Errorf("resolve spanner: %w", err)
+			return resolved{}, fmt.Errorf("resolve spanner: %w", err)
 		}
-		return sp.EnumerateContext, nil
+		return resolved{enum: sp.EnumerateContext, sp: sp, stage: stageFor(cold, obs.StageRegistryLoad)}, nil
 	case q.Algebra != "":
 		// Not re-wrapped: algebra and registry errors already carry
 		// their own "algebra:" / "leaf name@version:" context.
-		sp, err := s.AlgebraSpanner(q.Algebra)
+		sp, plan, fresh, err := s.algebraSpannerTracked(q.Algebra)
 		if err != nil {
-			return nil, err
+			return resolved{}, err
 		}
-		return sp.EnumerateContext, nil
+		return resolved{enum: sp.EnumerateContext, sp: sp, stage: stageFor(fresh, obs.StageCompile), plan: plan}, nil
 	case q.Expr != "":
-		sp, err := s.Spanner(q.Expr)
+		sp, fresh, err := s.spannerTracked(q.Expr)
 		if err != nil {
-			return nil, fmt.Errorf("compile expr: %w", err)
+			return resolved{}, fmt.Errorf("compile expr: %w", err)
 		}
-		return sp.EnumerateContext, nil
+		return resolved{enum: sp.EnumerateContext, sp: sp, stage: stageFor(fresh, obs.StageCompile)}, nil
 	case q.Rule != "":
-		r, err := s.Rule(q.Rule)
+		r, fresh, err := s.ruleTracked(q.Rule)
 		if err != nil {
-			return nil, fmt.Errorf("compile rule: %w", err)
+			return resolved{}, fmt.Errorf("compile rule: %w", err)
 		}
-		return func(ctx context.Context, d *spanners.Document, yield func(spanners.Mapping) bool) error {
+		enum := func(ctx context.Context, d *spanners.Document, yield func(spanners.Mapping) bool) error {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
@@ -399,9 +457,10 @@ func (s *Service) compile(q Query) (enumerator, error) {
 				}
 			}
 			return nil
-		}, nil
+		}
+		return resolved{enum: enum, stage: stageFor(fresh, obs.StageCompile)}, nil
 	default:
-		return nil, ErrBadQuery
+		return resolved{}, ErrBadQuery
 	}
 }
 
@@ -414,15 +473,36 @@ type Compiled struct {
 	svc   *Service
 	limit int
 	enum  enumerator
+	// sp is the spanner behind enum, nil for rule queries; the observed
+	// extraction paths need it to reach EnumerateObserved.
+	sp *spanners.Spanner
 }
 
 // CompileQuery resolves q against the compile caches.
 func (s *Service) CompileQuery(q Query) (*Compiled, error) {
-	enum, err := s.compile(q)
+	return s.CompileQueryCtx(context.Background(), q)
+}
+
+// CompileQueryCtx is CompileQuery recording the resolution into the
+// observability layer: the stage histogram always (labeled
+// cache-lookup, compile or registry-load by what resolution actually
+// did), plus a span on the request trace when ctx carries one. A
+// fresh algebra composition additionally lands its per-operator
+// timings in the operator histogram and as "algebra:<op>" spans.
+func (s *Service) CompileQueryCtx(ctx context.Context, q Query) (*Compiled, error) {
+	start := time.Now()
+	r, err := s.compile(q)
+	d := time.Since(start)
 	if err != nil {
 		return nil, err
 	}
-	return &Compiled{svc: s, limit: q.Limit, enum: enum}, nil
+	t := obs.TraceFrom(ctx)
+	s.obs.stage(r.stage, d)
+	t.AddSpan(r.stage, start, d, "")
+	if r.plan != nil {
+		s.recordOpCosts(t, r.plan.OpCosts)
+	}
+	return &Compiled{svc: s, limit: q.Limit, enum: r.enum, sp: r.sp}, nil
 }
 
 // deliver wraps yield with the per-mapping semantics shared by every
@@ -448,20 +528,37 @@ func (c *Compiled) Stream(ctx context.Context, doc string, yield func(Result) bo
 	defer c.svc.inFlight.Add(-1)
 
 	d := spanners.NewDocument(doc)
+	t := obs.TraceFrom(ctx)
+	if o := c.svc.observerFor(t); o != nil && c.sp != nil {
+		start := time.Now()
+		err := c.sp.EnumerateObserved(ctx, d, o, c.deliver(d, yield))
+		total := time.Since(start)
+		c.svc.obs.stage(obs.StageStream, total)
+		t.AddSpan(obs.StageStream, start, total, traceDetail(d.Len(), "runes"))
+		return err
+	}
 	return c.enum(ctx, d, c.deliver(d, yield))
 }
 
 // extractOne collects the full (limit-capped) result set for one
 // document. Metrics-wise it is Stream minus the in-flight counter,
 // which ExtractBatch accounts once per request rather than per
-// document.
-func (c *Compiled) extractOne(ctx context.Context, doc string) ([]Result, error) {
+// document. o, when non-nil, receives the per-stage timings — the
+// batch workers pass goroutine-local observers (see batchObserver) so
+// per-document recording never contends.
+func (c *Compiled) extractOne(ctx context.Context, doc string, o *obs.StageObserver) ([]Result, error) {
 	d := spanners.NewDocument(doc)
 	out := []Result{}
-	err := c.enum(ctx, d, c.deliver(d, func(r Result) bool {
+	collect := c.deliver(d, func(r Result) bool {
 		out = append(out, r)
 		return true
-	}))
+	})
+	var err error
+	if o != nil && c.sp != nil {
+		err = c.sp.EnumerateObserved(ctx, d, o, collect)
+	} else {
+		err = c.enum(ctx, d, collect)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -484,12 +581,18 @@ func (s *Service) Extract(ctx context.Context, q Query, doc string) ([]Result, e
 // worker starts. Cancellation via ctx stops all workers; the first
 // error wins and the partial results are discarded.
 func (s *Service) ExtractBatch(ctx context.Context, q Query, docs []string) ([][]Result, error) {
-	compiled, err := s.CompileQuery(q)
+	compiled, err := s.CompileQueryCtx(ctx, q)
 	if err != nil {
 		return nil, err
 	}
 	s.inFlight.Add(1)
 	defer s.inFlight.Add(-1)
+	batchStart := time.Now()
+	defer func() {
+		total := time.Since(batchStart)
+		s.obs.stage(obs.StageBatch, total)
+		obs.TraceFrom(ctx).AddSpan(obs.StageBatch, batchStart, total, traceDetail(len(docs), "docs"))
+	}()
 
 	results := make([][]Result, len(docs))
 	workers := s.cfg.Workers
@@ -513,12 +616,18 @@ func (s *Service) ExtractBatch(ctx context.Context, q Query, docs []string) ([][
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Each worker records stages into a private histogram
+			// family, merged into the shared one when it drains.
+			o, local := s.batchObserver(workers)
+			if local != nil {
+				defer s.obs.StageDur.Absorb(local)
+			}
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= len(docs) || ctx.Err() != nil {
 					return
 				}
-				res, err := compiled.extractOne(ctx, docs[i])
+				res, err := compiled.extractOne(ctx, docs[i], o)
 				if err != nil {
 					errOnce.Do(func() { firstErr = err; cancel() })
 					return
@@ -544,7 +653,7 @@ func (s *Service) ExtractBatch(ctx context.Context, q Query, docs []string) ([][
 // set is complete. yield returning false stops the stream early with
 // a nil error; a cancelled ctx stops it with the context's error.
 func (s *Service) ExtractStream(ctx context.Context, q Query, doc string, yield func(Result) bool) error {
-	c, err := s.CompileQuery(q)
+	c, err := s.CompileQueryCtx(ctx, q)
 	if err != nil {
 		return err
 	}

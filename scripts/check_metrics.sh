@@ -1,0 +1,129 @@
+#!/usr/bin/env bash
+# Live validation of the /metrics Prometheus exposition, run in CI and
+# locally:
+#
+#   1. start spand and drive one batch and one streaming extraction
+#      (plus a request that hits the extraction deadline) so the
+#      histograms and counters are non-trivial,
+#   2. scrape /metrics?format=prom and validate the exposition shape:
+#      every series name carries # HELP and # TYPE headers, no series
+#      line is duplicated, histogram _bucket series are cumulative and
+#      end in an le="+Inf" bucket equal to _count,
+#   3. assert the PR's metric contract: spand_extract_duration_seconds
+#      has per-stage series, spand_stream_emission_delay_seconds saw
+#      one sample per streamed mapping, and the deadline 503 ticked
+#      spand_deadline_expiries_total,
+#   4. assert Accept-header negotiation serves the same exposition and
+#      the default stays the expvar JSON map,
+#   5. assert the request-ID plumbing: an inbound X-Request-ID is
+#      echoed and its trace is retrievable from /debug/trace/{id}.
+#
+# Requires: go, curl, jq.
+set -euo pipefail
+
+workdir=$(mktemp -d)
+port="${SPAND_PORT:-18081}"
+base="http://127.0.0.1:$port"
+pid=""
+
+cleanup() {
+  [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+die() { echo "check_metrics: FAIL: $*" >&2; exit 1; }
+
+wait_ready() {
+  for _ in $(seq 1 100); do
+    if curl -sf "$base/healthz" >/dev/null 2>&1; then return 0; fi
+    sleep 0.1
+  done
+  die "spand did not become ready on $base"
+}
+
+echo "== build and start"
+go build -o "$workdir/spand" ./cmd/spand
+"$workdir/spand" -addr "127.0.0.1:$port" -request-timeout 1s &
+pid=$!
+wait_ready
+
+echo "== drive traffic"
+batch=$(curl -sf "$base/extract" \
+  -H 'X-Request-ID: check-metrics-1' \
+  -d '{"expr": ".*(Seller: x{[^,\\n]*},[^\\n]*\\n).*", "docs": ["Seller: Anna, 12 Hill St\nSeller: Bob, 1 Main Rd\n"]}') \
+  || die "batch extract failed"
+n=$(echo "$batch" | jq -r '.results[0] | length')
+[ "$n" = "2" ] || die "batch extracted $n mappings, want 2"
+
+stream_lines=$(curl -sf "$base/extract/stream" \
+  -d '{"expr": "x{a*}b", "doc": "aaab"}' | wc -l)
+[ "$stream_lines" -ge 1 ] || die "stream produced no mappings"
+
+# A pathological enumeration must hit the 1s deadline as a typed 503
+# with a Retry-After hint.
+code=$(curl -s -o /dev/null -w '%{http_code}' "$base/extract" \
+  -d "{\"expr\": \"a*x{a*}a*\", \"docs\": [\"$(printf 'a%.0s' $(seq 1 3000))\"]}")
+[ "$code" = "503" ] || die "deadline request returned $code, want 503"
+retry=$(curl -s -D - -o /dev/null "$base/extract" \
+  -d "{\"expr\": \"a*x{a*}a*\", \"docs\": [\"$(printf 'a%.0s' $(seq 1 3000))\"]}" \
+  | tr -d '\r' | awk 'tolower($1) == "retry-after:" {print $2}')
+[ "$retry" = "1" ] || die "Retry-After=$retry, want 1"
+
+echo "== scrape and validate exposition shape"
+prom="$workdir/metrics.prom"
+curl -sf "$base/metrics?format=prom" > "$prom" || die "prom scrape failed"
+
+ctype=$(curl -sf -o /dev/null -w '%{content_type}' "$base/metrics?format=prom")
+case "$ctype" in
+  text/plain*version=0.0.4*) ;;
+  *) die "Content-Type $ctype is not the 0.0.4 text exposition" ;;
+esac
+
+# Every exposed family must carry both headers.
+families=$(grep -v '^#' "$prom" | awk '{print $1}' | sed -E 's/\{.*//; s/_(bucket|sum|count)$//' | sort -u)
+[ -n "$families" ] || die "exposition is empty"
+for fam in $families; do
+  grep -q "^# HELP $fam " "$prom" || die "family $fam has no # HELP line"
+  grep -q "^# TYPE $fam " "$prom" || die "family $fam has no # TYPE line"
+done
+
+# No duplicate series (same name + label set twice is invalid).
+dups=$(grep -v '^#' "$prom" | awk '{print $1}' | sort | uniq -d)
+[ -z "$dups" ] || die "duplicate series: $dups"
+
+# Histogram sanity: the +Inf bucket of the emission-delay histogram
+# equals its _count, and the per-stage histogram exposes the stage
+# taxonomy.
+inf=$(awk -F' ' '/^spand_stream_emission_delay_seconds_bucket\{le="\+Inf"\}/ {print $2}' "$prom")
+cnt=$(awk -F' ' '/^spand_stream_emission_delay_seconds_count/ {print $2}' "$prom")
+[ -n "$inf" ] && [ "$inf" = "$cnt" ] || die "emission-delay +Inf bucket $inf != count $cnt"
+[ "$cnt" = "$stream_lines" ] || die "emission-delay count=$cnt, want $stream_lines (one per streamed mapping)"
+
+for stage in enumerate co-reach-sweep batch; do
+  grep -q "spand_extract_duration_seconds_bucket{stage=\"$stage\"" "$prom" \
+    || die "per-stage histogram missing stage=$stage"
+done
+
+expiries=$(awk '/^spand_deadline_expiries_total/ {print $2}' "$prom")
+[ "$expiries" = "2" ] || die "spand_deadline_expiries_total=$expiries, want 2"
+
+echo "== content negotiation"
+accept=$(curl -sf -H 'Accept: text/plain;version=0.0.4' "$base/metrics" | head -1)
+case "$accept" in
+  '# HELP'*) ;;
+  *) die "Accept negotiation did not serve the exposition (got: $accept)" ;;
+esac
+curl -sf "$base/metrics" | jq -e '.spand.spanner_cache' >/dev/null \
+  || die "default /metrics is no longer the expvar JSON map"
+
+echo "== request-ID plumbing and retained traces"
+trace=$(curl -sf "$base/debug/trace/check-metrics-1") || die "trace for check-metrics-1 not retained"
+tid=$(echo "$trace" | jq -r '.id')
+spans=$(echo "$trace" | jq -r '.spans | length')
+[ "$tid" = "check-metrics-1" ] || die "trace id=$tid"
+[ "$spans" -ge 2 ] || die "trace has $spans spans, want >= 2 (compile + batch)"
+retained=$(curl -sf "$base/debug/trace" | jq -r 'length')
+[ "$retained" -ge 3 ] || die "only $retained retained traces, want >= 3"
+
+echo "check_metrics: PASS (exposition well-formed, per-stage + emission-delay histograms live, deadline 503 counted, traces retrievable by request ID)"

@@ -33,6 +33,7 @@ import (
 	"fmt"
 
 	"spanners/internal/eval"
+	"spanners/internal/obs"
 	"spanners/internal/rgx"
 	"spanners/internal/span"
 	"spanners/internal/static"
@@ -292,6 +293,25 @@ func (s *Spanner) Enumerate(d *Document, yield func(Mapping) bool) {
 func (s *Spanner) EnumerateContext(ctx context.Context, d *Document, yield func(Mapping) bool) error {
 	var err error
 	s.engine.Enumerate(d, func(m Mapping) bool {
+		if err = ctx.Err(); err != nil {
+			return false
+		}
+		return yield(m)
+	})
+	return err
+}
+
+// EnumerateObserved is EnumerateContext with instrumentation: the
+// observer (if non-nil) receives one Stage callback per completed
+// pipeline phase — the sweep/enumerate taxonomy of internal/obs — and
+// one Delay callback per emitted mapping carrying the time since the
+// previous emission (the first sample measures time-to-first-result).
+// This is how the service makes the polynomial-delay guarantee of
+// Theorems 5.1/5.7 observable: the delays land in histograms served on
+// /metrics. Passing a nil observer makes it exactly EnumerateContext.
+func (s *Spanner) EnumerateObserved(ctx context.Context, d *Document, o *obs.StageObserver, yield func(Mapping) bool) error {
+	var err error
+	s.engine.EnumerateObserved(d, o, func(m Mapping) bool {
 		if err = ctx.Err(); err != nil {
 			return false
 		}

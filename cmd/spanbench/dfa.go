@@ -12,6 +12,7 @@ import (
 	"spanners/internal/eval"
 	"spanners/internal/rgx"
 	"spanners/internal/service"
+	"spanners/internal/span"
 	"spanners/internal/va"
 	"spanners/internal/workload"
 )
@@ -152,6 +153,62 @@ func runDFABench(quick bool, jsonPath string) dfaReport {
 	headToHead("count/sequential |d|=1200",
 		func() int { return dCnt.Count(countDoc) },
 		func() int { return bCnt.Count(countDoc) })
+
+	// Sparse matching: a needle-in-haystack document that never
+	// contains "Seller: ". The prefilter rung answers from one
+	// substring scan; the twin with ForceNoPrefilter runs the
+	// pre-prefilter DFA path (per-byte skip loop, no candidate
+	// jumps), so the speedup is exactly what the literal rung buys
+	// over the previous DFA.
+	sparseLines := 4096
+	if quick {
+		sparseLines = 512
+	}
+	var sparse strings.Builder
+	for i := 0; i < sparseLines; i++ {
+		fmt.Fprintf(&sparse, "lot %d auctioned to bidder %d\n", i, i)
+	}
+	sparseDoc := spanners.NewDocument(sparse.String())
+	dSparse, _ := dfaPair(sellerExpr, false)
+	pSparse, _ := dfaPair(sellerExpr, false)
+	pSparse.ForceNoPrefilter()
+	headToHead(fmt.Sprintf("match/sparse-prefilter |d|=%d", sparseDoc.Len()),
+		func() int { boolToInt(dSparse.NonEmpty(sparseDoc)); return 0 },
+		func() int { boolToInt(pSparse.NonEmpty(sparseDoc)); return 0 })
+
+	// Boundary-emission memo: the same sequential enumeration against
+	// a twin with the memo forced off (both DFA-backed), isolating
+	// what interned-pair caching buys on a record-repetitive document.
+	dMemo, _ := dfaPair(sellerExpr, false)
+	nMemo, _ := dfaPair(sellerExpr, false)
+	nMemo.ForceNoBoundaryMemo()
+	headToHead(fmt.Sprintf("enumerate/memo rows=%d", enRows),
+		func() int {
+			n := 0
+			dMemo.Enumerate(enDoc, func(spanners.Mapping) bool { n++; return true })
+			return n
+		},
+		func() int {
+			n := 0
+			nMemo.Enumerate(enDoc, func(spanners.Mapping) bool { n++; return true })
+			return n
+		})
+
+	// Constrained eval: model-checking a pinned span on a long
+	// document. The DFA side runs the obligation-segmented sweep
+	// through the per-mask constrained family; the bitset side steps
+	// every position under the blocked mask.
+	consFill := 3000
+	if quick {
+		consFill = 400
+	}
+	consPad := strings.Repeat("a", consFill)
+	consDoc := spanners.NewDocument(consPad + "bbbb" + consPad)
+	dCons, bCons := dfaPair(`a*x{b+}a*`, false)
+	consMu := span.Extended{"x": {Span: span.Sp(consFill+1, consFill+5)}}
+	headToHead(fmt.Sprintf("eval/constrained |d|=%d", consDoc.Len()),
+		func() int { boolToInt(dCons.Eval(consDoc, consMu)); return 0 },
+		func() int { boolToInt(bCons.Eval(consDoc, consMu)); return 0 })
 
 	// Time to first streamed result: the service latency axis.
 	streamDoc := spanners.NewDocument(strings.Repeat("a", 200))

@@ -57,6 +57,18 @@ func scenarioKey(name string) string {
 	return key
 }
 
+// dfaSpeedupFloors are absolute head-to-head floors for the DFA
+// section — the speed-ladder acceptance targets. Unlike the
+// baseline-relative checks they do not drift with the committed
+// record: a run whose speedup falls below its floor fails even if
+// the baseline also fell.
+var dfaSpeedupFloors = map[string]float64{
+	"match/sparse-prefilter": 5.0,
+	"enumerate/sequential":   1.5,
+	"eval/constrained":       1.3,
+	"count/sequential":       1.0,
+}
+
 // gateAgainstBaseline compares cur against the named section of the
 // committed baseline file ("spanbench_engine" or "spanbench_dfa") and
 // returns the joined regression failures, nil when the gate passes.
@@ -103,6 +115,13 @@ func gateAgainstBaseline(report any, baselinePath, section string, mult float64)
 
 	var failures []error
 	for _, s := range cur.HeadToHead {
+		if section == "spanbench_dfa" {
+			if floor, ok := dfaSpeedupFloors[scenarioKey(s.Name)]; ok && s.Speedup < floor {
+				failures = append(failures, fmt.Errorf(
+					"head-to-head %q: speedup %.2fx fell below the absolute floor %.2fx",
+					s.Name, s.Speedup, floor))
+			}
+		}
 		b, ok := baseH2H[scenarioKey(s.Name)]
 		if !ok {
 			continue // new scenario: nothing to regress against

@@ -29,31 +29,48 @@ import (
 func (e *Engine) evalSeqProg(d *span.Document, mu span.Extended) bool {
 	p := e.prog
 	n := d.Len()
-	need := make([]uint64, n+2)
-	var blocked uint64
-	for v, o := range mu {
-		id, ok := p.VarID(v)
-		if !ok {
-			if !o.Bottom {
-				return false // pinned to a variable no accepting run assigns
-			}
-			continue
-		}
-		blocked |= program.OpenBit(id) | program.CloseBit(id)
-		if o.Bottom {
-			continue
-		}
-		need[o.Span.Start] |= program.OpenBit(id)
-		need[o.Span.End] |= program.CloseBit(id)
+	// Prefilter before touching mu or allocating the obligation
+	// table: a missing required literal falsifies every run, pinned
+	// or not, and the n+2 need slice is the dominant cost of a
+	// rejected call on large documents.
+	if e.prefilterRejects(d) {
+		return false
 	}
-	if blocked == 0 && e.DFAEnabled() {
-		// No obligations anywhere (need bits imply blocked bits), so
-		// the permissive forward DFA decides the run.
-		if res, ok := e.dfa.Match(d); ok {
+	var need []uint64
+	var blocked uint64
+	if len(mu) > 0 {
+		need = make([]uint64, n+2)
+		for v, o := range mu {
+			id, ok := p.VarID(v)
+			if !ok {
+				if !o.Bottom {
+					return false // pinned to a variable no accepting run assigns
+				}
+				continue
+			}
+			blocked |= program.OpenBit(id) | program.CloseBit(id)
+			if o.Bottom {
+				continue
+			}
+			need[o.Span.Start] |= program.OpenBit(id)
+			need[o.Span.End] |= program.CloseBit(id)
+		}
+	}
+	if e.DFAEnabled() {
+		if blocked == 0 {
+			// No obligations anywhere (need bits imply blocked bits),
+			// so the permissive forward DFA decides the run.
+			if res, ok := e.dfaMatch(d); ok {
+				return res
+			}
+		} else if res, ok := e.evalSeqSegmented(d, need, blocked); ok {
 			return res
 		}
 	}
 
+	if need == nil {
+		need = make([]uint64, n+2)
+	}
 	cur := program.NewBits(p.NumStates)
 	next := program.NewBits(p.NumStates)
 	cur.Set(p.Start)
@@ -77,6 +94,128 @@ func (e *Engine) evalSeqProg(d *span.Document, mu span.Extended) bool {
 		cur, next = next, cur
 	}
 	return cur.Intersects(p.Final)
+}
+
+// dfaMatch is DFA.Match under the engine's knobs: ForceNoPrefilter
+// also withholds the document's ASCII view, disabling stop-byte
+// candidate jumps, so the switch reproduces the pre-prefilter DFA
+// path exactly (both halves of the literal rung off).
+func (e *Engine) dfaMatch(d *span.Document) (matched, ok bool) {
+	text := d.ASCIIText()
+	if e.noprefilter {
+		text = ""
+	}
+	s, ok := e.dfa.SweepForward(e.dfa.Start(), d.Runes(), text, 0, d.Len(), true)
+	if !ok {
+		return false, false
+	}
+	return s.Accept(), true
+}
+
+// evalSeqSegmented is the constrained-eval rung of the DFA ladder:
+// between obligation boundaries the blocked mask is constant, so the
+// per-boundary closure is exactly the forward closure of a DFA whose
+// op edges exclude that mask. The sweep therefore splits the document
+// at the obligation positions and runs every obligation-free segment
+// through the program's per-mask constrained cache
+// (program.DFAForMask) — memoized transitions, fused runs, skip
+// loops, candidate jumps — falling back to the caller's byte-wise
+// bitset loop (ok=false) when the mask family is full or a segment
+// thrashes the cache budget. The letter crossing into an obligation
+// boundary steps raw: the obligation closure must see the pre-closure
+// frontier, matching the bitset loop's closure-then-step order.
+func (e *Engine) evalSeqSegmented(d *span.Document, need []uint64, blocked uint64) (res, ok bool) {
+	p := e.prog
+	cdfa := p.DFAForMask(blocked)
+	if cdfa == nil {
+		return false, false
+	}
+	n := d.Len()
+	runes := d.Runes()
+	text := d.ASCIIText()
+
+	// Obligation boundaries, ascending.
+	var obl []int
+	for pos := 1; pos <= n+1; pos++ {
+		if need[pos] != 0 {
+			obl = append(obl, pos)
+		}
+	}
+
+	var scratch []byte
+	cur := program.NewBits(p.NumStates)
+	cur.Set(p.Start)
+	pos, oi := 1, 0
+	for {
+		for oi < len(obl) && obl[oi] < pos {
+			oi++
+		}
+		if need[pos] != 0 {
+			if !e.obligationClosureProg(cur, need[pos], blocked) {
+				return false, true
+			}
+			if pos == n+1 {
+				return cur.Intersects(p.Final), true
+			}
+			// One raw letter step out of the boundary; the closure at
+			// pos+1 happens on the next iteration (obligation or
+			// segment entry).
+			c := p.ClassOf(runes[pos-1])
+			if c < 0 {
+				return false, true
+			}
+			next := program.NewBits(p.NumStates)
+			if !p.LetterStep(cur, c, next) {
+				return false, true
+			}
+			cur = next
+			pos++
+			continue
+		}
+		// Obligation-free segment [pos, segEnd): close the frontier
+		// under the blocked mask and sweep it through the constrained
+		// DFA.
+		segEnd := n + 1
+		if oi < len(obl) {
+			segEnd = obl[oi]
+		}
+		p.OpClosure(cur, blocked)
+		var s *program.DState
+		s, scratch = cdfa.StateScratch(cur, scratch)
+		cdfa.NoteSegment()
+		if segEnd == n+1 && need[n+1] == 0 {
+			// Sweep to the end of the document; the final boundary's
+			// closure is folded into the last forward step, and the
+			// entry closure was just applied, so acceptance is the
+			// landing state's. (An obligation at n+1 takes the general
+			// path below instead: its boundary must see the raw
+			// pre-closure frontier.)
+			s, swept := cdfa.SweepForward(s, runes, text, pos-1, n, true)
+			if !swept {
+				return false, false
+			}
+			return s.Accept(), true
+		}
+		// Forward-sweep letters pos..segEnd-2, then step the letter
+		// into the obligation boundary raw.
+		s, swept := cdfa.SweepForward(s, runes, text, pos-1, segEnd-2, false)
+		if !swept {
+			return false, false
+		}
+		if s.Dead() {
+			return false, true
+		}
+		c := p.ClassOf(runes[segEnd-2])
+		if c < 0 {
+			return false, true
+		}
+		s = cdfa.Step(s, c, program.StepRaw)
+		if s.Dead() {
+			return false, true
+		}
+		cur = s.Frontier().Clone()
+		pos = segEnd
+	}
 }
 
 // obligationClosureProg expands cur (in place) at a boundary that must
@@ -141,6 +280,9 @@ func pstatus(st uint64, v int) uint64 { return (st >> (2 * uint(v))) & 3 }
 // transitions when the cache is enabled and the group is big enough
 // to amortize the lookup.
 func (e *Engine) evalFPTProg(d *span.Document, mu span.Extended) bool {
+	if e.prefilterRejects(d) {
+		return false
+	}
 	p := e.prog
 	n := d.Len()
 	k := len(p.Vars)
@@ -322,6 +464,9 @@ type progOpAt struct {
 // identical to the interpreted enumerator (choices are keyed by the
 // same canonical op-set strings).
 func (e *Engine) enumerateSequentialProg(d *span.Document, yield func(span.Mapping) bool) {
+	if e.prefilterRejects(d) {
+		return
+	}
 	e.enumerateSequentialProgFrom(d, e.backwardReachProg(d), yield)
 }
 
@@ -349,9 +494,21 @@ func (e *Engine) enumerateSequentialProgFrom(d *span.Document, bwd []program.Bit
 	start := program.NewBits(p.NumStates)
 	start.Set(p.Start)
 
+	// The boundary-emission memo carries choice sets across positions
+	// (and across documents): walks re-deriving the same (frontier,
+	// co-reach) pair pay one interned lookup instead of the BFS.
+	bm := e.newBMCtx(bwd)
+	defer bm.done()
+	emissions := func(set program.Bits, pos int) []progEmission {
+		if bm == nil {
+			return e.boundaryEmissionsProg(set, bwd[pos])
+		}
+		return bm.emissions(set, pos)
+	}
+
 	var dfs func(set program.Bits, pos int) bool
 	dfs = func(set program.Bits, pos int) bool {
-		for _, ch := range e.boundaryEmissionsProg(set, bwd[pos]) {
+		for _, ch := range emissions(set, pos) {
 			if pos == n+1 {
 				if !ch.states.Intersects(p.Final) {
 					continue
@@ -527,13 +684,39 @@ func (e *Engine) letterAdvanceProg(set program.Bits, r rune, coReach program.Bit
 	return next
 }
 
+// countDFASweepMinStates gates the reverse-DFA co-reach sweep on the
+// count path: a program this small steps its one-word bitsets faster
+// than it resolves memoized transitions (the count/sequential
+// regression of the benchmark history), so engine selection is
+// per-path — the count sweep picks the raw stepper on tiny programs
+// while Match and the enumerator keep the DFA.
+const countDFASweepMinStates = 16
+
 // countProg is the memoized counting DP of Count on the compiled
 // program; memo keys are raw bitset words instead of formatted state
-// lists.
+// lists. Boundary choice sets resolve through the cross-position
+// emission memo, which dedups the per-position BFS the DP's own
+// (position, set) memo cannot.
 func (e *Engine) countProg(d *span.Document) int {
+	if e.prefilterRejects(d) {
+		return 0
+	}
 	p := e.prog
 	nDoc := d.Len()
-	bwd := e.backwardReachProg(d)
+	var bwd []program.Bits
+	if p.NumStates >= countDFASweepMinStates {
+		bwd = e.backwardReachProg(d)
+	} else {
+		bwd = e.backwardReachProgRaw(d)
+	}
+	bm := e.newBMCtx(bwd)
+	defer bm.done()
+	emissions := func(set program.Bits, pos int) []progEmission {
+		if bm == nil {
+			return e.boundaryEmissionsProg(set, bwd[pos])
+		}
+		return bm.emissions(set, pos)
+	}
 	memo := map[string]int{}
 	var count func(set program.Bits, pos int) int
 	count = func(set program.Bits, pos int) int {
@@ -542,7 +725,7 @@ func (e *Engine) countProg(d *span.Document) int {
 			return c
 		}
 		total := 0
-		for _, ch := range e.boundaryEmissionsProg(set, bwd[pos]) {
+		for _, ch := range emissions(set, pos) {
 			if pos == nDoc+1 {
 				if ch.states.Intersects(p.Final) {
 					total++
@@ -605,6 +788,13 @@ func (e *Engine) backwardReachProg(d *span.Document) []program.Bits {
 			return out
 		}
 	}
+	return e.backwardReachProgRaw(d)
+}
+
+// backwardReachProgRaw is the direct bitset co-reach sweep: the DFA
+// fallback, and the per-path choice of countProg on programs too
+// small for memoized stepping to pay.
+func (e *Engine) backwardReachProgRaw(d *span.Document) []program.Bits {
 	p := e.prog
 	n := d.Len()
 	out := make([]program.Bits, n+2)

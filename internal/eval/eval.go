@@ -31,6 +31,7 @@ package eval
 
 import (
 	"sort"
+	"sync"
 
 	"spanners/internal/program"
 	"spanners/internal/rgx"
@@ -58,6 +59,17 @@ type Engine struct {
 	// differential-oracle switch mirroring ForceInterpreted).
 	dfa   *program.DFA
 	nodfa bool
+
+	// noprefilter disables the required-literal prefilter; nomemo
+	// disables the boundary-emission memo — both are differential-
+	// oracle switches mirroring ForceNoDFA. bmemo is the engine's
+	// bounded emission cache, created lazily with memoBudget (0 means
+	// DefaultBoundaryMemoBudget).
+	noprefilter bool
+	nomemo      bool
+	memoBudget  int
+	bmemoOnce   sync.Once
+	bmemo       *boundaryMemo
 }
 
 // NewEngine wraps an automaton, detecting once whether the sequential
@@ -155,6 +167,88 @@ func (e *Engine) UseDFA(d *program.DFA) { e.dfa = d }
 
 // DFAEnabled reports whether evaluation consults the lazy-DFA cache.
 func (e *Engine) DFAEnabled() bool { return e.dfa != nil && !e.nodfa && e.Compiled() }
+
+// ForceNoPrefilter disables the required-literal prefilter, keeping
+// every other DFA-layer accelerator. A differential-oracle switch for
+// head-to-head benchmarks and property tests.
+func (e *Engine) ForceNoPrefilter() { e.noprefilter = true }
+
+// ForceNoBoundaryMemo disables the boundary-emission memo, keeping
+// every other DFA-layer accelerator. A differential-oracle switch for
+// head-to-head benchmarks and property tests.
+func (e *Engine) ForceNoBoundaryMemo() { e.nomemo = true }
+
+// SetBoundaryMemoBudget overrides the boundary-emission memo's entry
+// budget — tests use tiny budgets to probe the flush discipline. It
+// must be called before the engine enumerates or counts anything.
+func (e *Engine) SetBoundaryMemoBudget(n int) { e.memoBudget = n }
+
+// boundaryMemo returns the engine's emission cache, created on first
+// use.
+func (e *Engine) boundaryMemo() *boundaryMemo {
+	e.bmemoOnce.Do(func() {
+		b := e.memoBudget
+		if b == 0 {
+			b = DefaultBoundaryMemoBudget
+		}
+		e.bmemo = newBoundaryMemo(b)
+	})
+	return e.bmemo
+}
+
+// BoundaryMemoStats returns the counters of the engine's
+// boundary-emission memo; ok is false when no walk has created it
+// yet (or memoization cannot run on this engine).
+func (e *Engine) BoundaryMemoStats() (BoundaryMemoStats, bool) {
+	if e.bmemo == nil {
+		return BoundaryMemoStats{}, false
+	}
+	return e.bmemo.stats(), true
+}
+
+// Prefilter returns the engine's required-literal prefilter, nil
+// when the program has none (or the engine interprets).
+func (e *Engine) Prefilter() *program.Prefilter {
+	if e.prog == nil {
+		return nil
+	}
+	return e.prog.Prefilter()
+}
+
+// prefilterRejects reports whether the required-literal prefilter
+// proves the spanner's output on d empty: some mandatory literal is
+// absent, so no run accepts under any constraint. Counted on the
+// engine's DFA cache.
+func (e *Engine) prefilterRejects(d *span.Document) bool {
+	if !e.DFAEnabled() || e.noprefilter {
+		return false
+	}
+	pf := e.prog.Prefilter()
+	if pf == nil {
+		return false
+	}
+	e.dfa.NotePrefilterCheck()
+	if pf.AllPresent(d.Text()) {
+		return false
+	}
+	e.dfa.NotePrefilterPrune()
+	return true
+}
+
+// AllDFAStats snapshots the engine's shared permissive cache plus the
+// program's constrained-cache family, for service-level aggregation.
+func (e *Engine) AllDFAStats() []program.DFAStats {
+	if e.dfa == nil {
+		return nil
+	}
+	out := []program.DFAStats{e.dfa.Stats()}
+	if e.prog != nil {
+		for _, d := range e.prog.ConstrainedDFAs() {
+			out = append(out, d.Stats())
+		}
+	}
+	return out
+}
 
 // DFAStats returns the counters of the engine's DFA cache; ok is
 // false when the engine has none (interpreted fallback).

@@ -1,0 +1,266 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+
+	"spanners/internal/program"
+	"spanners/internal/rgx"
+	"spanners/internal/span"
+	"spanners/internal/va"
+)
+
+// This file is the differential property suite for the DFA speed
+// ladder: literal prefilters, stop-byte candidate jumps, the
+// boundary-emission memo, and the constrained-eval DFA must all be
+// pure accelerations — identical mapping sets, counts, decisions and
+// Eval verdicts against the bitset path and the interpreted oracle,
+// on adversarial documents chosen to sit on the accelerators' edges
+// (literal at byte 0, literal straddling the jump window, empty
+// matches, one-entry memo budgets, permanently flushing DFA budgets).
+
+// ladderEngines builds the prefilter/memo knob matrix plus the two
+// reference paths for one automaton.
+func ladderEngines(a *va.VA) map[string]*Engine {
+	withAll := NewEngine(a)
+	nopref := NewEngine(a)
+	nopref.ForceNoPrefilter()
+	nomemo := NewEngine(a)
+	nomemo.ForceNoBoundaryMemo()
+	tinymemo := NewEngine(a)
+	tinymemo.SetBoundaryMemoBudget(1)
+	nodfa := NewEngine(a)
+	nodfa.ForceNoDFA()
+	interp := NewEngine(a)
+	interp.ForceInterpreted()
+	return map[string]*Engine{
+		"ladder":      withAll,
+		"noprefilter": nopref,
+		"nomemo":      nomemo,
+		"tinymemo":    tinymemo,
+		"nodfa":       nodfa,
+		"interpreted": interp,
+	}
+}
+
+// prefilterCorpus places the required literal of
+// `.*ERROR x{[^\n]*}\n.*` (and documents without it) at the
+// accelerator edges. jumpWindow mirrors program.accelWindow so the
+// straddle cases keep tracking the real constant.
+const jumpWindow = 1 << 14
+
+func prefilterCorpus() []struct{ name, doc string } {
+	filler := func(n int) string { return strings.Repeat("steady state line\n", n/18+1)[:n] }
+	return []struct{ name, doc string }{
+		{"literal-at-byte-0", "ERROR disk full\nmore text\n"},
+		{"literal-at-end", filler(300) + "ERROR disk full\n"},
+		{"literal-absent", filler(500)},
+		{"literal-absent-large", filler(2 * jumpWindow)},
+		{"literal-straddles-window", filler(jumpWindow-3) + "ERROR hit\n" + filler(64)},
+		{"literal-at-window-edge", filler(jumpWindow) + "ERROR hit\n"},
+		{"probe-bytes-only", strings.Repeat("E R O ", 200)},
+		{"empty", ""},
+		{"non-ascii", "naïve — ERROR düsk füll\n"},
+		{"non-ascii-absent", "naïve — no trigger höre\n"},
+	}
+}
+
+func TestDifferentialPrefilter(t *testing.T) {
+	a := va.FromRGX(rgx.MustParse(`.*ERROR x{[^\n]*}\n.*`))
+	engs := ladderEngines(a)
+	if engs["ladder"].Prefilter() == nil {
+		t.Fatalf("expected a required-literal prefilter for the ERROR spanner")
+	}
+	for _, tc := range prefilterCorpus() {
+		d := span.NewDocument(tc.doc)
+		want := engs["interpreted"].All(d)
+		wantMatch := engs["interpreted"].NonEmpty(d)
+		for name, eng := range engs {
+			if got := eng.NonEmpty(d); got != wantMatch {
+				t.Fatalf("%s/%s NonEmpty = %v, oracle %v", tc.name, name, got, wantMatch)
+			}
+			if got := eng.All(d); !got.Equal(want) {
+				t.Fatalf("%s/%s mapping set: %d vs %d", tc.name, name, got.Len(), want.Len())
+			}
+			if got, wantN := eng.Count(d), engs["interpreted"].Count(d); got != wantN {
+				t.Fatalf("%s/%s Count = %d, oracle %d", tc.name, name, got, wantN)
+			}
+		}
+	}
+	st, ok := engs["ladder"].DFAStats()
+	if !ok || st.PrefilterChecks == 0 || st.PrefilterPrunes == 0 {
+		t.Fatalf("prefilter never checked/pruned: %+v", st)
+	}
+	if st2, _ := engs["noprefilter"].DFAStats(); st2.PrefilterChecks != 0 {
+		t.Fatalf("ForceNoPrefilter engine still checked the prefilter: %+v", st2)
+	}
+}
+
+// TestPrefilterEmptyMatchSpanner pins the soundness edge the
+// prefilter must never cross: a spanner with an accepting run that
+// reads no literal (here: the whole alternative is optional) must
+// derive no required literal at all.
+func TestPrefilterEmptyMatchSpanner(t *testing.T) {
+	for _, tc := range []struct{ expr, doc string }{
+		{`(ERROR x{[^\n]*}\n|)`, ""},
+		{`.*(ERROR |)x{a*}.*`, "no trigger here"},
+	} {
+		e := NewEngine(va.FromRGX(rgx.MustParse(tc.expr)))
+		if pf := e.Prefilter(); pf != nil {
+			t.Fatalf("%q: literal %q wrongly marked required (an empty match avoids it)",
+				tc.expr, pf.Literals())
+		}
+		if !e.NonEmpty(span.NewDocument(tc.doc)) {
+			t.Fatalf("%q must match %q via the empty alternative", tc.expr, tc.doc)
+		}
+	}
+}
+
+// TestDifferentialConstrainedEval drives pinned-span Eval — the
+// segmented constrained-DFA path — against the bitset loop and the
+// interpreted oracle, over exact pins, shifted (wrong) pins, partial
+// pins, Bottom pins, and boundary-position pins.
+func TestDifferentialConstrainedEval(t *testing.T) {
+	for _, tc := range workloadCorpus() {
+		t.Run(tc.name, func(t *testing.T) {
+			a := va.FromRGX(rgx.MustParse(tc.expr))
+			engs := ladderEngines(a)
+			d := span.NewDocument(tc.doc)
+			n := d.Len()
+
+			// Candidate constraints: every exact output pin (capped),
+			// perturbed pins, partial and Bottom pins, and boundary pins.
+			var mus []span.Extended
+			vars := engs["interpreted"].Vars()
+			count := 0
+			engs["interpreted"].Enumerate(d, func(m span.Mapping) bool {
+				mus = append(mus, span.FromMapping(m, vars))
+				for v, s := range m {
+					if s.End <= n {
+						shifted := make(span.Mapping, len(m))
+						for k, sp := range m {
+							shifted[k] = sp
+						}
+						shifted[v] = span.Sp(s.Start+1, s.End+1)
+						mus = append(mus, span.FromMapping(shifted, vars))
+					}
+					mus = append(mus, span.Extended{v: {Span: s}})
+					mus = append(mus, span.Extended{v: {Bottom: true}})
+					break
+				}
+				count++
+				return count < 4
+			})
+			if len(vars) > 0 {
+				v := vars[0]
+				mus = append(mus,
+					span.Extended{v: {Span: span.Sp(1, 1)}},
+					span.Extended{v: {Span: span.Sp(n+1, n+1)}},
+					span.Extended{v: {Span: span.Sp(1, n+1)}},
+				)
+			}
+
+			for i, mu := range mus {
+				want := engs["interpreted"].Eval(d, mu)
+				for name, eng := range engs {
+					if got := eng.Eval(d, mu); got != want {
+						t.Fatalf("mu[%d]=%v: %s Eval = %v, oracle %v", i, mu, name, got, want)
+					}
+				}
+			}
+			if st, ok := engs["ladder"].DFAStats(); ok && len(mus) > 0 {
+				_ = st // segments may be zero on tiny docs; presence asserted below on the long doc
+			}
+		})
+	}
+
+	// A long single-obligation document must actually take the
+	// segmented path (observable as constrained-segment sweeps).
+	a := va.FromRGX(rgx.MustParse(`a*x{b+}a*`))
+	eng := NewEngine(a)
+	ref := NewEngine(a)
+	ref.ForceNoDFA()
+	pad := strings.Repeat("a", 2000)
+	d := span.NewDocument(pad + "bb" + pad)
+	mu := span.Extended{"x": {Span: span.Sp(2001, 2003)}}
+	if got, want := eng.Eval(d, mu), ref.Eval(d, mu); got != want || !got {
+		t.Fatalf("pinned Eval = %v, bitset %v (want both true)", got, want)
+	}
+	bad := span.Extended{"x": {Span: span.Sp(2000, 2003)}}
+	if got, want := eng.Eval(d, bad), ref.Eval(d, bad); got != want || got {
+		t.Fatalf("misaligned pinned Eval = %v, bitset %v (want both false)", got, want)
+	}
+	segs := uint64(0)
+	for _, st := range eng.AllDFAStats() {
+		segs += st.ConstrainedSegments
+	}
+	if segs == 0 {
+		t.Fatalf("constrained Eval never swept a segment: %+v", eng.AllDFAStats())
+	}
+}
+
+// TestDifferentialBoundaryMemo checks the memoized enumeration and
+// counting walks against memo-off, bitset and interpreted paths, and
+// that a one-entry budget (flushing on nearly every store) and a
+// permanently flushing DFA cache stay sound underneath the memo.
+func TestDifferentialBoundaryMemo(t *testing.T) {
+	for _, tc := range workloadCorpus() {
+		t.Run(tc.name, func(t *testing.T) {
+			a := va.FromRGX(rgx.MustParse(tc.expr))
+			engs := ladderEngines(a)
+			tinyboth := NewEngine(a)
+			tinyboth.SetBoundaryMemoBudget(1)
+			if p := tinyboth.Program(); p != nil {
+				tinyboth.UseDFA(program.NewDFA(p, 2))
+			}
+			engs["tinyboth"] = tinyboth
+
+			d := span.NewDocument(tc.doc)
+			want := engs["interpreted"].All(d)
+			wantCount := engs["interpreted"].Count(d)
+			for name, eng := range engs {
+				if got := eng.All(d); !got.Equal(want) {
+					t.Fatalf("%s mapping set: %d vs %d", name, got.Len(), want.Len())
+				}
+				if got := eng.Count(d); got != wantCount {
+					t.Fatalf("%s Count = %d, oracle %d", name, got, wantCount)
+				}
+			}
+
+			if st, ok := engs["ladder"].BoundaryMemoStats(); !ok || st.Hits+st.Misses == 0 {
+				t.Fatalf("memo saw no traffic: %+v ok=%v", st, ok)
+			}
+			if st, ok := engs["tinymemo"].BoundaryMemoStats(); !ok || st.Budget != 1 || st.Size > 1 {
+				t.Fatalf("one-entry budget not honored: %+v ok=%v", st, ok)
+			} else if st.Flushes == 0 {
+				t.Fatalf("one-entry budget never flushed: %+v", st)
+			}
+			if _, ok := engs["nomemo"].BoundaryMemoStats(); ok {
+				t.Fatalf("ForceNoBoundaryMemo engine reports memo stats")
+			}
+		})
+	}
+}
+
+// TestBoundaryMemoAcrossDFAFlush forces DFA budget flushes between
+// enumerations: re-interned frontiers get fresh pointers, so memo
+// entries keyed on pre-flush states must go cold (never wrong).
+func TestBoundaryMemoAcrossDFAFlush(t *testing.T) {
+	tc := workloadCorpus()[0]
+	a := va.FromRGX(rgx.MustParse(tc.expr))
+	eng := NewEngine(a)
+	dfa := program.NewDFA(eng.Program(), 8)
+	eng.UseDFA(dfa)
+	ref := NewEngine(a)
+	ref.ForceNoDFA()
+
+	d := span.NewDocument(tc.doc)
+	for i := 0; i < 3; i++ {
+		if got, want := eng.All(d), ref.All(d); !got.Equal(want) {
+			t.Fatalf("pass %d diverged after flushes: %d vs %d mappings", i, got.Len(), want.Len())
+		}
+	}
+	if st := dfa.Stats(); st.Flushes == 0 {
+		t.Fatalf("8-state budget never flushed: %+v", st)
+	}
+}

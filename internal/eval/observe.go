@@ -47,6 +47,10 @@ func (e *Engine) EnumerateObserved(d *span.Document, o *obs.StageObserver, yield
 	if e.sequential {
 		t0 := time.Now()
 		if e.Compiled() {
+			if e.prefilterRejects(d) {
+				stage(obs.StageCoReachSweep, time.Since(t0))
+				return
+			}
 			bwd := e.backwardReachProg(d)
 			t1 := time.Now()
 			stage(obs.StageCoReachSweep, t1.Sub(t0))

@@ -1,6 +1,7 @@
 package program
 
 import (
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -75,6 +76,33 @@ const MaxFlushesPerSweep = 4
 // looks at the flush counter.
 const flushCheckInterval = 1024
 
+// maxStopBytes is the largest stop-byte set a state resolves through
+// IndexByte candidate jumps; states with more stop bytes use the
+// plain per-byte skip loop (each extra stop byte costs one more
+// vectorized scan per jump, so small sets are where jumping wins).
+const maxStopBytes = 4
+
+// accelWindow bounds one candidate-jump scan. A window with no stop
+// byte is entirely self-looping and is skipped whole, so the sweep
+// stays linear even when some stop bytes never occur (IndexByte would
+// otherwise re-scan to the end of the document on every jump).
+const accelWindow = 1 << 14
+
+// Density self-disable: after densityProbeJumps candidate jumps, a
+// sweep averaging fewer than densityMinGain skipped runes per jump is
+// on a dense-match document — the jumps are not paying for their
+// scans — and disables the accelerator for the rest of the sweep.
+const (
+	densityProbeJumps = 32
+	densityMinGain    = 4
+)
+
+// maxConstrainedMasks bounds the per-program family of
+// constrained-closure DFA caches (one per distinct blocked-variable
+// mask); evaluation under masks beyond the bound falls back to bitset
+// stepping.
+const maxConstrainedMasks = 16
+
 // DFAStats is a point-in-time snapshot of one DFA cache.
 type DFAStats struct {
 	// ID identifies the cache within the process, so aggregators can
@@ -100,16 +128,36 @@ type DFAStats struct {
 	// PrewarmedStates counts states seeded from a persisted cache
 	// artifact rather than discovered during execution.
 	PrewarmedStates uint64 `json:"prewarmed_states"`
+	// Blocked is the variable-operation mask this cache's forward
+	// closures exclude; zero on the shared permissive cache.
+	Blocked uint64 `json:"blocked,omitempty"`
+	// Prefilter counters: required-literal absence checks performed
+	// and the documents they rejected outright.
+	PrefilterChecks uint64 `json:"prefilter_checks"`
+	PrefilterPrunes uint64 `json:"prefilter_prunes"`
+	// Candidate-jump counters: runes skipped by IndexByte stop-byte
+	// jumps (a subset of SkippedRunes) and sweeps whose density
+	// heuristic self-disabled the accelerator.
+	CandidateSkippedRunes uint64 `json:"candidate_skipped_runes"`
+	CandidateDisables     uint64 `json:"candidate_disables"`
+	// ConstrainedSegments counts obligation-free document segments
+	// swept through this cache by the constrained evaluator.
+	ConstrainedSegments uint64 `json:"constrained_segments"`
 }
 
 // dfaIDs hands out process-unique cache identities.
 var dfaIDs atomic.Uint64
 
 // skipInfo is the memchr-style superinstruction of one state: the
-// ASCII bytes whose class self-loops on the state.
+// ASCII bytes whose class self-loops on the state, plus — when the
+// non-self-looping complement is small — the explicit stop-byte list
+// that candidate jumps scan for with IndexByte. stops may be empty
+// but non-nil (every ASCII byte self-loops: whole windows skip); nil
+// means the set is too large for jumping and the per-byte loop runs.
 type skipInfo struct {
 	ascii [2]uint64
 	any   bool
+	stops []byte
 }
 
 // DState is one interned frontier of the lazy DFA. All fields are
@@ -155,6 +203,14 @@ type DFA struct {
 	p      *Program
 	id     uint64
 	budget int
+	// blocked is the op mask the forward closure excludes. The shared
+	// cache uses 0 (permissive closure); the constrained family built
+	// by Program.DFAForMask uses the evaluator's blocked-variable
+	// mask, so forward steps through such a cache are exactly the
+	// obligation-free steps of the constrained sequential evaluator.
+	// Reverse rows of a constrained cache are meaningless — only the
+	// permissive cache serves co-reachability.
+	blocked uint64
 
 	mu     sync.RWMutex
 	states map[string]*DState
@@ -165,14 +221,19 @@ type DFA struct {
 	start atomic.Pointer[DState]
 	dead  atomic.Pointer[DState]
 
-	hits      atomic.Uint64
-	misses    atomic.Uint64
-	evictions atomic.Uint64
-	flushes   atomic.Uint64
-	fallbacks atomic.Uint64
-	fused     atomic.Uint64
-	skipped   atomic.Uint64
-	prewarmed atomic.Uint64
+	hits        atomic.Uint64
+	misses      atomic.Uint64
+	evictions   atomic.Uint64
+	flushes     atomic.Uint64
+	fallbacks   atomic.Uint64
+	fused       atomic.Uint64
+	skipped     atomic.Uint64
+	prewarmed   atomic.Uint64
+	prefChecks  atomic.Uint64
+	prefPrunes  atomic.Uint64
+	candSkipped atomic.Uint64
+	candOff     atomic.Uint64
+	segments    atomic.Uint64
 }
 
 // DFA returns the program's shared lazy-DFA cache, creating it with
@@ -187,20 +248,62 @@ func (p *Program) DFA() *DFA {
 // NewDFA builds a DFA cache over p with the given interned-state
 // budget (values < 2 are raised to 2: the start and dead states are
 // permanently useful).
-func NewDFA(p *Program, budget int) *DFA {
+func NewDFA(p *Program, budget int) *DFA { return newDFA(p, budget, 0) }
+
+func newDFA(p *Program, budget int, blocked uint64) *DFA {
 	if budget < 2 {
 		budget = 2
 	}
 	d := &DFA{
-		p:      p,
-		id:     dfaIDs.Add(1),
-		budget: budget,
-		states: make(map[string]*DState),
+		p:       p,
+		id:      dfaIDs.Add(1),
+		budget:  budget,
+		blocked: blocked,
+		states:  make(map[string]*DState),
 	}
 	d.mu.Lock()
 	d.seedLocked()
 	d.mu.Unlock()
 	return d
+}
+
+// DFAForMask returns the program's lazy-DFA cache whose forward
+// closures exclude the given blocked-variable mask: mask 0 is the
+// shared permissive cache, other masks resolve through a bounded
+// per-program family (one constrained evaluation pattern tends to
+// repeat across documents, so the family amortizes exactly like the
+// shared cache). Returns nil when the family is full — the caller
+// falls back to bitset stepping.
+func (p *Program) DFAForMask(blocked uint64) *DFA {
+	if blocked == 0 {
+		return p.DFA()
+	}
+	p.constrMu.Lock()
+	defer p.constrMu.Unlock()
+	if d, ok := p.constrained[blocked]; ok {
+		return d
+	}
+	if len(p.constrained) >= maxConstrainedMasks {
+		return nil
+	}
+	if p.constrained == nil {
+		p.constrained = make(map[uint64]*DFA)
+	}
+	d := newDFA(p, DefaultDFABudget, blocked)
+	p.constrained[blocked] = d
+	return d
+}
+
+// ConstrainedDFAs snapshots the program's constrained-cache family,
+// for stats aggregation.
+func (p *Program) ConstrainedDFAs() []*DFA {
+	p.constrMu.Lock()
+	defer p.constrMu.Unlock()
+	out := make([]*DFA, 0, len(p.constrained))
+	for _, d := range p.constrained {
+		out = append(out, d)
+	}
+	return out
 }
 
 // seedLocked interns fresh start and dead states into the current
@@ -209,7 +312,7 @@ func (d *DFA) seedLocked() {
 	d.dead.Store(d.internLocked(NewBits(d.p.NumStates)))
 	startFrontier := NewBits(d.p.NumStates)
 	startFrontier.Set(d.p.Start)
-	d.p.OpClosure(startFrontier, 0)
+	d.p.OpClosure(startFrontier, d.blocked)
 	d.start.Store(d.internLocked(startFrontier))
 }
 
@@ -219,19 +322,36 @@ func (d *DFA) Stats() DFAStats {
 	size := len(d.states)
 	d.mu.Unlock()
 	return DFAStats{
-		ID:              d.id,
-		States:          size,
-		Budget:          d.budget,
-		Hits:            d.hits.Load(),
-		Misses:          d.misses.Load(),
-		Evictions:       d.evictions.Load(),
-		Flushes:         d.flushes.Load(),
-		Fallbacks:       d.fallbacks.Load(),
-		FusedExecs:      d.fused.Load(),
-		SkippedRunes:    d.skipped.Load(),
-		PrewarmedStates: d.prewarmed.Load(),
+		ID:                    d.id,
+		States:                size,
+		Budget:                d.budget,
+		Hits:                  d.hits.Load(),
+		Misses:                d.misses.Load(),
+		Evictions:             d.evictions.Load(),
+		Flushes:               d.flushes.Load(),
+		Fallbacks:             d.fallbacks.Load(),
+		FusedExecs:            d.fused.Load(),
+		SkippedRunes:          d.skipped.Load(),
+		PrewarmedStates:       d.prewarmed.Load(),
+		Blocked:               d.blocked,
+		PrefilterChecks:       d.prefChecks.Load(),
+		PrefilterPrunes:       d.prefPrunes.Load(),
+		CandidateSkippedRunes: d.candSkipped.Load(),
+		CandidateDisables:     d.candOff.Load(),
+		ConstrainedSegments:   d.segments.Load(),
 	}
 }
+
+// NotePrefilterCheck counts one required-literal absence scan.
+func (d *DFA) NotePrefilterCheck() { d.prefChecks.Add(1) }
+
+// NotePrefilterPrune counts one document rejected outright by the
+// required-literal prefilter.
+func (d *DFA) NotePrefilterPrune() { d.prefPrunes.Add(1) }
+
+// NoteSegment counts one obligation-free segment swept through this
+// cache by the constrained evaluator.
+func (d *DFA) NoteSegment() { d.segments.Add(1) }
 
 // Start returns the forward start state: the op-closure of the
 // program's start state (of the current cache generation).
@@ -375,7 +495,7 @@ func (d *DFA) stepSlow(s *DState, c int, kind StepKind) *DState {
 	switch kind {
 	case StepForward:
 		d.p.LetterStep(s.frontier, c, next)
-		d.p.OpClosure(next, 0)
+		d.p.OpClosure(next, d.blocked)
 	case StepReverse:
 		d.p.LetterStepBack(s.frontier, c, next)
 		d.p.ROpClosure(next)
@@ -405,7 +525,44 @@ func (d *DFA) deriveSkip(s *DState) {
 			si.any = true
 		}
 	}
+	if si.any {
+		// Stop bytes: the ASCII complement of the self-loop set
+		// (including bytes no letter edge reads — those kill the
+		// frontier, which a jump must not fly past). A small set turns
+		// the skip loop into IndexByte candidate jumps on ASCII
+		// documents.
+		stops := make([]byte, 0, maxStopBytes)
+		for b := 0; b < 128; b++ {
+			if si.ascii[b>>6]&(1<<(uint(b)&63)) == 0 {
+				if len(stops) == maxStopBytes {
+					stops = nil
+					break
+				}
+				stops = append(stops, byte(b))
+			}
+		}
+		si.stops = stops
+	}
 	s.skip.Store(&si)
+}
+
+// jumpStops returns the first index in [from, to) of text holding one
+// of the stop bytes, scanning at most accelWindow bytes; a window
+// with no stop byte is entirely self-looping, so the jump lands at
+// its end. text must be pure ASCII (byte index = rune position).
+func jumpStops(text string, from, to int, stops []byte) int {
+	end := to
+	if end-from > accelWindow {
+		end = from + accelWindow
+	}
+	sub := text[from:end]
+	best := len(sub)
+	for _, b := range stops {
+		if k := strings.IndexByte(sub, b); k >= 0 && k < best {
+			best = k
+		}
+	}
+	return from + best
 }
 
 // runTarget interns (once) the landing state of s's fused run: the
@@ -416,7 +573,7 @@ func (d *DFA) runTarget(s *DState) *DState {
 	}
 	fr := NewBits(d.p.NumStates)
 	fr.Set(int(s.runLand))
-	d.p.OpClosure(fr, 0)
+	d.p.OpClosure(fr, d.blocked)
 	d.mu.Lock()
 	t := d.internLocked(fr)
 	d.mu.Unlock()
@@ -426,51 +583,101 @@ func (d *DFA) runTarget(s *DState) *DState {
 
 // Match runs the forward DFA over the whole document and reports
 // whether an accepting frontier survives — NonEmpty on the
-// determinized tables, with fused runs and skip loops. ok is false
-// when the sweep abandoned the cache (budget thrash); the caller must
-// fall back to bitset stepping and ignore matched.
+// determinized tables, with fused runs, skip loops, and stop-byte
+// candidate jumps. ok is false when the sweep abandoned the cache
+// (budget thrash); the caller must fall back to bitset stepping and
+// ignore matched.
 func (d *DFA) Match(doc *span.Document) (matched, ok bool) {
 	runes := doc.Runes()
-	s := d.start.Load()
+	s, ok := d.SweepForward(d.start.Load(), runes, doc.ASCIIText(), 0, len(runes), true)
+	if !ok {
+		return false, false
+	}
+	return s.accept, true
+}
+
+// SweepForward advances s across runes[from:to) under forward
+// semantics (letter step then op closure excluding this cache's
+// blocked mask), executing fused-run superinstructions, per-byte
+// self-loop skips, and — when text is the document's non-empty
+// ASCIIText — IndexByte candidate jumps over stop-byte gaps, with a
+// density heuristic that self-disables jumping on dense inputs.
+// atEnd marks to as the end of the document, letting a fused run
+// whose chain the input ends inside reject immediately; mid-document
+// segment sweeps pass false and step such tails per rune. Returns
+// the landing state — the dead state as soon as the frontier dies —
+// or ok=false when the sweep abandoned the cache after budget
+// thrash (the caller falls back to bitset stepping). Counter traffic
+// is batched per sweep.
+func (d *DFA) SweepForward(s *DState, runes []rune, text string, from, to int, atEnd bool) (_ *DState, ok bool) {
 	flush0 := d.flushes.Load()
-	var hits, skipped uint64
+	var hits, skipped, jumped uint64
 	defer func() {
 		d.hits.Add(hits)
 		d.skipped.Add(skipped)
+		d.candSkipped.Add(jumped)
 	}()
-
-	for i := 0; i < len(runes); {
-		if i%flushCheckInterval == 0 && d.flushes.Load()-flush0 > MaxFlushesPerSweep {
-			d.NoteFallback()
-			return false, false
+	accel := text != ""
+	jumps, gained := 0, 0
+	fwdBase := int(StepForward) * d.p.NumClasses
+	check := from + flushCheckInterval
+	for i := from; i < to; {
+		if i >= check {
+			if d.flushes.Load()-flush0 > MaxFlushesPerSweep {
+				d.NoteFallback()
+				return nil, false
+			}
+			check = i + flushCheckInterval
 		}
-		// Memchr-style skip: consume the run of self-looping ASCII
-		// bytes in one loop.
+		if s.dead {
+			return s, true
+		}
 		if si := s.skip.Load(); si != nil && si.any {
-			j := i
-			for j < len(runes) {
-				r := runes[j]
-				if r >= 0 && r < 128 && si.ascii[r>>6]&(1<<(uint(r)&63)) != 0 {
-					j++
+			if accel && si.stops != nil {
+				// Candidate jump: the next position that can change
+				// the state is the next stop byte.
+				if j := jumpStops(text, i, to, si.stops); j > i {
+					n := uint64(j - i)
+					hits += n
+					skipped += n
+					jumped += n
+					jumps++
+					gained += j - i
+					i = j
+					if jumps >= densityProbeJumps && gained < jumps*densityMinGain {
+						accel = false
+						d.candOff.Add(1)
+					}
 					continue
 				}
-				break
-			}
-			if j > i {
-				hits += uint64(j - i)
-				skipped += uint64(j - i)
-				i = j
-				continue
+			} else {
+				// Per-byte skip loop: consume the run of self-looping
+				// ASCII bytes.
+				j := i
+				for j < to {
+					r := runes[j]
+					if r >= 0 && r < 128 && si.ascii[r>>6]&(1<<(uint(r)&63)) != 0 {
+						j++
+						continue
+					}
+					break
+				}
+				if j > i {
+					hits += uint64(j - i)
+					skipped += uint64(j - i)
+					i = j
+					continue
+				}
 			}
 		}
 		// Fused-run superinstruction on singleton chain heads.
-		if s.runClasses != nil {
-			if len(runes)-i < len(s.runClasses) {
+		if s.runClasses != nil && (to-i >= len(s.runClasses) || atEnd) {
+			if to-i < len(s.runClasses) {
 				// The document ends strictly inside the chain: every
 				// continuation is a non-accepting interior state or a
 				// dead frontier.
 				d.fused.Add(1)
-				return false, true
+				return d.dead.Load(), true
 			}
 			match := true
 			for k, want := range s.runClasses {
@@ -481,7 +688,7 @@ func (d *DFA) Match(doc *span.Document) (matched, ok bool) {
 			}
 			d.fused.Add(1)
 			if !match {
-				return false, true // single-exit chain: mismatch is death
+				return d.dead.Load(), true // single-exit chain: mismatch is death
 			}
 			i += len(s.runClasses)
 			s = d.runTarget(s)
@@ -489,23 +696,22 @@ func (d *DFA) Match(doc *span.Document) (matched, ok bool) {
 		}
 		c := d.p.ClassOf(runes[i])
 		if c < 0 {
-			return false, true
+			return d.dead.Load(), true
 		}
-		idx := int(StepForward)*d.p.NumClasses + c
-		ns := s.next[idx].Load()
+		ns := s.next[fwdBase+c].Load()
 		if ns != nil {
 			hits++
 		} else {
 			d.fillFwdRow(s, true)
-			ns = s.next[idx].Load()
+			ns = s.next[fwdBase+c].Load()
 		}
 		if ns.dead {
-			return false, true
+			return ns, true
 		}
 		s = ns
 		i++
 	}
-	return s.accept, true
+	return s, true
 }
 
 // ForwardFrontiers computes, for every position 1..n+1, the states
@@ -520,17 +726,51 @@ func (d *DFA) ForwardFrontiers(doc *span.Document) (out []Bits, ok bool) {
 	out = make([]Bits, n+2)
 	s := d.start.Load()
 	flush0 := d.flushes.Load()
-	var hits uint64
-	defer func() { d.hits.Add(hits) }()
+	text := doc.ASCIIText()
+	accel := text != ""
+	jumps, gained := 0, 0
+	var hits, jumped uint64
+	defer func() {
+		d.hits.Add(hits)
+		d.skipped.Add(jumped)
+		d.candSkipped.Add(jumped)
+	}()
 	base := int(StepForward) * d.p.NumClasses
+	check := flushCheckInterval
 	for pos := 1; pos <= n+1; pos++ {
-		if pos%flushCheckInterval == 0 && d.flushes.Load()-flush0 > MaxFlushesPerSweep {
-			d.NoteFallback()
-			return nil, false
+		if pos >= check {
+			if d.flushes.Load()-flush0 > MaxFlushesPerSweep {
+				d.NoteFallback()
+				return nil, false
+			}
+			check = pos + flushCheckInterval
 		}
 		out[pos] = s.frontier
 		if pos == n+1 {
 			break
+		}
+		// Candidate jump: every position up to the next stop byte
+		// keeps the frontier, so the skipped range shares (aliases)
+		// the current frontier.
+		if accel {
+			if si := s.skip.Load(); si != nil && si.any && si.stops != nil {
+				if j := jumpStops(text, pos-1, n, si.stops); j > pos-1 {
+					for k := pos + 1; k <= j; k++ {
+						out[k] = s.frontier
+					}
+					m := uint64(j - (pos - 1))
+					hits += m
+					jumped += m
+					jumps++
+					gained += j - (pos - 1)
+					pos = j
+					if jumps >= densityProbeJumps && gained < jumps*densityMinGain {
+						accel = false
+						d.candOff.Add(1)
+					}
+					continue
+				}
+			}
 		}
 		if c := d.p.ClassOf(doc.RuneAt(pos)); c >= 0 {
 			if ns := s.next[base+c].Load(); ns != nil {

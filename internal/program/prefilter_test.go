@@ -1,0 +1,170 @@
+package program
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestPrefilterLiteralDerivation: the analysis must derive a literal
+// exactly when every accepting run is forced through a fused
+// singleton-class run — and must stay nil whenever an accepting run
+// can avoid the candidate (optional branches, final heads, non-ASCII
+// or multi-rune classes, sub-minimum lengths).
+func TestPrefilterLiteralDerivation(t *testing.T) {
+	for _, tc := range []struct {
+		expr string
+		want bool // a prefilter must (not) exist
+	}{
+		{`.*ERROR x{[^\n]*}\n.*`, true},
+		{`.*Seller: x{[a-z]*}, ID.*`, true},
+		{`x{a*}`, false},                     // no literal run at all
+		{`.*(ERROR |)x{a*}.*`, false},        // literal on an optional branch
+		{`(ERROR x{a*}|)`, false},            // whole alternative optional
+		{`.*E\d+x{a*}.*`, false},             // run shorter than the minimum
+		{`.*naïve x{a*}.*`, true},            // non-ASCII splits the run; ASCII tail still required
+		{`.*(FOO x{a*}|BAR x{b*}).*`, false}, // either branch avoids the other's literal
+	} {
+		p := compileExpr(t, tc.expr)
+		pf := p.Prefilter()
+		if got := pf != nil; got != tc.want {
+			t.Errorf("%q: prefilter exists = %v (literals %q), want %v",
+				tc.expr, got, pf.Literals(), tc.want)
+		}
+	}
+}
+
+// TestPrefilterLiteralsAreRequired: every derived literal must occur
+// in every document the spanner matches — checked against the
+// program's own evaluator over a small adversarial corpus.
+func TestPrefilterLiteralsAreRequired(t *testing.T) {
+	p := compileExpr(t, `.*ERROR x{[^\n]*}\n.*`)
+	pf := p.Prefilter()
+	if pf == nil {
+		t.Fatal("expected a prefilter")
+	}
+	lits := pf.Literals()
+	if len(lits) == 0 {
+		t.Fatal("prefilter with no literals")
+	}
+	for _, l := range lits {
+		for _, r := range l {
+			if r > 127 {
+				t.Fatalf("literal %q is not pure ASCII", l)
+			}
+		}
+	}
+	for i := 1; i < len(lits); i++ {
+		if len(lits[i-1]) < len(lits[i]) {
+			t.Fatalf("literals not longest-first: %q", lits)
+		}
+	}
+	// Soundness on text: AllPresent(false) must imply "no match", which
+	// here means every matching document contains every literal.
+	for _, doc := range []string{
+		"ERROR disk full\n",
+		"prefix ERROR x\n suffix",
+	} {
+		if !pf.AllPresent(doc) {
+			t.Errorf("matching document %q reported as missing a literal", doc)
+		}
+	}
+	if pf.AllPresent("no trigger here") {
+		t.Errorf("document without the literal passed AllPresent")
+	}
+}
+
+// TestContainsProbeMatchesContains: containsProbe is an anchored
+// reimplementation of strings.Contains — randomized cross-check plus
+// the adversarial placements (needle at byte 0, at the end, probe
+// byte dense in the haystack, overlapping false starts).
+func TestContainsProbeMatchesContains(t *testing.T) {
+	check := func(text, lit string) {
+		t.Helper()
+		off := rarestByte(lit)
+		if got, want := containsProbe(text, lit, off), strings.Contains(text, lit); got != want {
+			t.Fatalf("containsProbe(%q, %q, %d) = %v, strings.Contains = %v",
+				text, lit, off, got, want)
+		}
+	}
+	check("ERROR at start", "ERROR")
+	check("ends with ERROR", "ERROR")
+	check("no match at all", "ERROR")
+	check("", "ERROR")
+	check("EEEEERROR", "ERROR")                          // false starts on the probe byte
+	check(strings.Repeat("ERRO", 100)+"R", "ERROR")      // overlap resolved only at the end
+	check("eller: ", "eller: ")                          // probe lands mid-needle
+	check(strings.Repeat(":", 50)+"eller: x", "eller: ") // dense probe byte
+	check(strings.Repeat("e:l", 64), "eller: ")          // dense probe byte, absent needle
+	rng := rand.New(rand.NewSource(7))
+	alpha := "er:O "
+	for i := 0; i < 2000; i++ {
+		var tb, lb strings.Builder
+		for n := rng.Intn(40); n > 0; n-- {
+			tb.WriteByte(alpha[rng.Intn(len(alpha))])
+		}
+		for n := 1 + rng.Intn(6); n > 0; n-- {
+			lb.WriteByte(alpha[rng.Intn(len(alpha))])
+		}
+		check(tb.String(), lb.String())
+	}
+}
+
+// TestRarestByteRanking: the probe offset must prefer rare tiers
+// (punctuation over digits over plain lowercase over "etaoinsrhl ")
+// and break ties toward the earliest offset.
+func TestRarestByteRanking(t *testing.T) {
+	for _, tc := range []struct {
+		lit  string
+		want int
+	}{
+		{"eller: ", 5},  // ':' beats every letter and the space
+		{"ERROR", 0},    // all uppercase: one tier, earliest wins
+		{"error", 0},    // all high-frequency letters: earliest wins
+		{"abc123", 3},   // digit tier beats lowercase
+		{"hello, x", 5}, // comma is the only punctuation
+		{"bug", 0},      // all plain lowercase: one tier, earliest wins
+		{"log.gz", 3},   // '.' is the rarest tier
+	} {
+		if got := rarestByte(tc.lit); got != tc.want {
+			t.Errorf("rarestByte(%q) = %d (byte %q), want %d (byte %q)",
+				tc.lit, got, tc.lit[got], tc.want, tc.lit[tc.want])
+		}
+	}
+}
+
+// TestPrefilterCodecIdentity: the registry contract — a program
+// decoded from its artifact derives byte-identical literals and probe
+// offsets to the freshly compiled program it came from. The analysis
+// is a pure function of the dispatch tables, so warm restarts cannot
+// change prefilter behavior.
+func TestPrefilterCodecIdentity(t *testing.T) {
+	for _, expr := range []string{
+		`.*ERROR x{[^\n]*}\n.*`,
+		`.*Seller: x{[a-z]*}, ID.*`,
+		`x{a*}`,
+		`.*(ERROR |)x{a*}.*`,
+	} {
+		p := compileExpr(t, expr)
+		d, err := Decode(p.Encode())
+		if err != nil {
+			t.Fatalf("%q: decode: %v", expr, err)
+		}
+		pf, df := p.Prefilter(), d.Prefilter()
+		if (pf == nil) != (df == nil) {
+			t.Fatalf("%q: compiled prefilter nil=%v, decoded nil=%v", expr, pf == nil, df == nil)
+		}
+		if pf == nil {
+			continue
+		}
+		if !reflect.DeepEqual(pf.Literals(), df.Literals()) {
+			t.Errorf("%q: literals diverge across codec: %q vs %q",
+				expr, pf.Literals(), df.Literals())
+		}
+		if !reflect.DeepEqual(pf.probes, df.probes) {
+			t.Errorf("%q: probe offsets diverge across codec: %v vs %v",
+				expr, pf.probes, df.probes)
+		}
+	}
+}

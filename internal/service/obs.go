@@ -105,6 +105,42 @@ func newObservability(svc *Service, traceRetention int) *Observability {
 				{Labels: []string{obs.L("outcome", "miss")}, Value: float64(st.Misses)},
 			}
 		})
+	r.RegisterCounterFunc("spand_dfa_prefilter_checks_total",
+		"Required-literal prefilter scans by outcome (pruned documents did no automaton work).", func() []obs.Sample {
+			st := svc.dfaStats()
+			return []obs.Sample{
+				{Labels: []string{obs.L("outcome", "pruned")}, Value: float64(st.PrefilterPrunes)},
+				{Labels: []string{obs.L("outcome", "passed")}, Value: float64(st.PrefilterChecks - st.PrefilterPrunes)},
+			}
+		})
+	r.RegisterCounterFunc("spand_dfa_candidate_skipped_runes_total",
+		"Runes skipped by stop-byte candidate jumps inside DFA sweeps.", func() []obs.Sample {
+			return []obs.Sample{{Value: float64(svc.dfaStats().CandidateSkippedRunes)}}
+		})
+	r.RegisterCounterFunc("spand_dfa_candidate_disables_total",
+		"Sweeps whose density heuristic disabled candidate jumps.", func() []obs.Sample {
+			return []obs.Sample{{Value: float64(svc.dfaStats().CandidateDisables)}}
+		})
+	r.RegisterGaugeFunc("spand_dfa_constrained_states",
+		"Resident states across the per-mask constrained DFA families.", func() []obs.Sample {
+			return []obs.Sample{{Value: float64(svc.dfaStats().ConstrainedStates)}}
+		})
+	r.RegisterCounterFunc("spand_dfa_constrained_segments_total",
+		"Obligation-free segments swept by the constrained evaluator.", func() []obs.Sample {
+			return []obs.Sample{{Value: float64(svc.dfaStats().ConstrainedSegments)}}
+		})
+	r.RegisterCounterFunc("spand_boundary_memo_lookups_total",
+		"Boundary-emission memo lookups by outcome.", func() []obs.Sample {
+			st := svc.dfaStats()
+			return []obs.Sample{
+				{Labels: []string{obs.L("outcome", "hit")}, Value: float64(st.BoundaryMemoHits)},
+				{Labels: []string{obs.L("outcome", "miss")}, Value: float64(st.BoundaryMemoMisses)},
+			}
+		})
+	r.RegisterGaugeFunc("spand_boundary_memo_entries",
+		"Resident boundary-emission memo entries across tracked spanners.", func() []obs.Sample {
+			return []obs.Sample{{Value: float64(svc.dfaStats().BoundaryMemoSize)}}
+		})
 	r.RegisterCounterFunc("spand_registry_loads_total",
 		"Named-spanner resolutions by path.", func() []obs.Sample {
 			st := svc.Stats().Registry

@@ -179,6 +179,22 @@ type DFAStats struct {
 	FusedExecs      uint64 `json:"fused_execs"`
 	SkippedRunes    uint64 `json:"skipped_runes"`
 	PrewarmedStates uint64 `json:"prewarmed_states"`
+	// Speed-ladder counters: required-literal prefilter checks and
+	// the documents they pruned, runes skipped by stop-byte candidate
+	// jumps, sweeps whose density heuristic disabled the jumps, the
+	// per-mask constrained-DFA family behind pinned-span Eval, and
+	// the enumerator's boundary-emission memo traffic.
+	PrefilterChecks       uint64 `json:"prefilter_checks"`
+	PrefilterPrunes       uint64 `json:"prefilter_prunes"`
+	CandidateSkippedRunes uint64 `json:"candidate_skipped_runes"`
+	CandidateDisables     uint64 `json:"candidate_disables"`
+	ConstrainedCaches     int    `json:"constrained_caches"`
+	ConstrainedStates     int    `json:"constrained_states"`
+	ConstrainedSegments   uint64 `json:"constrained_segments"`
+	BoundaryMemoSize      int    `json:"boundary_memo_size"`
+	BoundaryMemoHits      uint64 `json:"boundary_memo_hits"`
+	BoundaryMemoMisses    uint64 `json:"boundary_memo_misses"`
+	BoundaryMemoFlushes   uint64 `json:"boundary_memo_flushes"`
 	// SidecarsLoaded and SidecarsSaved count registry DFA-cache
 	// sidecar round trips (load at pre-warm, save on shutdown).
 	SidecarsLoaded uint64 `json:"sidecars_loaded"`
@@ -219,6 +235,19 @@ func (s *Service) dfaStats() DFAStats {
 		out.FusedExecs += st.FusedExecs
 		out.SkippedRunes += st.SkippedRunes
 		out.PrewarmedStates += st.PrewarmedStates
+		out.PrefilterChecks += st.PrefilterChecks
+		out.PrefilterPrunes += st.PrefilterPrunes
+		out.CandidateSkippedRunes += st.CandidateSkippedRunes
+		out.CandidateDisables += st.CandidateDisables
+		out.ConstrainedCaches += st.ConstrainedCaches
+		out.ConstrainedStates += st.ConstrainedStates
+		out.ConstrainedSegments += st.ConstrainedSegments
+		if bm := sp.BoundaryMemoStats(); bm.Enabled {
+			out.BoundaryMemoSize += bm.Size
+			out.BoundaryMemoHits += bm.Hits
+			out.BoundaryMemoMisses += bm.Misses
+			out.BoundaryMemoFlushes += bm.Flushes
+		}
 	}
 	return out
 }

@@ -104,6 +104,18 @@ func (d *Document) Runes() []rune { return d.runes }
 // RuneAt returns the symbol at 1-based position i (1 ≤ i ≤ |d|).
 func (d *Document) RuneAt(i int) rune { return d.runes[i-1] }
 
+// ASCIIText returns the document text when every symbol is ASCII —
+// the precondition for byte-indexed scanning (memchr-style candidate
+// jumps), where byte offsets and rune positions coincide — and ""
+// otherwise. The check is a length comparison: any multi-byte rune
+// makes the byte length exceed the rune count.
+func (d *Document) ASCIIText() string {
+	if len(d.text) == len(d.runes) {
+		return d.text
+	}
+	return ""
+}
+
 // Whole returns the span (1, |d|+1) covering the entire document.
 func (d *Document) Whole() Span { return Span{Start: 1, End: d.Len() + 1} }
 

@@ -108,6 +108,14 @@ done
 expiries=$(awk '/^spand_deadline_expiries_total/ {print $2}' "$prom")
 [ "$expiries" = "2" ] || die "spand_deadline_expiries_total=$expiries, want 2"
 
+# The DFA speed-ladder families (prefilter, candidate jumps,
+# constrained family, boundary memo) must be exposed.
+for fam in spand_dfa_prefilter_checks_total spand_dfa_candidate_skipped_runes_total \
+           spand_dfa_constrained_segments_total spand_boundary_memo_lookups_total \
+           spand_boundary_memo_entries; do
+  grep -q "^# HELP $fam " "$prom" || die "speed-ladder family $fam missing"
+done
+
 echo "== content negotiation"
 accept=$(curl -sf -H 'Accept: text/plain;version=0.0.4' "$base/metrics" | head -1)
 case "$accept" in

@@ -14,7 +14,13 @@
 #      is a pure cache hit;
 #   6. assert the restart loaded the DFA-cache sidecars the first
 #      server persisted on graceful shutdown (dfa.sidecars_loaded,
-#      dfa.prewarmed_states on /healthz).
+#      dfa.prewarmed_states on /healthz);
+#   7. assert speed-ladder identity across the restart: the decoded
+#      artifact derives the same required-literal prefilter and the
+#      same boundary-memo behavior as the freshly compiled spanner —
+#      an identical request pair (one literal-free document, one
+#      matching document) moves the prefilter and boundary-memo
+#      counters by identical deltas on both servers.
 #
 # Requires: go, curl, jq.
 set -euo pipefail
@@ -53,6 +59,34 @@ stop_spand() {
   pid=""
 }
 
+# ladder_probe drives an identical request pair against the pinned
+# spanner — one document without its required literal (must extract
+# nothing, pruned by the prefilter alone), one matching document —
+# and prints the deltas of the prefilter and boundary-memo counters.
+# Run once against the fresh server and once after the restart, the
+# two delta tuples must be equal: the decoded artifact derives the
+# same literals and memoizes the same boundary pairs.
+ladder_probe() {
+  local h0 h1 resp n
+  h0=$(curl -sf "$base/healthz")
+  resp=$(curl -sf "$base/extract" \
+    -d "$(jq -n --arg ref "$ref" '{spanner: $ref, docs: ["no auction lines in this document\n"]}')") \
+    || die "ladder probe (pruned doc) failed"
+  n=$(echo "$resp" | jq -r '.results[0] | length')
+  [ "$n" = "0" ] || die "literal-free document extracted $n mappings, want 0"
+  resp=$(curl -sf "$base/extract" \
+    -d "$(jq -n --arg ref "$ref" '{spanner: $ref, docs: ["Seller: Anna, 12 Hill St\nSeller: Bob, 1 Main Rd\n"]}')") \
+    || die "ladder probe (matching doc) failed"
+  n=$(echo "$resp" | jq -r '.results[0] | length')
+  [ "$n" = "2" ] || die "matching document extracted $n mappings, want 2"
+  h1=$(curl -sf "$base/healthz")
+  jq -rn --argjson a "$(echo "$h0" | jq '.dfa')" --argjson b "$(echo "$h1" | jq '.dfa')" \
+    '[($b.prefilter_checks - $a.prefilter_checks),
+      ($b.prefilter_prunes - $a.prefilter_prunes),
+      ($b.boundary_memo_hits - $a.boundary_memo_hits),
+      ($b.boundary_memo_misses - $a.boundary_memo_misses)] | join(" ")'
+}
+
 echo "== build"
 go build -o "$workdir/spand" ./cmd/spand
 go build -o "$workdir/spanreg" ./cmd/spanreg
@@ -68,6 +102,12 @@ body=$(jq -n --arg ref "$ref" '{spanner: $ref, docs: ["Seller: Anna, 12 Hill St\
 resp=$(curl -sf "$base/extract" -d "$body") || die "extract by pin failed"
 names=$(echo "$resp" | jq -r '.results[0][].x.content' | paste -sd, -)
 [ "$names" = "Anna,Bob" ] || die "extracted [$names], want [Anna,Bob]"
+
+echo "== speed-ladder probe against the freshly compiled spanner"
+probe_fresh=$(ladder_probe)
+echo "fresh ladder deltas (checks prunes memo_hits memo_misses): $probe_fresh"
+read -r _ prunes _ <<<"$probe_fresh"
+[ "$prunes" -ge 1 ] || die "prefilter never pruned the literal-free document: $probe_fresh"
 
 echo "== register a second spanner over HTTP, then kill the server"
 tax_ver=$(curl -sf -X PUT "$base/registry/tax" -d '{"expr": ".*\\$y{[0-9,]+}\\n.*"}' | jq -r '.version') \
@@ -103,6 +143,14 @@ fallbacks=$(echo "$resp" | jq -r '.stats.registry.source_fallbacks')
 
 metrics_misses=$(curl -sf "$base/metrics" | jq -r '.spand.spanner_cache.misses')
 [ "$metrics_misses" = "0" ] || die "/metrics reports $metrics_misses compile misses, want 0"
+
+echo "== speed-ladder probe against the artifact-decoded spanner"
+probe_warm=$(ladder_probe)
+echo "warm ladder deltas (checks prunes memo_hits memo_misses): $probe_warm"
+[ "$probe_warm" = "$probe_fresh" ] \
+  || die "ladder behavior diverged across restart: fresh [$probe_fresh] vs warm [$probe_warm]"
+read -r _ _ memo_hits memo_misses <<<"$probe_warm"
+[ "$((memo_hits + memo_misses))" -ge 1 ] || die "boundary memo saw no traffic: $probe_warm"
 
 echo "== join the pinned pair server-side, post-restart"
 joinbody=$(jq -n --arg e "join($ref, tax@$tax_ver)" '{algebra: $e, docs: ["Seller: Mark, ID7, $35,000\n"]}')

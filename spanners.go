@@ -226,6 +226,57 @@ type DFAStats struct {
 	// PrewarmedStates counts states seeded from a persisted cache
 	// artifact (WarmDFA) rather than discovered during evaluation.
 	PrewarmedStates uint64 `json:"prewarmed_states"`
+	// PrefilterChecks counts required-literal absence scans and
+	// PrefilterPrunes the documents those scans rejected outright
+	// (no DFA or bitset work at all).
+	PrefilterChecks uint64 `json:"prefilter_checks"`
+	PrefilterPrunes uint64 `json:"prefilter_prunes"`
+	// CandidateSkippedRunes counts runes skipped by IndexByte
+	// stop-byte candidate jumps (a subset of SkippedRunes);
+	// CandidateDisables counts sweeps whose density heuristic turned
+	// the accelerator off.
+	CandidateSkippedRunes uint64 `json:"candidate_skipped_runes"`
+	CandidateDisables     uint64 `json:"candidate_disables"`
+	// ConstrainedCaches / ConstrainedStates size the per-mask DFA
+	// family the constrained evaluator builds for pinned-span Eval;
+	// ConstrainedSegments counts obligation-free segments swept
+	// through it.
+	ConstrainedCaches   int    `json:"constrained_caches"`
+	ConstrainedStates   int    `json:"constrained_states"`
+	ConstrainedSegments uint64 `json:"constrained_segments"`
+}
+
+// BoundaryMemoStats is a snapshot of the enumerator's
+// boundary-emission memo: the bounded cache of (frontier, co-reach)
+// → emission choice sets that Enumerate/Count walks consult at every
+// document boundary. Enabled is false for interpreted spanners and
+// those with the memo forced off.
+type BoundaryMemoStats struct {
+	Enabled   bool   `json:"enabled"`
+	Size      int    `json:"size"`
+	Budget    int    `json:"budget"`
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Flushes   uint64 `json:"flushes"`
+}
+
+// BoundaryMemoStats returns the counters of the spanner's
+// boundary-emission memo.
+func (s *Spanner) BoundaryMemoStats() BoundaryMemoStats {
+	st, ok := s.engine.BoundaryMemoStats()
+	if !ok {
+		return BoundaryMemoStats{}
+	}
+	return BoundaryMemoStats{
+		Enabled:   true,
+		Size:      st.Size,
+		Budget:    st.Budget,
+		Hits:      st.Hits,
+		Misses:    st.Misses,
+		Evictions: st.Evictions,
+		Flushes:   st.Flushes,
+	}
 }
 
 // DFAStats returns the counters of the spanner's lazy-DFA cache.
@@ -234,7 +285,7 @@ func (s *Spanner) DFAStats() DFAStats {
 	if !ok {
 		return DFAStats{}
 	}
-	return DFAStats{
+	out := DFAStats{
 		Enabled:         true,
 		CacheID:         st.ID,
 		States:          st.States,
@@ -247,7 +298,22 @@ func (s *Spanner) DFAStats() DFAStats {
 		FusedExecs:      st.FusedExecs,
 		SkippedRunes:    st.SkippedRunes,
 		PrewarmedStates: st.PrewarmedStates,
+		PrefilterChecks: st.PrefilterChecks,
+		PrefilterPrunes: st.PrefilterPrunes,
 	}
+	// The constrained per-mask family shares the program; its caches
+	// fold into the aggregate fields (the permissive cache's own
+	// candidate counters are included in the loop's first pass).
+	for _, cs := range s.engine.AllDFAStats() {
+		out.CandidateSkippedRunes += cs.CandidateSkippedRunes
+		out.CandidateDisables += cs.CandidateDisables
+		out.ConstrainedSegments += cs.ConstrainedSegments
+		if cs.Blocked != 0 {
+			out.ConstrainedCaches++
+			out.ConstrainedStates += cs.States
+		}
+	}
+	return out
 }
 
 // Functional reports whether the expression is functional in the

@@ -69,6 +69,26 @@ var dfaSpeedupFloors = map[string]float64{
 	"count/sequential":       1.0,
 }
 
+// incSpeedupFloors pin the incremental section's headline claim: a
+// tail append must cost the suffix resweep, not the document, which
+// on the benchmark web log means beating full re-extraction by at
+// least 5x regardless of where the committed baseline sits.
+var incSpeedupFloors = map[string]float64{
+	"weblog/tail-append": 5.0,
+}
+
+// speedupFloors returns the absolute head-to-head floors for a
+// baseline section, nil when the section has none.
+func speedupFloors(section string) map[string]float64 {
+	switch section {
+	case "spanbench_dfa":
+		return dfaSpeedupFloors
+	case "spanbench_incremental":
+		return incSpeedupFloors
+	}
+	return nil
+}
+
 // gateAgainstBaseline compares cur against the named section of the
 // committed baseline file ("spanbench_engine" or "spanbench_dfa") and
 // returns the joined regression failures, nil when the gate passes.
@@ -114,13 +134,12 @@ func gateAgainstBaseline(report any, baselinePath, section string, mult float64)
 	}
 
 	var failures []error
+	floors := speedupFloors(section)
 	for _, s := range cur.HeadToHead {
-		if section == "spanbench_dfa" {
-			if floor, ok := dfaSpeedupFloors[scenarioKey(s.Name)]; ok && s.Speedup < floor {
-				failures = append(failures, fmt.Errorf(
-					"head-to-head %q: speedup %.2fx fell below the absolute floor %.2fx",
-					s.Name, s.Speedup, floor))
-			}
+		if floor, ok := floors[scenarioKey(s.Name)]; ok && s.Speedup < floor {
+			failures = append(failures, fmt.Errorf(
+				"head-to-head %q: speedup %.2fx fell below the absolute floor %.2fx",
+				s.Name, s.Speedup, floor))
 		}
 		b, ok := baseH2H[scenarioKey(s.Name)]
 		if !ok {

@@ -11,6 +11,8 @@
 //	spanbench -engine -gatebase BENCH_engine.json [-gatemult 2]
 //	spanbench -dfa [-quick] [-dfajson BENCH_dfa.json]
 //	spanbench -dfa -gatebase BENCH_dfa.json [-gatemult 2]
+//	spanbench -incremental [-quick] [-incjson BENCH_incremental.json]
+//	spanbench -incremental -gatebase BENCH_incremental.json [-gatemult 2]
 //	spanbench -obs [-quick] [-obsjson BENCH_obs.json] [-obsgate 0.03]
 //
 // The -engine mode instead benchmarks the compiled execution core
@@ -18,10 +20,13 @@
 // and records the service-path numbers tracked in BENCH_engine.json.
 // The -dfa mode benchmarks the lazy-DFA + superinstruction layer
 // against plain bitset stepping on the same compiled programs,
-// tracked in BENCH_dfa.json. With -gatebase either mode additionally
-// compares the run against its committed record and exits nonzero on
-// gross regressions (speedups below baseline/mult, service ns/op
-// above baseline×mult) — the CI regression gates.
+// tracked in BENCH_dfa.json. The -incremental mode benchmarks
+// incremental re-extraction under edits (frontier-snapshot sessions)
+// against full re-extraction of the post-edit document, tracked in
+// BENCH_incremental.json. With -gatebase any of these modes
+// additionally compares the run against its committed record and
+// exits nonzero on gross regressions (speedups below baseline/mult,
+// service ns/op above baseline×mult) — the CI regression gates.
 //
 // The -obs mode A/B-measures the observability layer itself: the
 // gated service-path workloads against a twin service built with
@@ -55,6 +60,8 @@ var (
 	engineJSON = flag.String("enginejson", "", "with -engine: write results as JSON to this file")
 	dfaFlag    = flag.Bool("dfa", false, "run the lazy-DFA-vs-bitset-stepping benchmarks instead of the experiment tables")
 	dfaJSON    = flag.String("dfajson", "", "with -dfa: write results as JSON to this file")
+	incFlag    = flag.Bool("incremental", false, "run the incremental-vs-full re-extraction benchmarks instead of the experiment tables")
+	incJSON    = flag.String("incjson", "", "with -incremental: write results as JSON to this file")
 	gateBase   = flag.String("gatebase", "", "with -engine or -dfa: compare against the committed baseline JSON and exit nonzero on gross regressions")
 	gateMult   = flag.Float64("gatemult", 2.0, "with -gatebase: allowed regression factor before the gate fails")
 	obsFlag    = flag.Bool("obs", false, "measure the observability layer's overhead against a DisableObservability twin service")
@@ -89,15 +96,18 @@ func main() {
 		}
 		return
 	}
-	if *engineFlag || *dfaFlag {
+	if *engineFlag || *dfaFlag || *incFlag {
 		var (
 			rep     any
 			section string
 		)
-		if *engineFlag {
+		switch {
+		case *engineFlag:
 			rep, section = runEngineBench(*quick, *engineJSON), "spanbench_engine"
-		} else {
+		case *dfaFlag:
 			rep, section = runDFABench(*quick, *dfaJSON), "spanbench_dfa"
+		default:
+			rep, section = runIncrementalBench(*quick, *incJSON), "spanbench_incremental"
 		}
 		if *gateBase != "" {
 			if err := gateAgainstBaseline(rep, *gateBase, section, *gateMult); err != nil {

@@ -6,28 +6,45 @@
 //
 //	spand [-addr :8080] [-spanner-cache 256] [-rule-cache 64] [-workers 4]
 //	      [-max-body 8388608] [-request-timeout 60s] [-registry DIR]
-//	      [-persist-dfa=true] [-trace-retain 128] [-slow-request 0]
-//	      [-pprof-addr ADDR]
+//	      [-persist-dfa=true] [-doc-store-bytes 67108864]
+//	      [-trace-retain 128] [-slow-request 0] [-pprof-addr ADDR]
 //
-// Endpoints:
+// Endpoints (canonical under /v1; the pre-v1 unprefixed paths answer
+// identically but set a Deprecation header and a Link to their
+// successor — new clients should use /v1):
 //
-//	POST /extract          {"expr"|"rule"|"spanner"|"algebra": …, "docs": [...], "limit": n}
+//	POST /v1/extract       {"expr"|"rule"|"spanner"|"algebra": …,
+//	                        "docs": [...], "doc_ids": [...], "limit": n}
 //	                       → JSON batch: one result array per document
-//	                         (input order) plus cache/worker stats.
-//	POST /extract/stream   {"expr"|"rule"|"spanner"|"algebra": …, "doc": …, "limit": n}
+//	                         (inline docs first, then referenced
+//	                         doc_ids) plus cache/worker stats.
+//	POST /v1/extract/stream {"expr"|…: …, "doc": …|"doc_id": …, "limit": n}
 //	                       → NDJSON: one mapping per line, flushed per
 //	                         result, with the enumerator's polynomial
 //	                         delay (Theorem 5.7) — first results arrive
 //	                         before enumeration completes.
-//	PUT    /registry/{name}  {"expr": …} or {"algebra": …} → compile (or
-//	                         compose), persist, and name a spanner; the
-//	                         response manifest carries the
+//	PUT    /v1/documents/{id}  {"text": …} create or replace a stored
+//	                           document (201 on create, 200 on replace).
+//	GET    /v1/documents/{id}  the stored document: id, version, text.
+//	PATCH  /v1/documents/{id}  {"offset": b, "delete_len": n, "insert": …}
+//	                           splice the document in place (byte
+//	                           offsets on UTF-8 boundaries; a pure
+//	                           append sets offset = current length).
+//	                           Extractions referencing the document via
+//	                           "doc_ids" are then served incrementally:
+//	                           the engine resweeps only the edit's
+//	                           neighbourhood instead of re-extracting.
+//	DELETE /v1/documents/{id}  drop the document and its sessions.
+//	PUT    /v1/registry/{name}  {"expr": …} or {"algebra": …} → compile
+//	                         (or compose), persist, and name a spanner;
+//	                         the response manifest carries the
 //	                         content-addressed version to pin.
-//	GET    /registry         list stored spanners (latest versions).
-//	GET    /registry/{name}  manifest of the latest (?version= pins).
-//	DELETE /registry/{name}  drop a name (?version= drops one version).
-//	GET  /healthz          liveness + engine + registry summary.
-//	GET  /metrics          expvar by default, including the "spand"
+//	GET    /v1/registry         list stored spanners (latest versions).
+//	GET    /v1/registry/{name}  manifest of the latest (?version= pins).
+//	DELETE /v1/registry/{name}  drop a name (?version= drops one).
+//	GET  /v1/healthz       liveness + engine + registry + document
+//	                       store summary.
+//	GET  /v1/metrics       expvar by default, including the "spand"
 //	                       snapshot: cache hit/miss/eviction counters,
 //	                       registry pre-warm/hit/fallback counters,
 //	                       in-flight requests, mappings emitted. With
@@ -36,10 +53,21 @@
 //	                       per-stage latency and stream emission-delay
 //	                       histograms plus the counter families (see
 //	                       docs/OBSERVABILITY.md).
-//	GET  /debug/trace      last-N retained request traces (?n= caps);
-//	                       /debug/trace/{id} one trace by request ID —
-//	                       the per-stage span tree and, for streams,
+//	GET  /v1/debug/trace   last-N retained request traces (?n= caps);
+//	                       /v1/debug/trace/{id} one trace by request ID
+//	                       — the per-stage span tree and, for streams,
 //	                       the emission-delay digest.
+//
+// Every handler reports failures in one envelope, {"error": {"code":
+// …, "message": …}}, where code is a stable machine-readable string
+// (syntax, unbound, bad_query, bad_splice, document_not_found,
+// not_found, too_large, deadline, canceled, registry_unavailable,
+// bad_artifact, bad_request).
+//
+// Stored documents live in a byte-budgeted in-memory store
+// (-doc-store-bytes, default 64 MiB) with LRU eviction; documents,
+// their splice journals and their attached incremental extraction
+// sessions all count against the budget.
 //
 // Every request carries an ID (inbound X-Request-ID is honored,
 // otherwise one is generated) that is echoed in the response header,
@@ -101,6 +129,7 @@ func main() {
 		reqTimeout   = flag.Duration("request-timeout", defaultRequestTimeout, "per-request extraction deadline (negative disables)")
 		registryDir  = flag.String("registry", "", "persistent spanner registry directory (empty disables)")
 		persistDFA   = flag.Bool("persist-dfa", true, "with -registry: save warmed DFA caches as sidecars on shutdown and load them at startup")
+		docStoreB    = flag.Int64("doc-store-bytes", service.DefaultConfig().DocStoreBytes, "byte budget of the /v1/documents store (LRU-evicted)")
 		traceRetain  = flag.Int("trace-retain", obs.DefaultTraceRetention, "request traces retained for /debug/trace")
 		slowRequest  = flag.Duration("slow-request", 0, "log the full span tree of requests slower than this (0 disables)")
 		pprofAddr    = flag.String("pprof-addr", "", "serve net/http/pprof on this separate address (empty disables)")
@@ -112,6 +141,7 @@ func main() {
 		SpannerCacheSize: *spannerCache,
 		RuleCacheSize:    *ruleCache,
 		Workers:          *workers,
+		DocStoreBytes:    *docStoreB,
 		TraceRetention:   *traceRetain,
 	}
 	if *registryDir != "" {

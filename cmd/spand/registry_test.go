@@ -148,9 +148,11 @@ func TestRegistryEndpointsWithoutRegistry(t *testing.T) {
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("GET without registry: status %d", resp.StatusCode)
 	}
+	// A spanner-reference query on a registry-less service maps to the
+	// same typed error (and 503) as the registry endpoints themselves.
 	resp = doJSON(t, http.MethodPost, ts.URL+"/extract",
 		map[string]any{"spanner": "x", "docs": []string{"a"}}, nil)
-	if resp.StatusCode != http.StatusBadRequest {
+	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("spanner query without registry: status %d", resp.StatusCode)
 	}
 }

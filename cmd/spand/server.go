@@ -14,16 +14,22 @@ import (
 	"sync/atomic"
 	"time"
 
+	"spanners/internal/algebra"
+	"spanners/internal/docstore"
 	"spanners/internal/obs"
 	"spanners/internal/registry"
+	"spanners/internal/rgx"
 	"spanners/internal/service"
 )
 
-// extractRequest is the body of POST /extract: one query applied to a
-// batch of documents.
+// extractRequest is the body of POST /v1/extract: one query applied to
+// a batch of documents, given inline (docs) and/or by reference to the
+// document store (doc_ids). Results follow input order: docs first,
+// then doc_ids.
 type extractRequest struct {
 	service.Query
-	Docs []string `json:"docs"`
+	Docs   []string `json:"docs"`
+	DocIDs []string `json:"doc_ids"`
 }
 
 // extractResponse pairs the per-document results (input order) with a
@@ -33,11 +39,26 @@ type extractResponse struct {
 	Stats   service.Stats      `json:"stats"`
 }
 
-// streamRequest is the body of POST /extract/stream: one query, one
-// document, results streamed back as NDJSON.
+// streamRequest is the body of POST /v1/extract/stream: one query and
+// one document — inline (doc) or by store reference (doc_id) — with
+// results streamed back as NDJSON.
 type streamRequest struct {
 	service.Query
-	Doc string `json:"doc"`
+	Doc   string `json:"doc"`
+	DocID string `json:"doc_id"`
+}
+
+// putDocumentRequest is the body of PUT /v1/documents/{id}.
+type putDocumentRequest struct {
+	Text string `json:"text"`
+}
+
+// documentResponse describes a stored document without echoing its
+// text (GET returns the text; mutations return the metadata).
+type documentResponse struct {
+	ID      string `json:"id"`
+	Version int64  `json:"version"`
+	Bytes   int    `json:"bytes"`
 }
 
 // registerRequest is the body of PUT /registry/{name}: exactly one of
@@ -114,19 +135,44 @@ func newServer(svc *service.Service, opt serverOptions) *server {
 		slowReq:    opt.slowReq,
 		log:        opt.logger,
 	}
-	s.mux.HandleFunc("POST /extract", s.handleExtract)
-	s.mux.HandleFunc("POST /extract/stream", s.handleStream)
-	s.mux.HandleFunc("PUT /registry/{name}", s.handleRegistryPut)
-	s.mux.HandleFunc("GET /registry/{name}", s.handleRegistryGet)
-	s.mux.HandleFunc("DELETE /registry/{name}", s.handleRegistryDelete)
-	s.mux.HandleFunc("GET /registry", s.handleRegistryList)
-	s.mux.HandleFunc("GET /registry/{$}", s.handleRegistryList)
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
-	s.mux.HandleFunc("GET /debug/trace", s.handleTraceList)
-	s.mux.HandleFunc("GET /debug/trace/{id}", s.handleTraceGet)
+	// Every pre-v1 endpoint is registered twice: canonically under /v1
+	// and at its historical unprefixed path, which answers identically
+	// but carries deprecation headers pointing at the successor. The
+	// documents API is /v1-only — it never had an unprefixed form.
+	s.route("POST /extract", s.handleExtract)
+	s.route("POST /extract/stream", s.handleStream)
+	s.route("PUT /registry/{name}", s.handleRegistryPut)
+	s.route("GET /registry/{name}", s.handleRegistryGet)
+	s.route("DELETE /registry/{name}", s.handleRegistryDelete)
+	s.route("GET /registry", s.handleRegistryList)
+	s.route("GET /registry/{$}", s.handleRegistryList)
+	s.route("GET /healthz", s.handleHealthz)
+	s.route("GET /metrics", s.handleMetrics)
+	s.route("GET /debug/trace", s.handleTraceList)
+	s.route("GET /debug/trace/{id}", s.handleTraceGet)
+	s.mux.HandleFunc("PUT /v1/documents/{id}", s.handleDocumentPut)
+	s.mux.HandleFunc("GET /v1/documents/{id}", s.handleDocumentGet)
+	s.mux.HandleFunc("PATCH /v1/documents/{id}", s.handleDocumentPatch)
+	s.mux.HandleFunc("DELETE /v1/documents/{id}", s.handleDocumentDelete)
 	publishExpvar(svc)
 	return s
+}
+
+// route registers pattern (e.g. "POST /extract") under the canonical
+// /v1 prefix and at the legacy unprefixed path. Legacy responses set
+// the Deprecation header (RFC 9745) and a Link to the successor so
+// clients can migrate mechanically.
+func (s *server) route(pattern string, h http.HandlerFunc) {
+	method, path, ok := strings.Cut(pattern, " ")
+	if !ok {
+		panic("route pattern must be \"METHOD /path\": " + pattern)
+	}
+	s.mux.HandleFunc(method+" /v1"+path, h)
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", "</v1"+r.URL.Path+`>; rel="successor-version"`)
+		h(w, r)
+	})
 }
 
 // ServeHTTP is the request middleware: assign (or honor) the request
@@ -173,11 +219,15 @@ func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 }
 
 // tracedRoute reports whether a request should carry a trace: only
-// the extraction endpoints — tracing probe traffic (/healthz, scrape
-// hits on /metrics) would churn the retention ring with empty traces.
+// the extraction endpoints (canonical or legacy) — tracing probe
+// traffic (/healthz, scrape hits on /metrics) would churn the
+// retention ring with empty traces.
 func tracedRoute(r *http.Request) bool {
-	return r.Method == http.MethodPost &&
-		(r.URL.Path == "/extract" || r.URL.Path == "/extract/stream")
+	if r.Method != http.MethodPost {
+		return false
+	}
+	p := strings.TrimPrefix(r.URL.Path, "/v1")
+	return p == "/extract" || p == "/extract/stream"
 }
 
 // statusWriter records the response status for the request log. It
@@ -264,51 +314,106 @@ func (s *server) retryAfter() string {
 	return strconv.Itoa(secs)
 }
 
-func httpError(w http.ResponseWriter, code int, err error) {
+// errorBody is the unified error envelope every handler writes:
+// {"error": {"code": "...", "message": "..."}}. The code is a stable
+// machine-readable string from the table in errorCode; the message is
+// the human-readable error chain.
+type errorBody struct {
+	Error errorDetail `json:"error"`
+}
+
+type errorDetail struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// httpError writes the error envelope with an explicit status,
+// deriving the stable code from the error's type (falling back to a
+// status-based default when the error carries no recognized type).
+func httpError(w http.ResponseWriter, status int, err error) {
+	_, code := errorCode(err)
+	if code == codeBadRequest {
+		// Untyped error: let the explicit status pick a better default.
+		switch status {
+		case http.StatusRequestEntityTooLarge:
+			code = "too_large"
+		case http.StatusNotFound:
+			code = "not_found"
+		case http.StatusServiceUnavailable:
+			code = "unavailable"
+		}
+	}
+	writeError(w, status, code, err)
+}
+
+// apiError writes the error envelope with the status and code the
+// error's type dictates.
+func apiError(w http.ResponseWriter, err error) {
+	status, code := errorCode(err)
+	writeError(w, status, code, err)
+}
+
+func writeError(w http.ResponseWriter, status int, code string, err error) {
 	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(errorBody{Error: errorDetail{Code: code, Message: err.Error()}})
 }
 
-// extractErrCode maps an extraction failure to a status. The
-// server-imposed -request-timeout deadline is a compute limit, not a
-// slow client, so it surfaces as 503 (retrying the same request
+const codeBadRequest = "bad_request"
+
+// errorCode maps a typed failure to its status and stable error code.
+// The server-imposed -request-timeout deadline is a compute limit, not
+// a slow client, so it surfaces as 503 (retrying the same request
 // verbatim will pin another worker — clients should back off or
-// simplify the query); a disconnecting client's cancellation keeps
-// 408 (the response is unread anyway); a query referencing a registry
-// name or version that does not exist — directly or as an algebra
-// leaf — is 404; everything else (RGX or algebra syntax, unbound
-// projection variables, over-nested expressions) is the client's
-// query, 400. Nothing a query can say maps to a 500.
-func extractErrCode(err error) int {
+// simplify the query); a disconnecting client's cancellation keeps 408
+// (the response is unread anyway); a query referencing a registry name
+// or version that does not exist — directly or as an algebra leaf —
+// is 404; malformed queries (RGX or algebra syntax, unbound projection
+// variables, bad splices) are the client's fault, 400. Only
+// storage-level corruption maps to a 500.
+func errorCode(err error) (int, string) {
+	var parseErr *rgx.ParseError
 	switch {
-	case errors.Is(err, context.DeadlineExceeded):
-		return http.StatusServiceUnavailable
+	case errors.Is(err, errDeadline), errors.Is(err, context.DeadlineExceeded):
+		return http.StatusServiceUnavailable, "deadline"
 	case errors.Is(err, context.Canceled):
-		return http.StatusRequestTimeout
+		return http.StatusRequestTimeout, "canceled"
+	case errors.Is(err, docstore.ErrNotFound):
+		return http.StatusNotFound, "document_not_found"
+	case errors.Is(err, docstore.ErrBadSplice):
+		return http.StatusBadRequest, "bad_splice"
+	case errors.Is(err, docstore.ErrTooLarge):
+		return http.StatusRequestEntityTooLarge, "too_large"
 	case errors.Is(err, registry.ErrNotFound):
-		return http.StatusNotFound
+		return http.StatusNotFound, "not_found"
+	case errors.Is(err, service.ErrNoRegistry):
+		return http.StatusServiceUnavailable, "registry_unavailable"
+	case errors.Is(err, registry.ErrBadName), errors.Is(err, registry.ErrBadVersion):
+		return http.StatusBadRequest, "bad_name"
+	case errors.Is(err, registry.ErrBadArtifact):
+		return http.StatusInternalServerError, "bad_artifact"
+	case errors.Is(err, service.ErrBadQuery):
+		return http.StatusBadRequest, "bad_query"
+	case errors.As(err, &parseErr), errors.Is(err, algebra.ErrSyntax):
+		return http.StatusBadRequest, "syntax"
+	case errors.Is(err, algebra.ErrUnbound):
+		return http.StatusBadRequest, "unbound"
 	default:
-		return http.StatusBadRequest
+		return http.StatusBadRequest, codeBadRequest
 	}
 }
 
-// registryErrCode maps registry failures: absent entries are 404,
-// malformed names/versions 400, a service without a registry 503, and
-// storage-level corruption 500.
+// extractErrCode maps an extraction failure to its status; see
+// errorCode for the taxonomy.
+func extractErrCode(err error) int {
+	status, _ := errorCode(err)
+	return status
+}
+
+// registryErrCode maps registry failures; see errorCode.
 func registryErrCode(err error) int {
-	switch {
-	case errors.Is(err, service.ErrNoRegistry):
-		return http.StatusServiceUnavailable
-	case errors.Is(err, registry.ErrNotFound):
-		return http.StatusNotFound
-	case errors.Is(err, registry.ErrBadName), errors.Is(err, registry.ErrBadVersion):
-		return http.StatusBadRequest
-	case errors.Is(err, registry.ErrBadArtifact):
-		return http.StatusInternalServerError
-	default:
-		return http.StatusBadRequest
-	}
+	status, _ := errorCode(err)
+	return status
 }
 
 // decodeBody parses the JSON request body under the server's size
@@ -334,10 +439,27 @@ func (s *server) handleExtract(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()
-	results, err := s.svc.ExtractBatch(ctx, req.Query, req.Docs)
-	if err != nil {
-		s.extractError(ctx, w, err)
-		return
+	var results [][]service.Result
+	if len(req.Docs) > 0 || len(req.DocIDs) == 0 {
+		batch, err := s.svc.ExtractBatch(ctx, req.Query, req.Docs)
+		if err != nil {
+			s.extractError(ctx, w, err)
+			return
+		}
+		results = batch
+	} else {
+		results = [][]service.Result{}
+	}
+	// Referenced documents are served from their incremental sessions,
+	// one at a time: an unchanged document costs a cache read, not an
+	// extraction.
+	for _, id := range req.DocIDs {
+		res, err := s.svc.ExtractDocument(ctx, req.Query, id)
+		if err != nil {
+			s.extractError(ctx, w, err)
+			return
+		}
+		results = append(results, res)
 	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(extractResponse{Results: results, Stats: s.svc.Stats()})
@@ -359,6 +481,19 @@ func (s *server) handleStream(w http.ResponseWriter, r *http.Request) {
 	// under the request context so its stage lands on the trace.
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()
+	if req.DocID != "" {
+		if req.Doc != "" {
+			httpError(w, http.StatusBadRequest,
+				errors.New("stream request must set at most one of doc and doc_id"))
+			return
+		}
+		doc, ok := s.svc.Documents().Get(req.DocID)
+		if !ok {
+			apiError(w, fmt.Errorf("%w: %q", docstore.ErrNotFound, req.DocID))
+			return
+		}
+		req.Doc = doc.Text
+	}
 	compiled, err := s.svc.CompileQueryCtx(ctx, req.Query)
 	if err != nil {
 		s.extractError(ctx, w, err)
@@ -389,6 +524,66 @@ func (s *server) handleStream(w http.ResponseWriter, r *http.Request) {
 		}
 		panic(http.ErrAbortHandler)
 	}
+}
+
+// handleDocumentPut creates or fully replaces a stored document: 201
+// on first creation, 200 on replacement. Replacement invalidates any
+// incremental sessions attached to the document.
+func (s *server) handleDocumentPut(w http.ResponseWriter, r *http.Request) {
+	var req putDocumentRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	doc, err := s.svc.Documents().Put(r.PathValue("id"), req.Text)
+	if err != nil {
+		apiError(w, err)
+		return
+	}
+	code := http.StatusOK
+	if doc.Version == 1 {
+		code = http.StatusCreated
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(documentResponse{ID: doc.ID, Version: doc.Version, Bytes: len(doc.Text)})
+}
+
+// handleDocumentGet returns the stored document, text included.
+func (s *server) handleDocumentGet(w http.ResponseWriter, r *http.Request) {
+	doc, ok := s.svc.Documents().Get(r.PathValue("id"))
+	if !ok {
+		apiError(w, fmt.Errorf("%w: %q", docstore.ErrNotFound, r.PathValue("id")))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(doc)
+}
+
+// handleDocumentPatch applies one splice — delete delete_len bytes at
+// offset, insert insert — and returns the new version. A pure append
+// is {"offset": <current length>, "insert": "..."}. Offsets are bytes
+// and must fall on UTF-8 rune boundaries; an edit past EOF is a 400.
+func (s *server) handleDocumentPatch(w http.ResponseWriter, r *http.Request) {
+	var sp docstore.Splice
+	if !s.decodeBody(w, r, &sp) {
+		return
+	}
+	doc, err := s.svc.Documents().ApplySplice(r.PathValue("id"), sp)
+	if err != nil {
+		apiError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(documentResponse{ID: doc.ID, Version: doc.Version, Bytes: len(doc.Text)})
+}
+
+// handleDocumentDelete removes the document and its attached sessions.
+func (s *server) handleDocumentDelete(w http.ResponseWriter, r *http.Request) {
+	if !s.svc.Documents().Delete(r.PathValue("id")) {
+		apiError(w, fmt.Errorf("%w: %q", docstore.ErrNotFound, r.PathValue("id")))
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
 }
 
 func (s *server) handleRegistryPut(w http.ResponseWriter, r *http.Request) {
@@ -474,18 +669,20 @@ func (s *server) handleRegistryList(w http.ResponseWriter, _ *http.Request) {
 // whether the pre-warmed registry is serving, and how algebra
 // compositions split between cache hits and fresh leaf work.
 type healthzResponse struct {
-	Status   string                `json:"status"`
-	Engine   service.EngineStats   `json:"engine"`
-	DFA      service.DFAStats      `json:"dfa"`
-	Registry service.RegistryStats `json:"registry"`
-	Algebra  service.AlgebraStats  `json:"algebra"`
+	Status    string                `json:"status"`
+	Engine    service.EngineStats   `json:"engine"`
+	DFA       service.DFAStats      `json:"dfa"`
+	Registry  service.RegistryStats `json:"registry"`
+	Algebra   service.AlgebraStats  `json:"algebra"`
+	Documents service.DocumentStats `json:"documents"`
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	st := s.svc.Stats()
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(healthzResponse{
-		Status: "ok", Engine: st.Engine, DFA: st.DFA, Registry: st.Registry, Algebra: st.Algebra,
+		Status: "ok", Engine: st.Engine, DFA: st.DFA, Registry: st.Registry,
+		Algebra: st.Algebra, Documents: st.Documents,
 	})
 }
 

@@ -1,7 +1,9 @@
 // Web logs: extract method, path, status and the optional referer
 // field from access-log lines, then slice the results with the
-// spanner algebra (projection) and check a containment property of
-// two extraction patterns.
+// spanner algebra (projection), follow a growing log with an
+// incremental session (only the new lines' mappings are surfaced per
+// append), and check a containment property of two extraction
+// patterns.
 //
 //	go run ./examples/weblog
 package main
@@ -55,6 +57,48 @@ func main() {
 			fmt.Printf("  %-16s %d\n", p, c)
 		}
 	}
+
+	// Follow mode: an incremental session keeps the full result set
+	// hot while the log grows. Each append resweeps only the suffix
+	// until the frontiers re-converge, and the recomputed block
+	// [ReusedLeft, ReusedLeft+Recomputed) of the post-edit order is
+	// exactly the new lines' mappings — a tail -f that pays for the
+	// tail, not the file.
+	fmt.Println("\nfollow mode (incremental session):")
+	inc, incOK := line.Incremental(text)
+	if !incOK {
+		panic("weblog: spanner refused an incremental session")
+	}
+	batches := [][]string{
+		{`10.0.0.1 GET /api/items 200 734 "curl/8.0"`},
+		{`10.0.0.2 POST /api/users 503 88 "Go-http-client/1.1"`,
+			`10.0.0.2 POST /api/users 200 91 "Go-http-client/1.1" ref=/index.html`},
+	}
+	for _, batch := range batches {
+		var chunk string
+		for _, l := range batch {
+			chunk += l + "\n"
+		}
+		st, err := inc.Append(chunk)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("  appended %d line(s): reswept %d positions, %d mapping(s) new, %d reused\n",
+			len(batch), st.FwdSteps+st.BwdSteps, st.Recomputed, st.ReusedLeft+st.ReusedRight)
+		d := inc.Document()
+		i := 0
+		inc.Each(func(m spanners.Mapping) bool {
+			if i >= st.ReusedLeft && i < st.ReusedLeft+st.Recomputed {
+				fmt.Printf("    new: %s %s → %s\n",
+					d.Content(m["m"]), d.Content(m["p"]), d.Content(m["st"]))
+			}
+			i++
+			return i < st.ReusedLeft+st.Recomputed
+		})
+	}
+	stats := inc.Stats()
+	fmt.Printf("  session: %d full run(s), %d splice(s), %d mappings reused vs %d recomputed\n",
+		stats.FullRuns, stats.Splices, stats.Reused, stats.Recomputed)
 
 	// Static analysis: every error-line extraction is also a line
 	// extraction, and containment proves it once and for all — no

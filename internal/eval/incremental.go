@@ -1,0 +1,712 @@
+package eval
+
+import (
+	"fmt"
+	"sort"
+
+	"spanners/internal/program"
+	"spanners/internal/span"
+)
+
+// Incremental re-extraction under document edits, the engine half of
+// the dynamic-complexity line (Freydenberger & Thompson 2019): instead
+// of restarting the sequential enumerator from byte 0 on every splice,
+// an IncState caches per-block frontier snapshots from the previous
+// run and the full ordered result list, and a splice only resweeps the
+// region around the edit until the frontiers re-converge with the
+// cached run.
+//
+// Four frontiers are tracked per snapshotted boundary p:
+//
+//	f0[p]  states reachable from Start via letters only (no ops < p)
+//	f1[p]  states reachable firing ≥1 variable op at boundaries < p
+//	b0[p]  states that reach Final via letters only (no ops ≥ p)
+//	b1[p]  states from which Final is reachable firing ≥1 op at ≥ p
+//
+// f0/b0 are exact run sets; f1/b1 are path-based over-approximations
+// (they ignore the fire-at-most-once structure of sequential runs),
+// which is sound for everything they are used for. The two facts the
+// algorithm rests on:
+//
+//  1. Crossing check: if f1[P] ∩ b1[P] = ∅ then no accepting run
+//     fires ops both before and at-or-after boundary P, so every
+//     nonempty mapping lies entirely on one side of P.
+//  2. Ordering: the enumerator sorts boundary choices with nonzero op
+//     masks before the zero mask, so all mappings whose ops lie below
+//     a crossing-free cut A form a contiguous prefix of the ordered
+//     output, all mappings at-or-after a crossing-free cut B form a
+//     contiguous suffix (before the empty mapping), and the dirty
+//     window [A, B) can be re-walked in isolation and concatenated
+//     between them.
+//
+// A splice resumes the forward sweep at the last snapshot before the
+// edit and stops as soon as the (f0, f1) pair equals the cached pair
+// at a suffix-aligned snapshot (determinism then keeps them equal
+// forever); the backward sweep is seeded from the first snapshot past
+// the edit — backward frontiers at suffix positions are determined by
+// the unchanged suffix text, so they survive the splice verbatim at
+// pos+delta — and runs down until it re-converges inside the prefix.
+// Cuts that fail to materialize degrade gracefully (A=1, window to
+// document end): the result is always exact, only less reused.
+
+// incSnap is one cached frontier snapshot at boundary pos (2 ≤ pos ≤
+// n+1; boundary 1 is implicit: f0={Start}, f1=∅).
+type incSnap struct {
+	pos            int
+	f0, f1, b0, b1 program.Bits
+}
+
+// incMapping is one cached mapping with the extent of its fired ops
+// (min span start / max span end), used to split the ordered result
+// list at crossing-free cuts.
+type incMapping struct {
+	m              span.Mapping
+	minPos, maxPos int
+}
+
+// fpair is a recorded (letters-only, ≥1-op) frontier pair.
+type fpair struct {
+	a, b program.Bits
+}
+
+// IncStats are cumulative counters of an incremental session, surfaced
+// through the service's document-store stats.
+type IncStats struct {
+	FullRuns   int64 // from-scratch extractions (initial build)
+	Splices    int64 // incremental edits applied
+	FwdSteps   int64 // forward letter steps reswept across all splices
+	BwdSteps   int64 // backward letter steps reswept across all splices
+	Reused     int64 // cached mappings carried over (shifted or verbatim)
+	Recomputed int64 // mappings re-derived by dirty-window walks
+}
+
+// SpliceResult reports what one Splice call actually did.
+type SpliceResult struct {
+	FwdSteps    int // forward letter steps until re-convergence (or end)
+	BwdSteps    int // backward letter steps until re-convergence (or start)
+	WindowStart int // first boundary of the re-walked dirty window
+	WindowEnd   int // one past the window; 0 = window ran to document end
+	ReusedLeft  int // cached mappings reused before the window
+	ReusedRight int // cached mappings reused (shifted) after the window
+	Recomputed  int // mappings emitted by the window walk
+}
+
+// IncState is the incremental extraction state for one (document,
+// program) pair: the current document, the ordered mapping list of the
+// last extraction, and per-block frontier snapshots. It is not safe
+// for concurrent use.
+type IncState struct {
+	e       *Engine
+	doc     *span.Document
+	blockK  int
+	snaps   []incSnap
+	results []incMapping
+	emptyOK bool // the empty mapping is in the result set (always last)
+	stats   IncStats
+
+	tmp, tmp2 program.Bits // sweep scratch
+}
+
+// incBlockSize picks the snapshot spacing for a document of n symbols:
+// ~256 snapshots, clamped so short documents are not over-snapshotted
+// and huge ones do not hold O(n) bitsets.
+func incBlockSize(n int) int {
+	k := n / 256
+	if k < 64 {
+		k = 64
+	}
+	if k > 4096 {
+		k = 4096
+	}
+	return k
+}
+
+// NewIncremental builds an incremental session over d, running one
+// full extraction to seed the caches. The second result is false when
+// the engine does not support incremental maintenance (only the
+// sequential compiled enumerator does); callers then fall back to full
+// re-extraction.
+func NewIncremental(e *Engine, d *span.Document) (*IncState, bool) {
+	if e == nil || !e.Compiled() || !e.sequential {
+		return nil, false
+	}
+	return newIncremental(e, d, incBlockSize(d.Len())), true
+}
+
+// newIncremental is NewIncremental with an explicit snapshot spacing,
+// so tests can force edits to span snapshot boundaries.
+func newIncremental(e *Engine, d *span.Document, blockK int) *IncState {
+	s := &IncState{e: e, doc: d, blockK: blockK}
+	n := e.prog.NumStates
+	s.tmp, s.tmp2 = program.NewBits(n), program.NewBits(n)
+	s.rebuild()
+	return s
+}
+
+// Doc returns the current document.
+func (s *IncState) Doc() *span.Document { return s.doc }
+
+// Len returns the number of mappings in the current result set,
+// including the empty mapping when present.
+func (s *IncState) Len() int {
+	n := len(s.results)
+	if s.emptyOK {
+		n++
+	}
+	return n
+}
+
+// Stats returns the session's cumulative counters.
+func (s *IncState) Stats() IncStats { return s.stats }
+
+// Each yields the current mappings in the enumerator's emission order
+// (the empty mapping, when present, comes last) and reports whether
+// the walk ran to completion. The yielded maps are borrowed: later
+// Splice calls mutate them in place, so callers that retain mappings
+// must copy them.
+func (s *IncState) Each(yield func(span.Mapping) bool) bool {
+	for i := range s.results {
+		if !yield(s.results[i].m) {
+			return false
+		}
+	}
+	if s.emptyOK {
+		return yield(span.Mapping{})
+	}
+	return true
+}
+
+// Mappings returns independent copies of the current result set in
+// emission order.
+func (s *IncState) Mappings() []span.Mapping {
+	out := make([]span.Mapping, 0, s.Len())
+	s.Each(func(m span.Mapping) bool {
+		out = append(out, m.Copy())
+		return true
+	})
+	return out
+}
+
+// MemoryBytes estimates the session's retained memory, used by the
+// document store's byte-budget accounting.
+func (s *IncState) MemoryBytes() int {
+	words := 0
+	if len(s.snaps) > 0 {
+		words = len(s.snaps[0].f0)
+	}
+	b := len(s.snaps) * (4*words*8 + 64)
+	for i := range s.results {
+		b += 96 + len(s.results[i].m)*64
+	}
+	b += len(s.doc.Text()) + 4*s.doc.Len()
+	return b
+}
+
+// opExtent returns the smallest and largest boundary at which the
+// mapping's ops fired (span endpoints are exactly the op positions).
+func opExtent(m span.Mapping) (mn, mx int) {
+	mn = int(^uint(0) >> 1)
+	for _, sp := range m {
+		if sp.Start < mn {
+			mn = sp.Start
+		}
+		if sp.End > mx {
+			mx = sp.End
+		}
+	}
+	return mn, mx
+}
+
+// bitsEq reports word-wise equality of two same-width bitsets.
+func bitsEq(a, b program.Bits) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// rStrictInto sets dst to the states from which firing at least one op
+// edge (followed by any further ops) reaches a state in src.
+func (s *IncState) rStrictInto(src, dst program.Bits) {
+	p := s.e.prog
+	dst.Clear()
+	src.ForEach(func(q int) {
+		for _, ed := range p.OpsInto(q) {
+			dst.Set(int(ed.To))
+		}
+	})
+	p.ROpClosure(dst)
+}
+
+// stepForward advances the (f0, f1) pair across the rune r: ops fire
+// at the current boundary (seeding f1 from f0 through at least one op
+// edge), then both sets take the letter step.
+func (s *IncState) stepForward(f0, f1, d0, d1 program.Bits, r rune) {
+	p := s.e.prog
+	s.tmp.CopyFrom(f1)
+	f0.ForEach(func(q int) {
+		for _, ed := range p.OpsFrom(q) {
+			s.tmp.Set(int(ed.To))
+		}
+	})
+	p.OpClosure(s.tmp, 0)
+	d0.Clear()
+	d1.Clear()
+	if c := p.ClassOf(r); c >= 0 {
+		p.LetterStep(f0, c, d0)
+		p.LetterStep(s.tmp, c, d1)
+	}
+}
+
+// stepBackward moves the (b0, b1) pair from boundary p+1 to boundary
+// p across the rune r at position p: b0 retreats letters-only; b1 is
+// reached either by firing ≥1 op at p before the letter, or by taking
+// the letter into a completion that still owes an op.
+func (s *IncState) stepBackward(b0, b1, d0, d1 program.Bits, r rune) {
+	p := s.e.prog
+	d0.Clear()
+	d1.Clear()
+	c := p.ClassOf(r)
+	if c < 0 {
+		return
+	}
+	p.LetterStepBack(b0, c, d0)
+	s.tmp.CopyFrom(b0)
+	s.tmp.Or(b1)
+	s.tmp2.Clear()
+	p.LetterStepBack(s.tmp, c, s.tmp2)
+	s.rStrictInto(s.tmp2, s.tmp)
+	d1.Or(s.tmp)
+	p.LetterStepBack(b1, c, d1)
+}
+
+// rebuild runs a full extraction of the current document and fills the
+// snapshot grid from scratch.
+func (s *IncState) rebuild() {
+	d := s.doc
+	s.results = s.results[:0]
+	s.emptyOK = false
+	s.e.Enumerate(d, func(m span.Mapping) bool {
+		if len(m) == 0 {
+			s.emptyOK = true
+			return true
+		}
+		mn, mx := opExtent(m)
+		s.results = append(s.results, incMapping{m: m, minPos: mn, maxPos: mx})
+		return true
+	})
+	s.snaps = s.sweepAll(d)
+	s.stats.FullRuns++
+}
+
+// sweepAll computes forward and backward frontier pairs over the whole
+// document, snapshotting every blockK positions.
+func (s *IncState) sweepAll(d *span.Document) []incSnap {
+	p := s.e.prog
+	n := d.Len()
+	var snaps []incSnap
+	f0 := program.NewBits(p.NumStates)
+	f0.Set(p.Start)
+	f1 := program.NewBits(p.NumStates)
+	t0 := program.NewBits(p.NumStates)
+	t1 := program.NewBits(p.NumStates)
+	for pos := 1; ; pos++ {
+		if pos > 1 && (pos-1)%s.blockK == 0 {
+			snaps = append(snaps, incSnap{pos: pos, f0: f0.Clone(), f1: f1.Clone()})
+		}
+		if pos == n+1 {
+			break
+		}
+		s.stepForward(f0, f1, t0, t1, d.RuneAt(pos))
+		f0, t0 = t0, f0
+		f1, t1 = t1, f1
+	}
+	b0 := p.Final.Clone()
+	b1 := program.NewBits(p.NumStates)
+	s.rStrictInto(p.Final, b1)
+	si := len(snaps) - 1
+	for pos := n + 1; ; pos-- {
+		if si >= 0 && snaps[si].pos == pos {
+			snaps[si].b0 = b0.Clone()
+			snaps[si].b1 = b1.Clone()
+			si--
+		}
+		if pos == 1 {
+			break
+		}
+		s.stepBackward(b0, b1, t0, t1, d.RuneAt(pos-1))
+		b0, t0 = t0, b0
+		b1, t1 = t1, b1
+	}
+	return snaps
+}
+
+// Splice applies the edit replacing del symbols at 0-based rune offset
+// off with ins, updating the cached result set so that Each/Mappings
+// afterwards return exactly what a from-scratch extraction of the new
+// document would, in the same order.
+func (s *IncState) Splice(off, del int, ins string) (SpliceResult, error) {
+	p := s.e.prog
+	old := s.doc
+	n := old.Len()
+	if off < 0 || del < 0 || off > n || off+del > n {
+		return SpliceResult{}, fmt.Errorf("eval: splice [%d,+%d) out of range for document of %d symbols", off, del, n)
+	}
+	newDoc := old.Splice(off, del, ins)
+	n2 := newDoc.Len()
+	delta := n2 - n
+
+	prefixEnd := off + 1 // boundaries 1..prefixEnd precede unchanged text
+	editEndOld := off + del + 1
+	editEndNew := editEndOld + delta
+
+	var res SpliceResult
+
+	// Forward resweep: resume at the last snapshot before the edit and
+	// stop at the first suffix-aligned snapshot whose pair matches.
+	fi := -1
+	for i := range s.snaps {
+		if s.snaps[i].pos > prefixEnd {
+			break
+		}
+		fi = i
+	}
+	f0 := program.NewBits(p.NumStates)
+	f1 := program.NewBits(p.NumStates)
+	fpos := 1
+	if fi >= 0 {
+		f0.CopyFrom(s.snaps[fi].f0)
+		f1.CopyFrom(s.snaps[fi].f1)
+		fpos = s.snaps[fi].pos
+	} else {
+		f0.Set(p.Start)
+	}
+	t0 := program.NewBits(p.NumStates)
+	t1 := program.NewBits(p.NumStates)
+
+	newF := map[int]fpair{}
+	newB := map[int]fpair{}
+
+	suffixSnapStart := sort.Search(len(s.snaps), func(i int) bool { return s.snaps[i].pos >= editEndOld })
+	oi := suffixSnapStart
+	cf, cfIdx := -1, -1
+	for pos := fpos; ; pos++ {
+		if oi < len(s.snaps) && pos == s.snaps[oi].pos+delta {
+			if bitsEq(f0, s.snaps[oi].f0) && bitsEq(f1, s.snaps[oi].f1) {
+				cf, cfIdx = pos, oi
+				break
+			}
+			newF[pos] = fpair{f0.Clone(), f1.Clone()}
+			oi++
+		} else if pos > fpos && (pos-1)%s.blockK == 0 {
+			newF[pos] = fpair{f0.Clone(), f1.Clone()}
+		}
+		if pos == n2+1 {
+			break
+		}
+		s.stepForward(f0, f1, t0, t1, newDoc.RuneAt(pos))
+		f0, t0 = t0, f0
+		f1, t1 = t1, f1
+		res.FwdSteps++
+	}
+	newEmptyOK := s.emptyOK
+	if cf < 0 {
+		// Swept to the end without re-converging: the letters-only
+		// acceptance is re-derived from the final frontier.
+		newEmptyOK = f0.Intersects(p.Final)
+	}
+
+	// Backward resweep: backward frontiers at suffix positions survive
+	// the splice at pos+delta, so seed from the first snapshot past the
+	// edit and sweep down until the pair matches a prefix snapshot.
+	b0 := program.NewBits(p.NumStates)
+	b1 := program.NewBits(p.NumStates)
+	var bpos int
+	if suffixSnapStart < len(s.snaps) {
+		sn := s.snaps[suffixSnapStart]
+		b0.CopyFrom(sn.b0)
+		b1.CopyFrom(sn.b1)
+		bpos = sn.pos + delta
+	} else {
+		b0.CopyFrom(p.Final)
+		s.rStrictInto(p.Final, b1)
+		bpos = n2 + 1
+	}
+	bj := fi
+	cb, cbIdx := 0, -1
+	for pos := bpos; ; pos-- {
+		if bj >= 0 && s.snaps[bj].pos == pos && pos <= prefixEnd {
+			if bitsEq(b0, s.snaps[bj].b0) && bitsEq(b1, s.snaps[bj].b1) {
+				cb, cbIdx = pos, bj
+				break
+			}
+			newB[pos] = fpair{b0.Clone(), b1.Clone()}
+			bj--
+		} else if pos < bpos && pos < editEndNew && pos > 1 && (pos-1)%s.blockK == 0 {
+			newB[pos] = fpair{b0.Clone(), b1.Clone()}
+		}
+		if pos == 1 {
+			break
+		}
+		s.stepBackward(b0, b1, t0, t1, newDoc.RuneAt(pos-1))
+		b0, t0 = t0, b0
+		b1, t1 = t1, b1
+		res.BwdSteps++
+	}
+
+	// Cut A: the largest converged snapshot at or below cb that no
+	// accepting run crosses. Fallback is boundary 1 (f1 there is empty,
+	// trivially crossing-free).
+	A := 1
+	var startSet program.Bits
+	for j := cbIdx; j >= 0; j-- {
+		sn := s.snaps[j]
+		if !sn.f1.Intersects(sn.b1) {
+			A = sn.pos
+			startSet = sn.f0
+			break
+		}
+	}
+	if startSet == nil {
+		startSet = program.NewBits(p.NumStates)
+		startSet.Set(p.Start)
+	}
+
+	// Cut B: the smallest crossing-free suffix snapshot at or past the
+	// forward re-convergence point. Without forward convergence the
+	// window runs to the document end.
+	B, bOld := 0, 0
+	var targetB0 program.Bits
+	if cfIdx >= 0 {
+		for j := cfIdx; j < len(s.snaps); j++ {
+			sn := s.snaps[j]
+			if !sn.f1.Intersects(sn.b1) {
+				B, bOld = sn.pos+delta, sn.pos
+				targetB0 = sn.b0
+				break
+			}
+		}
+	}
+
+	// Split the cached ordered results at the cuts: a contiguous prefix
+	// of mappings entirely below A, a contiguous suffix entirely at or
+	// past bOld, and a middle block replaced by the window walk.
+	li := 0
+	for li < len(s.results) && s.results[li].maxPos < A {
+		li++
+	}
+	ri := len(s.results)
+	if B > 0 {
+		for ri > li && s.results[ri-1].minPos >= bOld {
+			ri--
+		}
+	}
+
+	window := s.windowWalk(newDoc, A, B, startSet, targetB0)
+
+	for i := ri; i < len(s.results); i++ {
+		rm := &s.results[i]
+		for v, sp := range rm.m {
+			rm.m[v] = span.Span{Start: sp.Start + delta, End: sp.End + delta}
+		}
+		rm.minPos += delta
+		rm.maxPos += delta
+	}
+	merged := make([]incMapping, 0, li+len(window)+(len(s.results)-ri))
+	merged = append(merged, s.results[:li]...)
+	merged = append(merged, window...)
+	merged = append(merged, s.results[ri:]...)
+
+	s.snaps = s.rebuildSnaps(n2, delta, prefixEnd, editEndOld, editEndNew, cf, cb, newF, newB)
+	s.doc = newDoc
+	s.results = merged
+	s.emptyOK = newEmptyOK
+
+	res.WindowStart = A
+	res.WindowEnd = B
+	res.ReusedLeft = li
+	res.ReusedRight = len(s.results) - (li + len(window))
+	res.Recomputed = len(window)
+	s.stats.Splices++
+	s.stats.FwdSteps += int64(res.FwdSteps)
+	s.stats.BwdSteps += int64(res.BwdSteps)
+	s.stats.Reused += int64(res.ReusedLeft + res.ReusedRight)
+	s.stats.Recomputed += int64(res.Recomputed)
+	return res, nil
+}
+
+// windowWalk re-runs the enumerator's boundary walk over [A, B) of the
+// new document, emitting exactly the mappings whose ops all lie in the
+// window. With B == 0 the window is open-ended (to the document end);
+// otherwise completion from B is letters-only through targetB0, the
+// cached b0 at the cut. The walk reproduces the enumerator's choice
+// ordering, so the output concatenates between the reused prefix and
+// suffix of the cached result list.
+func (s *IncState) windowWalk(d *span.Document, A, B int, startSet, targetB0 program.Bits) []incMapping {
+	e := s.e
+	p := e.prog
+	n := d.Len()
+	bounded := B > 0
+	if bounded && A == B {
+		return nil
+	}
+	hi := B
+	if !bounded {
+		hi = n + 1
+	}
+
+	// Window-local co-reach: cw[pos-A] holds the states that can still
+	// complete the window (reach targetB0 at B firing ops only inside
+	// the window, or reach Final when the window is open-ended).
+	cw := make([]program.Bits, hi-A+1)
+	if bounded {
+		cw[hi-A] = targetB0
+	} else {
+		last := p.Final.Clone()
+		p.ROpClosure(last)
+		cw[hi-A] = last
+	}
+	for pos := hi - 1; pos >= A; pos-- {
+		prev := program.NewBits(p.NumStates)
+		if c := p.ClassOf(d.RuneAt(pos)); c >= 0 {
+			p.LetterStepBack(cw[pos+1-A], c, prev)
+		}
+		p.ROpClosure(prev)
+		cw[pos-A] = prev
+	}
+
+	var out []incMapping
+	var fired []progOpAt
+	emit := func() {
+		m := make(span.Mapping)
+		opens := make(map[uint8]int, 2)
+		for _, f := range fired {
+			if f.open {
+				opens[f.v] = f.pos
+			} else {
+				m[p.Vars[f.v]] = span.Span{Start: opens[f.v], End: f.pos}
+			}
+		}
+		mn, mx := opExtent(m)
+		out = append(out, incMapping{m: m, minPos: mn, maxPos: mx})
+	}
+
+	var dfs func(set program.Bits, pos int)
+	dfs = func(set program.Bits, pos int) {
+		if bounded && pos == B {
+			if len(fired) > 0 {
+				emit()
+			}
+			return
+		}
+		for _, ch := range e.boundaryEmissionsProg(set, cw[pos-A]) {
+			if !bounded && pos == n+1 {
+				if !ch.states.Intersects(p.Final) || len(fired)+len(ch.ops) == 0 {
+					continue
+				}
+				for _, t := range ch.ops {
+					fired = append(fired, progOpAt{v: t.v, open: t.open, pos: pos})
+				}
+				emit()
+				fired = fired[:len(fired)-len(ch.ops)]
+				continue
+			}
+			next := e.letterAdvanceProg(ch.states, d.RuneAt(pos), cw[pos+1-A])
+			if next == nil {
+				continue
+			}
+			for _, t := range ch.ops {
+				fired = append(fired, progOpAt{v: t.v, open: t.open, pos: pos})
+			}
+			dfs(next, pos+1)
+			fired = fired[:len(fired)-len(ch.ops)]
+		}
+	}
+	dfs(startSet, A)
+	return out
+}
+
+// rebuildSnaps resolves the post-splice snapshot list from three
+// sources per position: prefix snapshots survive verbatim, suffix
+// snapshots shift by delta (forward pairs only once the sweep
+// re-converged at cf, backward pairs unconditionally), and the resweep
+// loops recorded fresh pairs in newF/newB. A snapshot is kept only
+// when both halves resolved; snapshots that fell inside the edit die.
+func (s *IncState) rebuildSnaps(n2, delta, prefixEnd, editEndOld, editEndNew, cf, cb int, newF, newB map[int]fpair) []incSnap {
+	positions := make(map[int]struct{}, len(s.snaps)+len(newF)+len(newB))
+	byOldPos := make(map[int]int, len(s.snaps))
+	for i := range s.snaps {
+		pos := s.snaps[i].pos
+		byOldPos[pos] = i
+		if pos <= prefixEnd {
+			positions[pos] = struct{}{}
+		}
+		if pos >= editEndOld {
+			positions[pos+delta] = struct{}{}
+		}
+	}
+	for pos := range newF {
+		positions[pos] = struct{}{}
+	}
+	for pos := range newB {
+		positions[pos] = struct{}{}
+	}
+
+	out := make([]incSnap, 0, len(positions))
+	for pos := range positions {
+		if pos < 2 || pos > n2+1 {
+			continue
+		}
+		sn := incSnap{pos: pos}
+		if pos <= prefixEnd {
+			if j, ok := byOldPos[pos]; ok {
+				sn.f0, sn.f1 = s.snaps[j].f0, s.snaps[j].f1
+			}
+		}
+		if sn.f0 == nil {
+			if pr, ok := newF[pos]; ok {
+				sn.f0, sn.f1 = pr.a, pr.b
+			}
+		}
+		if sn.f0 == nil && cf >= 0 && pos >= cf {
+			if j, ok := byOldPos[pos-delta]; ok && s.snaps[j].pos >= editEndOld {
+				sn.f0, sn.f1 = s.snaps[j].f0, s.snaps[j].f1
+			}
+		}
+		if pos >= editEndNew {
+			if j, ok := byOldPos[pos-delta]; ok && s.snaps[j].pos >= editEndOld {
+				sn.b0, sn.b1 = s.snaps[j].b0, s.snaps[j].b1
+			}
+		}
+		if sn.b0 == nil {
+			if pr, ok := newB[pos]; ok {
+				sn.b0, sn.b1 = pr.a, pr.b
+			}
+		}
+		if sn.b0 == nil && cb > 0 && pos <= cb {
+			if j, ok := byOldPos[pos]; ok {
+				sn.b0, sn.b1 = s.snaps[j].b0, s.snaps[j].b1
+			}
+		}
+		if sn.f0 != nil && sn.b0 != nil {
+			out = append(out, sn)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].pos < out[j].pos })
+
+	// Thin clusters left behind by repeated edits: snapshots are purely
+	// accelerative, so halving density only lengthens future resweeps,
+	// never changes results.
+	if minGap := s.blockK / 2; len(out) > 1 && minGap > 0 {
+		kept := out[:1]
+		for _, sn := range out[1:] {
+			if sn.pos-kept[len(kept)-1].pos >= minGap {
+				kept = append(kept, sn)
+			}
+		}
+		out = kept
+	}
+	return out
+}

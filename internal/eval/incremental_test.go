@@ -1,0 +1,278 @@
+package eval
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"spanners/internal/rgx"
+	"spanners/internal/span"
+	"spanners/internal/workload"
+)
+
+// incPatterns is the differential corpus: leading/trailing wildcards,
+// optional variables, multi-variable rows, an always-empty-capable
+// alternative, and the weblog shape of the flagship scenario.
+var incPatterns = []string{
+	`.*(x{ab*}c).*`,
+	`.*(m{a+}b(y{c*}|)d).*`,
+	`.*(x{a+}b.*|)`,
+	`.*(Seller: x{[^,\n]*}, ID(y{\d*})\n).*`,
+	`.*(\n|())m{GET|POST} (p{[^ ]*}) st{\d\d\d}\n.*`,
+}
+
+func incEngine(t *testing.T, expr string) *Engine {
+	t.Helper()
+	e := CompileRGX(rgx.MustParse(expr))
+	if !e.Compiled() || !e.Sequential() {
+		t.Fatalf("pattern %q did not compile to a sequential program", expr)
+	}
+	return e
+}
+
+func fullMappings(e *Engine, d *span.Document) []span.Mapping {
+	var out []span.Mapping
+	e.Enumerate(d, func(m span.Mapping) bool {
+		out = append(out, m.Copy())
+		return true
+	})
+	return out
+}
+
+// assertIncremental checks byte-identical, order-identical agreement
+// between the incremental result set and a from-scratch extraction.
+func assertIncremental(t *testing.T, inc *IncState, e *Engine, ctx string) {
+	t.Helper()
+	want := fullMappings(e, inc.Doc())
+	got := inc.Mappings()
+	if len(got) != len(want) {
+		t.Fatalf("%s: incremental returned %d mappings, full re-extraction %d\ndoc=%q",
+			ctx, len(got), len(want), inc.Doc().Text())
+	}
+	for i := range want {
+		if !got[i].Equal(want[i]) {
+			t.Fatalf("%s: mapping %d differs: incremental %v, full %v\ndoc=%q",
+				ctx, i, got[i], want[i], inc.Doc().Text())
+		}
+	}
+	if inc.Len() != len(got) {
+		t.Fatalf("%s: Len()=%d but Mappings() returned %d", ctx, inc.Len(), len(got))
+	}
+}
+
+// TestIncrementalDifferential drives a randomized edit script against
+// every corpus pattern and asserts after each splice that the
+// maintained result set is identical (values and order) to a full
+// re-extraction of the edited document.
+func TestIncrementalDifferential(t *testing.T) {
+	alphabet := []rune("aabbccd \nx159GETPOST/,:ISelr")
+	for pi, expr := range incPatterns {
+		e := incEngine(t, expr)
+		rng := rand.New(rand.NewSource(int64(100 + pi)))
+		doc := span.NewDocument(randText(rng, alphabet, 60))
+		for _, blockK := range []int{4, 16} {
+			inc := newIncremental(e, doc, blockK)
+			assertIncremental(t, inc, e, fmt.Sprintf("pattern %d initial", pi))
+			for step := 0; step < 35; step++ {
+				n := inc.Doc().Len()
+				off := rng.Intn(n + 1)
+				del := 0
+				if n-off > 0 {
+					del = rng.Intn(min(n-off, 9) + 1)
+				}
+				ins := randText(rng, alphabet, rng.Intn(9))
+				if _, err := inc.Splice(off, del, ins); err != nil {
+					t.Fatalf("pattern %d step %d: splice(%d,%d,%q): %v", pi, step, off, del, ins, err)
+				}
+				assertIncremental(t, inc, e,
+					fmt.Sprintf("pattern %d blockK %d step %d splice(%d,%d,%q)", pi, blockK, step, off, del, ins))
+			}
+		}
+	}
+}
+
+func randText(rng *rand.Rand, alphabet []rune, n int) string {
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		b.WriteRune(alphabet[rng.Intn(len(alphabet))])
+	}
+	return b.String()
+}
+
+// TestIncrementalEdgeCases pins the splice shapes named in the issue:
+// edit at offset 0, pure append, delete-only, an edit spanning a
+// snapshot boundary, a no-op splice, and growth from / shrinkage to
+// the empty document.
+func TestIncrementalEdgeCases(t *testing.T) {
+	e := incEngine(t, `.*(x{ab*}c).*`)
+	const blockK = 4
+	base := "ddabbcdabcdd"
+	cases := []struct {
+		name string
+		off  int
+		del  int
+		ins  string
+	}{
+		{"edit-at-offset-0", 0, 0, "abc"},
+		{"delete-at-offset-0", 0, 3, ""},
+		{"pure-append", len(base), 0, "dabbbc"},
+		{"delete-only", 4, 3, ""},
+		{"snapshot-boundary-span", blockK - 2, 4, "abcab"},
+		{"noop-splice", 5, 0, ""},
+		{"replace-everything", 0, len(base), "abc"},
+		{"delete-everything", 0, len(base), ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			inc := newIncremental(e, span.NewDocument(base), blockK)
+			if _, err := inc.Splice(tc.off, tc.del, tc.ins); err != nil {
+				t.Fatalf("splice: %v", err)
+			}
+			assertIncremental(t, inc, e, tc.name)
+		})
+	}
+
+	t.Run("grow-from-empty", func(t *testing.T) {
+		inc := newIncremental(e, span.NewDocument(""), blockK)
+		for i, chunk := range []string{"ab", "c", "dd", "abbc"} {
+			if _, err := inc.Splice(inc.Doc().Len(), 0, chunk); err != nil {
+				t.Fatalf("append %d: %v", i, err)
+			}
+			assertIncremental(t, inc, e, fmt.Sprintf("append %d", i))
+		}
+	})
+}
+
+// TestIncrementalSpliceErrors asserts out-of-range splices are
+// rejected without disturbing the session.
+func TestIncrementalSpliceErrors(t *testing.T) {
+	e := incEngine(t, `.*(x{ab*}c).*`)
+	inc := newIncremental(e, span.NewDocument("dabcd"), 4)
+	for _, tc := range []struct{ off, del int }{
+		{6, 0},  // offset past EOF
+		{3, 4},  // delete range past EOF
+		{-1, 0}, // negative offset
+		{0, -1}, // negative delete length
+	} {
+		if _, err := inc.Splice(tc.off, tc.del, "x"); err == nil {
+			t.Fatalf("splice(%d,%d) succeeded; want out-of-range error", tc.off, tc.del)
+		}
+	}
+	assertIncremental(t, inc, e, "after rejected splices")
+}
+
+// TestIncrementalNonASCII exercises the rune/byte distinction: multi-
+// byte runes around the edit must not shift span positions.
+func TestIncrementalNonASCII(t *testing.T) {
+	e := incEngine(t, `.*(x{ab*}c).*`)
+	inc := newIncremental(e, span.NewDocument("ดdabcดd"), 4)
+	for i, edit := range []struct {
+		off, del int
+		ins      string
+	}{
+		{2, 0, "abbcด"},
+		{0, 1, "ab"},
+		{inc.Doc().Len(), 0, "cด"},
+	} {
+		if _, err := inc.Splice(edit.off, edit.del, edit.ins); err != nil {
+			t.Fatalf("edit %d: %v", i, err)
+		}
+		assertIncremental(t, inc, e, fmt.Sprintf("non-ascii edit %d", i))
+	}
+}
+
+// TestIncrementalAppendReuse asserts the flagship property on the
+// weblog shape: appended lines re-derive only a bounded tail — the
+// cached prefix mappings are reused, and the resweep length tracks the
+// suffix, not the document.
+func TestIncrementalAppendReuse(t *testing.T) {
+	e := incEngine(t, `.*(m{GET|POST|PUT|DELETE} (p{[^ ]*}) st{\d\d\d} \d* "[^"]*"\n).*`)
+	text := workload.WebLog(workload.WebLogOptions{Lines: 120, Seed: 7})
+	inc := newIncremental(e, span.NewDocument(text), 32)
+	before := inc.Len()
+	line := "10.0.0.1 GET /tail/hit 200 17 \"curl/8.0\"\n"
+	res, err := inc.Splice(inc.Doc().Len(), 0, line)
+	if err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	assertIncremental(t, inc, e, "weblog append")
+	if inc.Len() <= before {
+		t.Fatalf("append of a matching line did not grow the result set (%d -> %d)", before, inc.Len())
+	}
+	if res.ReusedLeft == 0 {
+		t.Fatalf("append reused no prefix mappings: %+v", res)
+	}
+	n := inc.Doc().Len()
+	if maxSteps := res.FwdSteps + res.BwdSteps; maxSteps > n/2 {
+		t.Fatalf("append reswept %d of %d positions; want a bounded tail: %+v", maxSteps, n, res)
+	}
+	if res.Recomputed >= inc.Len() {
+		t.Fatalf("append recomputed the whole result set: %+v", res)
+	}
+}
+
+// TestIncrementalUnsupportedEngine asserts the capability gate: the
+// interpreted and non-sequential engines refuse an incremental session
+// instead of producing wrong answers.
+func TestIncrementalUnsupportedEngine(t *testing.T) {
+	e := incEngine(t, `.*(x{ab*}c).*`)
+	e.ForceInterpreted()
+	if _, ok := NewIncremental(e, span.NewDocument("abc")); ok {
+		t.Fatal("interpreted engine accepted an incremental session")
+	}
+	if _, ok := NewIncremental(nil, span.NewDocument("abc")); ok {
+		t.Fatal("nil engine accepted an incremental session")
+	}
+}
+
+// TestIncrementalMemoryBytes sanity-checks the store-accounting
+// estimate: nonzero, and growing with the document.
+func TestIncrementalMemoryBytes(t *testing.T) {
+	e := incEngine(t, `.*(x{ab*}c).*`)
+	small := newIncremental(e, span.NewDocument("abc"), 64)
+	big := newIncremental(e, span.NewDocument(strings.Repeat("dabcd", 400)), 64)
+	if small.MemoryBytes() <= 0 {
+		t.Fatalf("MemoryBytes() = %d on a small session", small.MemoryBytes())
+	}
+	if big.MemoryBytes() <= small.MemoryBytes() {
+		t.Fatalf("MemoryBytes() did not grow with the document: small=%d big=%d",
+			small.MemoryBytes(), big.MemoryBytes())
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// TestNewIncrementalDefaults exercises the exported constructor (with
+// its size-derived snapshot spacing) and the cumulative Stats
+// counters the public API surfaces.
+func TestNewIncrementalDefaults(t *testing.T) {
+	e := incEngine(t, `.*(Seller: x{[^,\n]*}, ID(y{\d*})\n).*`)
+	text := strings.Repeat("Seller: Ann, ID7\nnoise line here\n", 40)
+	inc, ok := NewIncremental(e, span.NewDocument(text))
+	if !ok {
+		t.Fatal("NewIncremental refused a compiled sequential engine")
+	}
+	if got := inc.Stats(); got.FullRuns != 1 || got.Splices != 0 {
+		t.Fatalf("fresh session stats = %+v", got)
+	}
+	if _, err := inc.Splice(inc.Doc().Len(), 0, "Seller: Bob, ID9\n"); err != nil {
+		t.Fatal(err)
+	}
+	assertIncremental(t, inc, e, "append via default block size")
+	st := inc.Stats()
+	if st.Splices != 1 || st.FwdSteps == 0 {
+		t.Fatalf("post-splice stats = %+v", st)
+	}
+	// The default spacing clamps to [64, 4096] around n/256.
+	for n, want := range map[int]int{0: 64, 100_000: 390, 10_000_000: 4096} {
+		if got := incBlockSize(n); got != want {
+			t.Errorf("incBlockSize(%d) = %d, want %d", n, got, want)
+		}
+	}
+}

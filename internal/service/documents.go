@@ -1,0 +1,175 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"unicode/utf8"
+
+	"spanners"
+	"spanners/internal/docstore"
+)
+
+// ErrDocumentNotFound is returned by the by-reference extraction paths
+// when the document id is unknown (or was evicted by the byte budget).
+var ErrDocumentNotFound = docstore.ErrNotFound
+
+// Documents returns the service's document store — the backing of the
+// /v1/documents API. Nil only when the service predates the store
+// (never in practice; New always builds one).
+func (s *Service) Documents() *docstore.Store { return s.docs }
+
+// incSession is an incremental extraction session parked on a stored
+// document, keyed by the compiled program's fingerprint. The mutex
+// serializes catch-up and result encoding: the underlying session is
+// single-writer, and Each borrows its mappings.
+type incSession struct {
+	mu      sync.Mutex
+	sp      *spanners.Spanner
+	inc     *spanners.Incremental
+	version int64
+}
+
+// DocumentStats extends the store's counters with the incremental
+// serving paths: hits served straight from an up-to-date session,
+// replays that caught a session up through the splice journal,
+// rebuilds that re-extracted from the full text to (re)seed a session,
+// and full extractions by spanners that cannot maintain results
+// incrementally.
+type DocumentStats struct {
+	Store               docstore.Stats `json:"store"`
+	IncrementalHits     uint64         `json:"incremental_hits"`
+	IncrementalReplays  uint64         `json:"incremental_replays"`
+	IncrementalRebuilds uint64         `json:"incremental_rebuilds"`
+	FullExtractions     uint64         `json:"full_extractions"`
+}
+
+func (s *Service) documentStats() DocumentStats {
+	return DocumentStats{
+		Store:               s.docs.Stats(),
+		IncrementalHits:     s.incHits.Load(),
+		IncrementalReplays:  s.incReplays.Load(),
+		IncrementalRebuilds: s.incRebuilds.Load(),
+		FullExtractions:     s.incFull.Load(),
+	}
+}
+
+// ExtractDocument evaluates q over the stored document id. When the
+// query resolves to a compiled sequential spanner, results come from
+// an incremental session attached to the document: an unchanged
+// document re-serves its cached result set, and a spliced one pays
+// only the edit-neighbourhood resweep (journal replay) rather than a
+// from-scratch extraction. Everything else falls back to plain
+// extraction of the stored text.
+func (s *Service) ExtractDocument(ctx context.Context, q Query, id string) ([]Result, error) {
+	doc, ok := s.docs.Get(id)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrDocumentNotFound, id)
+	}
+	c, err := s.CompileQueryCtx(ctx, q)
+	if err != nil {
+		return nil, err
+	}
+	s.inFlight.Add(1)
+	defer s.inFlight.Add(-1)
+
+	sess, fresh := s.sessionFor(c, doc)
+	if sess == nil {
+		s.incFull.Add(1)
+		return c.extractOne(ctx, doc.Text, nil)
+	}
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	if err := s.catchUp(sess, doc, fresh); err != nil {
+		// The journal or session failed us; extract the snapshot text.
+		s.incFull.Add(1)
+		return c.extractOne(ctx, doc.Text, nil)
+	}
+	s.docs.Attach(doc.ID, c.sp.ProgramFingerprint(), sess, sess.inc.MemoryBytes())
+
+	// Encode under the session lock: Each borrows its mappings.
+	d := sess.inc.Document()
+	out := []Result{}
+	n := 0
+	sess.inc.Each(func(m spanners.Mapping) bool {
+		s.emitted.Add(1)
+		out = append(out, EncodeMapping(d, m))
+		n++
+		return c.limit <= 0 || n < c.limit
+	})
+	return out, nil
+}
+
+// sessionFor finds or creates the incremental session for the compiled
+// query on doc (fresh reports a newly seeded session), or returns nil
+// when the query cannot be served incrementally (rules, interpreted or
+// non-sequential spanners).
+func (s *Service) sessionFor(c *Compiled, doc docstore.Doc) (sess *incSession, fresh bool) {
+	if c.sp == nil {
+		return nil, false
+	}
+	fp := c.sp.ProgramFingerprint()
+	if fp == 0 {
+		return nil, false
+	}
+	if v, ok := s.docs.Attachment(doc.ID, fp); ok {
+		if sess, ok := v.(*incSession); ok {
+			return sess, false
+		}
+	}
+	inc, ok := c.sp.Incremental(doc.Text)
+	if !ok {
+		return nil, false
+	}
+	s.incRebuilds.Add(1)
+	sess = &incSession{sp: c.sp, inc: inc, version: doc.Version}
+	s.docs.Attach(doc.ID, fp, sess, inc.MemoryBytes())
+	return sess, true
+}
+
+// catchUp brings a session from its recorded version to doc's, by
+// journal replay when the journal still reaches back that far and by
+// a full rebuild otherwise. Callers hold sess.mu.
+func (s *Service) catchUp(sess *incSession, doc docstore.Doc, fresh bool) error {
+	if sess.version == doc.Version {
+		if !fresh {
+			s.incHits.Add(1)
+		}
+		return nil
+	}
+	splices, ok := s.docs.SplicesSince(doc.ID, sess.version)
+	if ok {
+		for _, sp := range splices {
+			text := sess.inc.Text()
+			if sp.Offset > len(text) || sp.Offset+sp.DeleteLen > len(text) {
+				ok = false
+				break
+			}
+			runeOff := utf8.RuneCountInString(text[:sp.Offset])
+			runeDel := utf8.RuneCountInString(text[sp.Offset : sp.Offset+sp.DeleteLen])
+			if _, err := sess.inc.Splice(runeOff, runeDel, sp.Insert); err != nil {
+				ok = false
+				break
+			}
+			sess.version++
+		}
+	}
+	if ok {
+		s.incReplays.Add(1)
+		return nil
+	}
+	// Journal truncated (or the replay raced a concurrent edit):
+	// re-seed the session from the store's current text.
+	cur, found := s.docs.Get(doc.ID)
+	if !found {
+		return fmt.Errorf("%w: %q", ErrDocumentNotFound, doc.ID)
+	}
+	inc, incOK := sess.sp.Incremental(cur.Text)
+	if !incOK {
+		return fmt.Errorf("service: could not rebuild incremental session for %q", doc.ID)
+	}
+	sess.inc = inc
+	sess.version = cur.Version
+	s.incRebuilds.Add(1)
+	return nil
+}

@@ -1,0 +1,164 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"spanners/internal/docstore"
+)
+
+const docSellerExpr = `.*(Seller: x{[^,\n]*}, ID\d*(, \$y{[^\n]*}|)\n).*`
+
+// assertByReference checks that extract-by-reference agrees with plain
+// extraction of the stored text.
+func assertByReference(t *testing.T, svc *Service, q Query, id string) []Result {
+	t.Helper()
+	doc, ok := svc.Documents().Get(id)
+	if !ok {
+		t.Fatalf("document %q vanished", id)
+	}
+	got, err := svc.ExtractDocument(context.Background(), q, id)
+	if err != nil {
+		t.Fatalf("ExtractDocument(%q): %v", id, err)
+	}
+	want, err := svc.Extract(context.Background(), q, doc.Text)
+	if err != nil {
+		t.Fatalf("Extract: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("by-reference results differ from by-value:\ngot  %v\nwant %v", got, want)
+	}
+	return got
+}
+
+func TestExtractDocumentIncremental(t *testing.T) {
+	svc := New(Config{})
+	q := Query{Expr: docSellerExpr}
+	st := svc.Documents()
+	if _, err := st.Put("inv", "Seller: John, ID75\nBuyer: Marcelo, ID832\n"); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+
+	res := assertByReference(t, svc, q, "inv")
+	if len(res) == 0 {
+		t.Fatal("no results on the seeded document")
+	}
+	if d := svc.Stats().Documents; d.IncrementalRebuilds != 1 {
+		t.Fatalf("first extraction should seed a session: %+v", d)
+	}
+
+	// Unchanged document: served from the cached result set.
+	assertByReference(t, svc, q, "inv")
+	if d := svc.Stats().Documents; d.IncrementalHits != 1 {
+		t.Fatalf("second extraction should be a session hit: %+v", d)
+	}
+
+	// Append a line: the session catches up via the journal.
+	if _, err := st.ApplySplice("inv", docstore.Splice{Offset: len("Seller: John, ID75\nBuyer: Marcelo, ID832\n"), Insert: "Seller: Mark, ID7, $35\n"}); err != nil {
+		t.Fatalf("splice: %v", err)
+	}
+	res2 := assertByReference(t, svc, q, "inv")
+	if len(res2) <= len(res) {
+		t.Fatalf("append of a matching line did not grow results: %d -> %d", len(res), len(res2))
+	}
+	d := svc.Stats().Documents
+	if d.IncrementalReplays != 1 {
+		t.Fatalf("post-splice extraction should replay the journal: %+v", d)
+	}
+	if d.FullExtractions != 0 {
+		t.Fatalf("incremental-capable query fell back to full extraction: %+v", d)
+	}
+}
+
+func TestExtractDocumentNotFound(t *testing.T) {
+	svc := New(Config{})
+	_, err := svc.ExtractDocument(context.Background(), Query{Expr: docSellerExpr}, "ghost")
+	if !errors.Is(err, ErrDocumentNotFound) {
+		t.Fatalf("unknown id: %v", err)
+	}
+}
+
+func TestExtractDocumentRuleFallsBack(t *testing.T) {
+	svc := New(Config{})
+	if _, err := svc.Documents().Put("d", "Seller: John, ID75\n"); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	q := Query{Rule: `.*<x>.* && x.(Seller)`}
+	assertByReference(t, svc, q, "d")
+	d := svc.Stats().Documents
+	if d.FullExtractions != 1 || d.IncrementalRebuilds != 0 {
+		t.Fatalf("rule query should take the full-extraction path: %+v", d)
+	}
+}
+
+func TestExtractDocumentJournalOverflowRebuilds(t *testing.T) {
+	svc := New(Config{})
+	st := svc.Documents()
+	if _, err := st.Put("d", "Seller: A, ID1\n"); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	q := Query{Expr: docSellerExpr}
+	assertByReference(t, svc, q, "d") // seeds the session
+	// Push the journal past its bound so catch-up cannot replay.
+	for i := 0; i < 40; i++ {
+		if _, err := st.ApplySplice("d", docstore.Splice{Offset: 0, Insert: fmt.Sprintf("Seller: S%d, ID2\n", i)}); err != nil {
+			t.Fatalf("splice %d: %v", i, err)
+		}
+	}
+	assertByReference(t, svc, q, "d")
+	d := svc.Stats().Documents
+	if d.IncrementalRebuilds != 2 {
+		t.Fatalf("journal overflow should force a rebuild: %+v", d)
+	}
+}
+
+func TestExtractDocumentLimit(t *testing.T) {
+	svc := New(Config{})
+	if _, err := svc.Documents().Put("d", "Seller: A, ID1\nSeller: B, ID2\nSeller: C, ID3\n"); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	res, err := svc.ExtractDocument(context.Background(), Query{Expr: docSellerExpr, Limit: 2}, "d")
+	if err != nil {
+		t.Fatalf("extract: %v", err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("limit 2 returned %d results", len(res))
+	}
+}
+
+func TestExtractDocumentEvictedSession(t *testing.T) {
+	// A tiny budget evicts the document (and its session) between
+	// extractions; re-extraction must re-put transparently fail with
+	// not-found rather than serving stale results.
+	svc := New(Config{DocStoreBytes: 2048})
+	st := svc.Documents()
+	if _, err := st.Put("a", "Seller: A, ID1\n"); err != nil {
+		t.Fatalf("put a: %v", err)
+	}
+	q := Query{Expr: docSellerExpr}
+	assertByReference(t, svc, q, "a")
+	// Fill the store until "a" is evicted.
+	for i := 0; i < 4; i++ {
+		if _, err := st.Put(fmt.Sprintf("filler%d", i), "Seller: F, ID9\n"); err != nil {
+			t.Fatalf("filler put: %v", err)
+		}
+	}
+	if _, ok := st.Get("a"); ok {
+		t.Skip("budget did not evict; store accounting changed")
+	}
+	if _, err := svc.ExtractDocument(context.Background(), q, "a"); !errors.Is(err, ErrDocumentNotFound) {
+		t.Fatalf("evicted document: %v", err)
+	}
+}
+
+func TestDocStoreBytesDefault(t *testing.T) {
+	if got := New(Config{}).Documents().Budget(); got != 64<<20 {
+		t.Fatalf("default budget: %d", got)
+	}
+	if got := New(Config{DocStoreBytes: 1 << 10}).Documents().Budget(); got != 1<<10 {
+		t.Fatalf("explicit budget: %d", got)
+	}
+}

@@ -141,6 +141,35 @@ func newObservability(svc *Service, traceRetention int) *Observability {
 		"Resident boundary-emission memo entries across tracked spanners.", func() []obs.Sample {
 			return []obs.Sample{{Value: float64(svc.dfaStats().BoundaryMemoSize)}}
 		})
+	r.RegisterGaugeFunc("spand_docstore_bytes",
+		"Bytes held by the document store (documents, journals, attached sessions).", func() []obs.Sample {
+			return []obs.Sample{{Value: float64(svc.docs.Stats().Bytes)}}
+		})
+	r.RegisterGaugeFunc("spand_docstore_documents",
+		"Documents resident in the store.", func() []obs.Sample {
+			return []obs.Sample{{Value: float64(svc.docs.Stats().Documents)}}
+		})
+	r.RegisterCounterFunc("spand_docstore_events_total",
+		"Document store traffic by event.", func() []obs.Sample {
+			st := svc.docs.Stats()
+			return []obs.Sample{
+				{Labels: []string{obs.L("event", "put")}, Value: float64(st.Puts)},
+				{Labels: []string{obs.L("event", "splice")}, Value: float64(st.Splices)},
+				{Labels: []string{obs.L("event", "hit")}, Value: float64(st.Hits)},
+				{Labels: []string{obs.L("event", "miss")}, Value: float64(st.Misses)},
+				{Labels: []string{obs.L("event", "eviction")}, Value: float64(st.Evictions)},
+			}
+		})
+	r.RegisterCounterFunc("spand_incremental_extractions_total",
+		"By-reference extractions by serving path (hit: cached result set; replay: journal catch-up; rebuild: full re-seed; full: non-incremental fallback).", func() []obs.Sample {
+			st := svc.documentStats()
+			return []obs.Sample{
+				{Labels: []string{obs.L("path", "hit")}, Value: float64(st.IncrementalHits)},
+				{Labels: []string{obs.L("path", "replay")}, Value: float64(st.IncrementalReplays)},
+				{Labels: []string{obs.L("path", "rebuild")}, Value: float64(st.IncrementalRebuilds)},
+				{Labels: []string{obs.L("path", "full")}, Value: float64(st.FullExtractions)},
+			}
+		})
 	r.RegisterCounterFunc("spand_registry_loads_total",
 		"Named-spanner resolutions by path.", func() []obs.Sample {
 			st := svc.Stats().Registry

@@ -11,6 +11,7 @@ import (
 
 	"spanners"
 	"spanners/internal/algebra"
+	"spanners/internal/docstore"
 	"spanners/internal/obs"
 	"spanners/internal/registry"
 )
@@ -28,6 +29,11 @@ type Config struct {
 	// "name@version", and Prewarm loads every registered artifact into
 	// the caches at startup. Nil disables registry features.
 	Registry *registry.Registry
+	// DocStoreBytes bounds the document store backing /v1/documents
+	// (default 64 MiB). Documents, their splice journals and their
+	// attached incremental sessions all count against it; least
+	// recently used documents are evicted when it overflows.
+	DocStoreBytes int64
 	// TraceRetention bounds the ring of retained request traces
 	// (default obs.DefaultTraceRetention).
 	TraceRetention int
@@ -40,7 +46,7 @@ type Config struct {
 
 // DefaultConfig returns the defaults used for zero-valued fields.
 func DefaultConfig() Config {
-	return Config{SpannerCacheSize: 256, RuleCacheSize: 64, Workers: 4}
+	return Config{SpannerCacheSize: 256, RuleCacheSize: 64, Workers: 4, DocStoreBytes: 64 << 20}
 }
 
 func (c Config) withDefaults() Config {
@@ -53,6 +59,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Workers <= 0 {
 		c.Workers = d.Workers
+	}
+	if c.DocStoreBytes <= 0 {
+		c.DocStoreBytes = d.DocStoreBytes
 	}
 	return c
 }
@@ -108,6 +117,15 @@ type Service struct {
 	inFlight atomic.Int64
 	emitted  atomic.Uint64
 
+	// docs backs the /v1/documents API; the inc* counters classify
+	// by-reference extractions by how they were served (see
+	// DocumentStats).
+	docs        *docstore.Store
+	incHits     atomic.Uint64
+	incReplays  atomic.Uint64
+	incRebuilds atomic.Uint64
+	incFull     atomic.Uint64
+
 	// Engine-selection and compile-cost counters, incremented once per
 	// spanner compilation (cache misses only, so the counters measure
 	// the artifacts the cache holds rather than request traffic).
@@ -135,6 +153,7 @@ func New(cfg Config) *Service {
 		loading:     map[string]*namedCall{},
 		leaves:      map[string]*spanners.Spanner{},
 		dfaSpanners: map[uint64]weak.Pointer[spanners.Spanner]{},
+		docs:        docstore.New(cfg.DocStoreBytes),
 	}
 	if !cfg.DisableObservability {
 		s.obs = newObservability(s, cfg.TraceRetention)
@@ -283,14 +302,15 @@ type RegistryStats struct {
 // Stats is the service-level metrics snapshot: the two compile caches
 // plus request-path, engine-selection, registry and algebra counters.
 type Stats struct {
-	Spanners CacheStats    `json:"spanner_cache"`
-	Rules    CacheStats    `json:"rule_cache"`
-	Engine   EngineStats   `json:"engine"`
-	DFA      DFAStats      `json:"dfa"`
-	Registry RegistryStats `json:"registry"`
-	Algebra  AlgebraStats  `json:"algebra"`
-	InFlight int64         `json:"in_flight"`
-	Emitted  uint64        `json:"mappings_emitted"`
+	Spanners  CacheStats    `json:"spanner_cache"`
+	Rules     CacheStats    `json:"rule_cache"`
+	Engine    EngineStats   `json:"engine"`
+	DFA       DFAStats      `json:"dfa"`
+	Registry  RegistryStats `json:"registry"`
+	Algebra   AlgebraStats  `json:"algebra"`
+	Documents DocumentStats `json:"documents"`
+	InFlight  int64         `json:"in_flight"`
+	Emitted   uint64        `json:"mappings_emitted"`
 }
 
 // Stats returns a point-in-time snapshot of the service counters.
@@ -325,8 +345,9 @@ func (s *Service) Stats() Stats {
 			LeafHits:     s.algebraLeafHits.Load(),
 			Registered:   s.algebraRegistered.Load(),
 		},
-		InFlight: s.inFlight.Load(),
-		Emitted:  s.emitted.Load(),
+		Documents: s.documentStats(),
+		InFlight:  s.inFlight.Load(),
+		Emitted:   s.emitted.Load(),
 	}
 }
 

@@ -116,6 +116,29 @@ func (d *Document) ASCIIText() string {
 	return ""
 }
 
+// Splice returns the document obtained by replacing the del symbols
+// starting at 0-based rune offset off with ins. It panics when the
+// range is out of bounds, since a malformed splice indicates a bug in
+// the caller rather than bad input (the service layer validates byte
+// offsets before they reach this level). When both the document and
+// the insertion are pure ASCII the text splices by substring
+// concatenation, so the dominant cost is two memcpys rather than a
+// UTF-8 re-encode of the whole document.
+func (d *Document) Splice(off, del int, ins string) *Document {
+	if off < 0 || del < 0 || off+del > len(d.runes) {
+		panic(fmt.Sprintf("splice [%d,+%d) invalid for document of length %d", off, del, len(d.runes)))
+	}
+	insRunes := []rune(ins)
+	nr := make([]rune, 0, len(d.runes)+len(insRunes)-del)
+	nr = append(nr, d.runes[:off]...)
+	nr = append(nr, insRunes...)
+	nr = append(nr, d.runes[off+del:]...)
+	if len(d.text) == len(d.runes) && len(ins) == len(insRunes) {
+		return &Document{text: d.text[:off] + ins + d.text[off+del:], runes: nr}
+	}
+	return &Document{text: string(nr), runes: nr}
+}
+
 // Whole returns the span (1, |d|+1) covering the entire document.
 func (d *Document) Whole() Span { return Span{Start: 1, End: d.Len() + 1} }
 

@@ -60,6 +60,26 @@ stream_lines=$(curl -sf "$base/extract/stream" \
   -d '{"expr": "x{a*}b", "doc": "aaab"}' | wc -l)
 [ "$stream_lines" -ge 1 ] || die "stream produced no mappings"
 
+# A document lifecycle: store, extract by reference twice (the second
+# serve is an incremental-session hit), splice, extract again (a
+# journal replay) — so the docstore and incremental families carry
+# real traffic below.
+seller='.*(Seller: x{[^,\\n]*},[^\\n]*\\n).*'
+code=$(curl -s -o /dev/null -w '%{http_code}' -X PUT "$base/v1/documents/m1" \
+  -d '{"text": "Seller: Anna, 12 Hill St\n"}')
+[ "$code" = "201" ] || die "document PUT returned $code, want 201"
+for _ in 1 2; do
+  n=$(curl -sf "$base/v1/extract" -d "{\"expr\": \"$seller\", \"doc_ids\": [\"m1\"]}" \
+    | jq -r '.results[0] | length')
+  [ "$n" = "1" ] || die "by-reference extract got $n mappings, want 1"
+done
+curl -sf -X PATCH "$base/v1/documents/m1" \
+  -d '{"offset": 25, "insert": "Seller: Bob, 1 Main Rd\n"}' >/dev/null \
+  || die "document PATCH failed"
+n=$(curl -sf "$base/v1/extract" -d "{\"expr\": \"$seller\", \"doc_ids\": [\"m1\"]}" \
+  | jq -r '.results[0] | length')
+[ "$n" = "2" ] || die "post-splice extract got $n mappings, want 2"
+
 # A pathological enumeration must hit the 1s deadline as a typed 503
 # with a Retry-After hint.
 code=$(curl -s -o /dev/null -w '%{http_code}' "$base/extract" \
@@ -116,8 +136,31 @@ for fam in spand_dfa_prefilter_checks_total spand_dfa_candidate_skipped_runes_to
   grep -q "^# HELP $fam " "$prom" || die "speed-ladder family $fam missing"
 done
 
+# The document-store and incremental-extraction families must carry
+# the lifecycle driven above: one put, one splice, and the three
+# serving paths (rebuild on first extract, hit on the repeat, replay
+# after the splice).
+for want in 'spand_docstore_documents 1' \
+            'spand_docstore_events_total{event="put"} 1' \
+            'spand_docstore_events_total{event="splice"} 1' \
+            'spand_incremental_extractions_total{path="rebuild"} 1' \
+            'spand_incremental_extractions_total{path="hit"} 1' \
+            'spand_incremental_extractions_total{path="replay"} 1'; do
+  grep -qF "$want" "$prom" || die "document metrics: missing series \"$want\""
+done
+
+# /healthz mirrors the same counters as JSON.
+curl -sf "$base/healthz" | jq -e \
+  '.documents.store.documents == 1 and .documents.incremental_replays == 1' >/dev/null \
+  || die "healthz documents summary does not match the driven lifecycle"
+
 echo "== content negotiation"
-accept=$(curl -sf -H 'Accept: text/plain;version=0.0.4' "$base/metrics" | head -1)
+# Capture to a file before head: piping curl straight into head -1
+# dies of SIGPIPE (exit 23) under pipefail once the exposition
+# outgrows the pipe buffer.
+curl -sf -H 'Accept: text/plain;version=0.0.4' "$base/metrics" > "$workdir/accept.prom" \
+  || die "Accept-negotiated scrape failed"
+accept=$(head -1 "$workdir/accept.prom")
 case "$accept" in
   '# HELP'*) ;;
   *) die "Accept negotiation did not serve the exposition (got: $accept)" ;;

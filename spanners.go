@@ -437,6 +437,142 @@ func (s *Spanner) First(d *Document) (Mapping, bool) {
 	return out, found
 }
 
+// ProgramFingerprint returns the FNV-64 fingerprint of the compiled
+// program backing the spanner — the identity under which artifacts,
+// DFA sidecars and incremental document sessions are keyed — or 0 for
+// interpreted spanners, which have no program.
+func (s *Spanner) ProgramFingerprint() uint64 {
+	if !s.engine.Compiled() {
+		return 0
+	}
+	return s.engine.Program().Fingerprint()
+}
+
+// Incremental is a stateful extraction session over one mutable
+// document: it holds the full ordered result set of the last
+// extraction plus per-block frontier snapshots, and Splice updates
+// both by resweeping only the neighbourhood of the edit until the
+// frontiers re-converge with the cached run (the dynamic-complexity
+// observation of Freydenberger & Thompson 2019). After any sequence
+// of edits, Each/Mappings return exactly what a from-scratch
+// extraction of the current document would, in the same order.
+//
+// Offsets are rune positions, like spans. A session is not safe for
+// concurrent use.
+type Incremental struct {
+	inc *eval.IncState
+}
+
+// IncrementalStats are the cumulative counters of a session.
+type IncrementalStats struct {
+	// FullRuns counts from-scratch extractions (the initial build);
+	// Splices the incremental edits applied since.
+	FullRuns int64 `json:"full_runs"`
+	Splices  int64 `json:"splices"`
+	// FwdSteps/BwdSteps total the positions reswept across all edits —
+	// the incremental cost, to be compared against documents × length.
+	FwdSteps int64 `json:"fwd_steps"`
+	BwdSteps int64 `json:"bwd_steps"`
+	// Reused counts cached mappings carried over (verbatim or
+	// offset-shifted); Recomputed those re-derived by window walks.
+	Reused     int64 `json:"reused"`
+	Recomputed int64 `json:"recomputed"`
+}
+
+// SpliceStats reports what one Splice call actually did: how far the
+// two resweeps ran before re-converging with the cached frontiers,
+// the dirty window that was re-walked, and how the new result set
+// decomposes into reused and recomputed mappings. The Recomputed
+// mappings occupy positions [ReusedLeft, ReusedLeft+Recomputed) of
+// the post-splice result order, which is how followers isolate "new"
+// outputs after an append.
+type SpliceStats struct {
+	FwdSteps    int `json:"fwd_steps"`
+	BwdSteps    int `json:"bwd_steps"`
+	WindowStart int `json:"window_start"`
+	WindowEnd   int `json:"window_end"` // 0: the window ran to document end
+	ReusedLeft  int `json:"reused_left"`
+	ReusedRight int `json:"reused_right"`
+	Recomputed  int `json:"recomputed"`
+}
+
+// Incremental opens an incremental session on text, running one full
+// extraction to seed the caches. The second result is false when the
+// spanner cannot maintain results incrementally — only compiled
+// sequential spanners can — in which case callers re-extract from
+// scratch per edit.
+func (s *Spanner) Incremental(text string) (*Incremental, bool) {
+	inc, ok := eval.NewIncremental(s.engine, span.NewDocument(text))
+	if !ok {
+		return nil, false
+	}
+	return &Incremental{inc: inc}, true
+}
+
+// Text returns the session's current document text.
+func (i *Incremental) Text() string { return i.inc.Doc().Text() }
+
+// Document returns the session's current document.
+func (i *Incremental) Document() *Document { return i.inc.Doc() }
+
+// MappingCount returns the size of the current result set.
+func (i *Incremental) MappingCount() int { return i.inc.Len() }
+
+// Splice replaces del runes at 0-based rune offset off with ins and
+// incrementally updates the result set. It returns what the update
+// cost and reused; an out-of-range splice returns an error and leaves
+// the session untouched.
+func (i *Incremental) Splice(off, del int, ins string) (SpliceStats, error) {
+	r, err := i.inc.Splice(off, del, ins)
+	if err != nil {
+		return SpliceStats{}, err
+	}
+	return SpliceStats{
+		FwdSteps:    r.FwdSteps,
+		BwdSteps:    r.BwdSteps,
+		WindowStart: r.WindowStart,
+		WindowEnd:   r.WindowEnd,
+		ReusedLeft:  r.ReusedLeft,
+		ReusedRight: r.ReusedRight,
+		Recomputed:  r.Recomputed,
+	}, nil
+}
+
+// Append splices text onto the end of the document — the follow-mode
+// edit, whose cost scales with the appended suffix rather than the
+// document.
+func (i *Incremental) Append(text string) (SpliceStats, error) {
+	return i.Splice(i.inc.Doc().Len(), 0, text)
+}
+
+// Each yields the current mappings in enumeration order (the empty
+// mapping, when present, comes last), stopping early when yield
+// returns false. The yielded maps are borrowed: later Splice calls
+// mutate them in place, so retained mappings must be copied.
+func (i *Incremental) Each(yield func(Mapping) bool) { i.inc.Each(yield) }
+
+// Mappings returns independent copies of the current result set in
+// enumeration order.
+func (i *Incremental) Mappings() []Mapping { return i.inc.Mappings() }
+
+// Stats returns the session's cumulative counters.
+func (i *Incremental) Stats() IncrementalStats {
+	st := i.inc.Stats()
+	return IncrementalStats{
+		FullRuns:   st.FullRuns,
+		Splices:    st.Splices,
+		FwdSteps:   st.FwdSteps,
+		BwdSteps:   st.BwdSteps,
+		Reused:     st.Reused,
+		Recomputed: st.Recomputed,
+	}
+}
+
+// MemoryBytes estimates the session's retained memory (document,
+// result set, frontier snapshots), the unit of the document store's
+// byte budget.
+func (i *Incremental) MemoryBytes() int { return i.inc.MemoryBytes() }
+
 // Constraints is a partial assignment used by Extendable: each
 // constrained variable is pinned to a span or forbidden (⊥).
 type Constraints span.Extended

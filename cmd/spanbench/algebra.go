@@ -1,0 +1,230 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"spanners"
+	"spanners/internal/algebra"
+	"spanners/internal/registry"
+	"spanners/internal/service"
+)
+
+// The -algebra mode benchmarks the algebra planner head-to-head
+// against literal (unoptimized) composition of the same expression
+// trees. What it measures is cold query latency — parse, plan,
+// compose, evaluate once — because that is where the planner can win:
+// once composed, both plans drive the same engine over equivalent
+// automata and the lazy DFA makes warm evaluation insensitive to the
+// literal plan's extra states. The cold path is exactly what the
+// service pays on a plan-cache miss (and what -precompose pre-pays at
+// startup), so the gate tracks the number that users of fresh algebra
+// expressions actually see. The headline scenario is a join-heavy
+// expression with redundant union arms: the planner dedups the arms
+// and pushes the projection under the join, composing a product a
+// third the size of the literal one. Both sides are asserted to
+// enumerate identical result-set cardinalities before measuring.
+
+// algScenario is one optimized-vs-literal cold-latency measurement.
+type algScenario struct {
+	Name           string  `json:"name"`
+	OptNsOp        int64   `json:"opt_ns_op"`
+	LitNsOp        int64   `json:"lit_ns_op"`
+	Speedup        float64 `json:"speedup"`
+	MappingsPerDoc int     `json:"mappings_per_doc,omitempty"`
+}
+
+type algReport struct {
+	Generated  string            `json:"generated"`
+	Quick      bool              `json:"quick"`
+	HeadToHead []algScenario     `json:"head_to_head"`
+	Service    []serviceScenario `json:"service_path"`
+}
+
+// algebraLeaves are the registered leaf spanners every scenario
+// composes over. yz is deliberately z-heavy (z{[ab]*} spans every
+// suffix run) so the join-heavy scenario has a dropped variable for
+// the planner to push a projection through.
+var algebraLeaves = map[string]string{
+	"xy":    `.*x{[ab]}y{[ab]}.*`,
+	"yz":    `.*y{[ab]}z{[ab]*}.*`,
+	"runs":  `x{a+}.*`,
+	"pairs": `x{aa}.*`,
+}
+
+// algebraRegistry populates a throwaway on-disk registry with the
+// benchmark leaves and returns it with its cleanup.
+func algebraRegistry() (*registry.Registry, func()) {
+	dir, err := os.MkdirTemp("", "spanbench-algebra-*")
+	if err != nil {
+		panic(err)
+	}
+	reg, err := registry.Open(dir)
+	if err != nil {
+		panic(err)
+	}
+	for name, expr := range algebraLeaves {
+		if _, _, err := reg.Register(name, expr); err != nil {
+			panic(fmt.Sprintf("algebra benchmark: register %s: %v", name, err))
+		}
+	}
+	return reg, func() { os.RemoveAll(dir) }
+}
+
+// algebraPlanPair builds the same expression twice against reg — once
+// through the planner, once literally — and returns both plans.
+func algebraPlanPair(reg *registry.Registry, expr string) (opt, lit *algebra.Plan) {
+	node, err := algebra.Parse(expr)
+	if err != nil {
+		panic(err)
+	}
+	r := &algebra.RegistryResolver{Reg: reg}
+	opt, err = algebra.BuildWith(node, r, algebra.Options{Optimize: true})
+	if err != nil {
+		panic(err)
+	}
+	lit, err = algebra.BuildWith(node, r, algebra.Options{Optimize: false})
+	if err != nil {
+		panic(err)
+	}
+	return opt, lit
+}
+
+// randomText draws n runes uniformly from alphabet, deterministically
+// per seed.
+func randomText(n int, alphabet string, seed int64) string {
+	rng := rand.New(rand.NewSource(seed))
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = alphabet[rng.Intn(len(alphabet))]
+	}
+	return string(b)
+}
+
+// countMappings drains a composed spanner over doc.
+func countMappings(p *algebra.Plan, doc *spanners.Document) int {
+	n := 0
+	p.Spanner.Enumerate(doc, func(spanners.Mapping) bool { n++; return true })
+	return n
+}
+
+func runAlgebraBench(quick bool, jsonPath string) algReport {
+	budget := 300 * time.Millisecond
+	if quick {
+		budget = 25 * time.Millisecond
+	}
+	rep := algReport{Generated: time.Now().UTC().Format(time.RFC3339), Quick: quick}
+
+	reg, cleanup := algebraRegistry()
+	defer cleanup()
+
+	docLen := 192
+	if quick {
+		docLen = 64
+	}
+	doc := spanners.NewDocument(randomText(docLen, "ab", 31))
+
+	headToHead := func(name, expr string, evalDoc *spanners.Document) {
+		node, err := algebra.Parse(expr)
+		if err != nil {
+			panic(err)
+		}
+		r := &algebra.RegistryResolver{Reg: reg}
+		coldRun := func(optimize bool) int {
+			p, err := algebra.BuildWith(node, r, algebra.Options{Optimize: optimize})
+			if err != nil {
+				panic(err)
+			}
+			return countMappings(p, evalDoc)
+		}
+		opt, lit := algebraPlanPair(reg, expr)
+		outs := countMappings(opt, evalDoc)
+		if louts := countMappings(lit, evalDoc); louts != outs {
+			panic(fmt.Sprintf("algebra benchmark: %s: optimized plan returned %d mappings, literal %d", name, outs, louts))
+		}
+		o := measure(func() { coldRun(true) }, budget)
+		l := measure(func() { coldRun(false) }, budget)
+		sc := algScenario{
+			Name: name, OptNsOp: o, LitNsOp: l,
+			Speedup: float64(l) / float64(o), MappingsPerDoc: outs,
+		}
+		rep.HeadToHead = append(rep.HeadToHead, sc)
+		row(name, fmt.Sprintf("%.2fx", sc.Speedup),
+			fmt.Sprintf("opt=%v lit=%v outs=%d states=%d/%d rewrites=%d",
+				time.Duration(o), time.Duration(l), outs,
+				opt.Spanner.Automaton().NumStates, lit.Spanner.Automaton().NumStates, len(opt.Rewrites)))
+	}
+
+	fmt.Println("== planner-optimized vs literal cold query latency (parse+compose+evaluate)")
+
+	// Join-heavy with redundant arms: dedup-union collapses the
+	// duplicated operand, then project-past-join pushes the projection
+	// under the join — the literal product is ~3x the states.
+	headToHead("joinheavy/redundant-arm-pushdown", "project(join(union(xy, xy, xy), yz), x)", doc)
+
+	// Projection chain over a join: project-collapse folds the two
+	// status products into one before the pushdown fires.
+	headToHead("project/collapse-chain", "project(project(join(xy, yz), x, y), x)", doc)
+
+	// Duplicate union arm alone: dedup-union composes one arm instead
+	// of a tripled automaton.
+	headToHead("union/dedup-arm", "union(xy, union(xy, xy))", doc)
+
+	fmt.Println()
+	fmt.Println("== service path (registry-backed algebra queries, warm plan cache)")
+	svc := service.New(service.Config{Workers: 2, Registry: reg})
+	if _, err := svc.Prewarm(); err != nil {
+		panic(err)
+	}
+	ctx := context.Background()
+
+	servicePath := func(name string, f func()) {
+		runtime.GC()
+		ns := measure(f, budget)
+		for trial := 0; trial < 2; trial++ {
+			if n := measure(f, budget); n < ns {
+				ns = n
+			}
+		}
+		rep.Service = append(rep.Service, serviceScenario{Name: name, NsOp: ns})
+		row(name, time.Duration(ns).String(), "")
+	}
+
+	// Warm join-heavy algebra query: plan-cache hit plus evaluation.
+	joinQ := service.Query{Algebra: "project(join(xy, yz), x)"}
+	docText := doc.Text()
+	servicePath("service/algebra_joinheavy", func() {
+		if _, err := svc.Extract(ctx, joinQ, docText); err != nil {
+			panic(err)
+		}
+	})
+
+	// Difference served end-to-end: runs \ pairs under the default
+	// determinization budget, the operator this mode exists to track.
+	diffQ := service.Query{Algebra: "difference(runs, pairs)"}
+	diffDoc := randomText(docLen, "aab", 32)
+	servicePath("service/algebra_difference", func() {
+		if _, err := svc.Extract(ctx, diffQ, diffDoc); err != nil {
+			panic(err)
+		}
+	})
+
+	if jsonPath != "" {
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			panic(err)
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(jsonPath, buf, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "spanbench: write %s: %v\n", jsonPath, err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote %s\n", jsonPath)
+	}
+	return rep
+}

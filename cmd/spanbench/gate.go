@@ -77,6 +77,14 @@ var incSpeedupFloors = map[string]float64{
 	"weblog/tail-append": 5.0,
 }
 
+// algebraSpeedupFloors pin the planner's headline claim: on the
+// join-heavy scenario the optimized cold query (dedup + projection
+// pushdown) must beat the literal plan outright, regardless of where
+// the committed baseline sits.
+var algebraSpeedupFloors = map[string]float64{
+	"joinheavy/redundant-arm-pushdown": 1.4,
+}
+
 // speedupFloors returns the absolute head-to-head floors for a
 // baseline section, nil when the section has none.
 func speedupFloors(section string) map[string]float64 {
@@ -85,6 +93,8 @@ func speedupFloors(section string) map[string]float64 {
 		return dfaSpeedupFloors
 	case "spanbench_incremental":
 		return incSpeedupFloors
+	case "spanbench_algebra":
+		return algebraSpeedupFloors
 	}
 	return nil
 }

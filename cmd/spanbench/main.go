@@ -13,6 +13,8 @@
 //	spanbench -dfa -gatebase BENCH_dfa.json [-gatemult 2]
 //	spanbench -incremental [-quick] [-incjson BENCH_incremental.json]
 //	spanbench -incremental -gatebase BENCH_incremental.json [-gatemult 2]
+//	spanbench -algebra [-quick] [-algebrajson BENCH_algebra.json]
+//	spanbench -algebra -gatebase BENCH_algebra.json [-gatemult 2]
 //	spanbench -obs [-quick] [-obsjson BENCH_obs.json] [-obsgate 0.03]
 //
 // The -engine mode instead benchmarks the compiled execution core
@@ -23,7 +25,11 @@
 // tracked in BENCH_dfa.json. The -incremental mode benchmarks
 // incremental re-extraction under edits (frontier-snapshot sessions)
 // against full re-extraction of the post-edit document, tracked in
-// BENCH_incremental.json. With -gatebase any of these modes
+// BENCH_incremental.json. The -algebra mode benchmarks the algebra
+// planner: the same expression composed optimized vs literal and
+// evaluated head-to-head, plus the registry-backed service path for
+// join-heavy and difference queries, tracked in BENCH_algebra.json.
+// With -gatebase any of these modes
 // additionally compares the run against its committed record and
 // exits nonzero on gross regressions (speedups below baseline/mult,
 // service ns/op above baseline×mult) — the CI regression gates.
@@ -62,6 +68,8 @@ var (
 	dfaJSON    = flag.String("dfajson", "", "with -dfa: write results as JSON to this file")
 	incFlag    = flag.Bool("incremental", false, "run the incremental-vs-full re-extraction benchmarks instead of the experiment tables")
 	incJSON    = flag.String("incjson", "", "with -incremental: write results as JSON to this file")
+	algFlag    = flag.Bool("algebra", false, "run the planner-optimized-vs-literal algebra composition benchmarks instead of the experiment tables")
+	algJSON    = flag.String("algebrajson", "", "with -algebra: write results as JSON to this file")
 	gateBase   = flag.String("gatebase", "", "with -engine or -dfa: compare against the committed baseline JSON and exit nonzero on gross regressions")
 	gateMult   = flag.Float64("gatemult", 2.0, "with -gatebase: allowed regression factor before the gate fails")
 	obsFlag    = flag.Bool("obs", false, "measure the observability layer's overhead against a DisableObservability twin service")
@@ -96,7 +104,7 @@ func main() {
 		}
 		return
 	}
-	if *engineFlag || *dfaFlag || *incFlag {
+	if *engineFlag || *dfaFlag || *incFlag || *algFlag {
 		var (
 			rep     any
 			section string
@@ -106,8 +114,10 @@ func main() {
 			rep, section = runEngineBench(*quick, *engineJSON), "spanbench_engine"
 		case *dfaFlag:
 			rep, section = runDFABench(*quick, *dfaJSON), "spanbench_dfa"
-		default:
+		case *incFlag:
 			rep, section = runIncrementalBench(*quick, *incJSON), "spanbench_incremental"
+		default:
+			rep, section = runAlgebraBench(*quick, *algJSON), "spanbench_algebra"
 		}
 		if *gateBase != "" {
 			if err := gateAgainstBaseline(rep, *gateBase, section, *gateMult); err != nil {

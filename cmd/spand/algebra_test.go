@@ -4,10 +4,12 @@ import (
 	"bufio"
 	"encoding/json"
 	"net/http"
+	"net/http/httptest"
 	"strings"
 	"testing"
 
 	"spanners"
+	"spanners/internal/registry"
 	"spanners/internal/service"
 )
 
@@ -162,6 +164,90 @@ func TestAlgebraErrorStatuses(t *testing.T) {
 				t.Errorf("%s on %s: client error surfaced as %d", c.name, path, resp.StatusCode)
 			}
 		}
+	}
+}
+
+// TestAlgebraDifferenceOverHTTP serves difference end-to-end: the
+// composed result matches the library composition, and a budget-blown
+// difference is a typed 422 — never a 500 or an OOM.
+func TestAlgebraDifferenceOverHTTP(t *testing.T) {
+	ts, _ := newRegistryTestServer(t, t.TempDir(), 0)
+	doJSON(t, http.MethodPut, ts.URL+"/registry/runs", map[string]string{"expr": "x{a+}.*"}, nil)
+	doJSON(t, http.MethodPut, ts.URL+"/registry/pairs", map[string]string{"expr": "x{aa}.*"}, nil)
+
+	doc := "aaab"
+	var out extractResponse
+	resp := doJSON(t, http.MethodPost, ts.URL+"/extract",
+		map[string]any{"algebra": "difference(runs, pairs)", "docs": []string{doc}}, &out)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("difference extract status %d", resp.StatusCode)
+	}
+	local, err := spanners.Difference(
+		spanners.MustCompile("x{a+}.*"), spanners.MustCompile("x{aa}.*"),
+		spanners.DefaultDifferenceBudget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := spanners.NewDocument(doc)
+	want := []service.Result{}
+	for _, m := range local.ExtractAll(d) {
+		want = append(want, service.EncodeMapping(d, m))
+	}
+	gotJSON, _ := json.Marshal(out.Results[0])
+	wantJSON, _ := json.Marshal(want)
+	if string(gotJSON) != string(wantJSON) {
+		t.Fatalf("served difference = %s\nlocal difference = %s", gotJSON, wantJSON)
+	}
+	if len(out.Results[0]) == 0 {
+		t.Fatal("difference matched nothing — the test lost its subject")
+	}
+
+	// A schema-mismatched difference is the client's fault: 400 with
+	// the "unbound" code.
+	resp = postJSON(t, ts.URL+"/extract",
+		map[string]any{"algebra": "difference(runs, project(runs))", "docs": []string{doc}})
+	var envelope struct {
+		Error struct {
+			Code string `json:"code"`
+		} `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&envelope); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest || envelope.Error.Code != "unbound" {
+		t.Fatalf("schema mismatch: status %d code %q, want 400 %q", resp.StatusCode, envelope.Error.Code, "unbound")
+	}
+}
+
+func TestAlgebraDifferenceBudget422(t *testing.T) {
+	dir := t.TempDir()
+	reg, err := registry.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := service.New(service.Config{Workers: 2, Registry: reg, DifferenceBudget: 2})
+	ts := httptest.NewServer(newServer(svc, serverOptions{}))
+	t.Cleanup(ts.Close)
+	doJSON(t, http.MethodPut, ts.URL+"/registry/aa", map[string]string{"expr": ".*y{a+}.*"}, nil)
+
+	resp := postJSON(t, ts.URL+"/extract",
+		map[string]any{"algebra": "difference(aa, aa)", "docs": []string{"aaa"}})
+	defer resp.Body.Close()
+	var envelope struct {
+		Error struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+		} `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&envelope); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("budget-blown difference status %d, want 422", resp.StatusCode)
+	}
+	if envelope.Error.Code != "difference_budget" {
+		t.Fatalf("error code %q, want %q (message: %s)", envelope.Error.Code, "difference_budget", envelope.Error.Message)
 	}
 }
 

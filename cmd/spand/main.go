@@ -60,9 +60,9 @@
 //
 // Every handler reports failures in one envelope, {"error": {"code":
 // …, "message": …}}, where code is a stable machine-readable string
-// (syntax, unbound, bad_query, bad_splice, document_not_found,
-// not_found, too_large, deadline, canceled, registry_unavailable,
-// bad_artifact, bad_request).
+// (syntax, unbound, difference_budget, bad_query, bad_splice,
+// document_not_found, not_found, too_large, deadline, canceled,
+// registry_unavailable, bad_artifact, bad_request).
 //
 // Stored documents live in a byte-budgeted in-memory store
 // (-doc-store-bytes, default 64 MiB) with LRU eviction; documents,
@@ -114,6 +114,7 @@ import (
 	"syscall"
 	"time"
 
+	"spanners"
 	"spanners/internal/obs"
 	"spanners/internal/registry"
 	"spanners/internal/service"
@@ -129,6 +130,8 @@ func main() {
 		reqTimeout   = flag.Duration("request-timeout", defaultRequestTimeout, "per-request extraction deadline (negative disables)")
 		registryDir  = flag.String("registry", "", "persistent spanner registry directory (empty disables)")
 		persistDFA   = flag.Bool("persist-dfa", true, "with -registry: save warmed DFA caches as sidecars on shutdown and load them at startup")
+		precompose   = flag.Bool("precompose", false, "with -registry: re-plan every registered algebra artifact at startup so its composition is cache-warm")
+		diffBudget   = flag.Int("difference-budget", spanners.DefaultDifferenceBudget, "determinization state budget per algebra difference; exhaustion is a typed client error")
 		docStoreB    = flag.Int64("doc-store-bytes", service.DefaultConfig().DocStoreBytes, "byte budget of the /v1/documents store (LRU-evicted)")
 		traceRetain  = flag.Int("trace-retain", obs.DefaultTraceRetention, "request traces retained for /debug/trace")
 		slowRequest  = flag.Duration("slow-request", 0, "log the full span tree of requests slower than this (0 disables)")
@@ -142,6 +145,7 @@ func main() {
 		RuleCacheSize:    *ruleCache,
 		Workers:          *workers,
 		DocStoreBytes:    *docStoreB,
+		DifferenceBudget: *diffBudget,
 		TraceRetention:   *traceRetain,
 	}
 	if *registryDir != "" {
@@ -159,6 +163,13 @@ func main() {
 			log.Printf("spand: registry pre-warm: %v", err)
 		}
 		log.Printf("spand: pre-warmed %d spanner(s) from %s", n, *registryDir)
+		if *precompose {
+			n, err := svc.Precompose()
+			if err != nil {
+				log.Printf("spand: algebra pre-compose: %v", err)
+			}
+			log.Printf("spand: pre-composed %d algebra artifact(s)", n)
+		}
 	}
 	if *pprofAddr != "" {
 		// A dedicated mux on a dedicated listener: profiling never

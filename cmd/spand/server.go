@@ -369,8 +369,10 @@ const codeBadRequest = "bad_request"
 // (the response is unread anyway); a query referencing a registry name
 // or version that does not exist — directly or as an algebra leaf —
 // is 404; malformed queries (RGX or algebra syntax, unbound projection
-// variables, bad splices) are the client's fault, 400. Only
-// storage-level corruption maps to a 500.
+// variables, bad splices) are the client's fault, 400; a difference
+// whose determinization blows the configured state budget is a
+// well-formed but unprocessable query, 422. Only storage-level
+// corruption maps to a 500.
 func errorCode(err error) (int, string) {
 	var parseErr *rgx.ParseError
 	switch {
@@ -398,6 +400,13 @@ func errorCode(err error) (int, string) {
 		return http.StatusBadRequest, "syntax"
 	case errors.Is(err, algebra.ErrUnbound):
 		return http.StatusBadRequest, "unbound"
+	case errors.Is(err, algebra.ErrBudget):
+		// A difference whose determinization exceeds the configured
+		// state budget: the query is well-formed but too expensive to
+		// compose safely — 422, never an OOM or a 500. Raising
+		// -difference-budget or simplifying the right operand are the
+		// remedies.
+		return http.StatusUnprocessableEntity, "difference_budget"
 	default:
 		return http.StatusBadRequest, codeBadRequest
 	}

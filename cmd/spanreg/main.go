@@ -10,9 +10,13 @@
 //	spanreg -dir DIR register-algebra NAME EXPR   compose registered spanners
 //	                                        (union/project/join syntax), store the
 //	                                        composed program with its leaves pinned
-//	spanreg -dir DIR eval EXPR [DOC|-]      plan an algebra expression against the
+//	spanreg -dir DIR eval [-explain] EXPR [DOC|-]
+//	                                        plan an algebra expression against the
 //	                                        registry and run it over DOC (or stdin),
-//	                                        one JSON mapping per line
+//	                                        one JSON mapping per line; -explain first
+//	                                        prints the optimized plan (rewrite log,
+//	                                        per-node variable sets, cost estimates),
+//	                                        and with no DOC prints only the plan
 //	spanreg -dir DIR list                   one line per name (latest version)
 //	spanreg -dir DIR versions NAME          every stored version, newest first
 //	spanreg -dir DIR show NAME[@VERSION]    manifest JSON
@@ -108,12 +112,26 @@ func dispatch(reg *registry.Registry, cmd string, args []string, stdout io.Write
 		return nil
 
 	case "eval":
+		efs := flag.NewFlagSet("eval", flag.ContinueOnError)
+		explain := efs.Bool("explain", false, "print the plan (rewrites, per-node variable sets, cost estimates) before any results")
+		if err := efs.Parse(args); err != nil {
+			return err
+		}
+		args = efs.Args()
 		if len(args) != 1 && len(args) != 2 {
-			return fmt.Errorf("usage: spanreg -dir DIR eval EXPR [DOC|-]")
+			return fmt.Errorf("usage: spanreg -dir DIR eval [-explain] EXPR [DOC|-]")
 		}
 		plan, err := planAlgebra(reg, args[0])
 		if err != nil {
 			return err
+		}
+		if *explain {
+			fmt.Fprint(stdout, plan.Explain())
+			// Explaining without a document is a pure planning run:
+			// never block on stdin for input nobody will send.
+			if len(args) == 1 {
+				return nil
+			}
 		}
 		text := ""
 		if len(args) == 2 && args[1] != "-" {

@@ -122,3 +122,53 @@ func TestAlgebraEvalAndRegister(t *testing.T) {
 		}
 	}
 }
+
+// TestEvalExplain pins the -explain rendering: leaf versions are
+// content-addressed, so for a fixed registry state the output is
+// byte-stable and tooling may snapshot it.
+func TestEvalExplain(t *testing.T) {
+	dir := t.TempDir()
+	xy := strings.TrimSpace(runOK(t, "-dir", dir, "register", "xy", ".*x{a}y{b?}.*"))
+	yz := strings.TrimSpace(runOK(t, "-dir", dir, "register", "yz", ".*y{.}z{.?}.*"))
+
+	// Without a document: the plan only, never a read from stdin.
+	out := runOK(t, "-dir", dir, "eval", "-explain", "project(join(xy, yz), x)")
+	want := strings.Join([]string{
+		"expression: project(join(" + xy + "," + yz + "),x)",
+		"optimized:  project(join(" + xy + ",project(" + yz + ",y)),x)",
+		"estimated cost: 1.04e+04 -> 1.04e+04",
+		"rewrites:",
+		"  project-past-join: project(join(" + xy + "," + yz + "),x) => project(join(" + xy + ",project(" + yz + ",y)),x)",
+		"plan:",
+		"  project [x]  vars=[x] est=1.04e+04",
+		"    join  vars=[x y] est=3468",
+		"      ref " + xy + "  vars=[x y] states=17",
+		"      project [y]  vars=[y] est=51",
+		"        ref " + yz + "  vars=[y z] states=17",
+		"",
+	}, "\n")
+	if out != want {
+		t.Fatalf("explain output:\n%s\nwant:\n%s", out, want)
+	}
+
+	// Repeat runs are byte-identical: the rendering is deterministic.
+	if again := runOK(t, "-dir", dir, "eval", "-explain", "project(join(xy, yz), x)"); again != out {
+		t.Fatalf("explain output is unstable:\n%s\nvs\n%s", again, out)
+	}
+
+	// With a document, the plan precedes the mappings.
+	full := runOK(t, "-dir", dir, "eval", "-explain", "project(join(xy, yz), x)", "abc")
+	if !strings.HasPrefix(full, out) {
+		t.Fatalf("explain+eval does not start with the plan:\n%s", full)
+	}
+	rest := strings.TrimPrefix(full, out)
+	if !strings.Contains(rest, `"x"`) {
+		t.Fatalf("explain+eval printed no mappings:\n%s", full)
+	}
+
+	// An unoptimizable expression reports no rewrites.
+	plain := runOK(t, "-dir", dir, "eval", "-explain", "union(xy, yz)")
+	if !strings.Contains(plain, "rewrites: none") {
+		t.Fatalf("union explain lacks the empty rewrite log:\n%s", plain)
+	}
+}

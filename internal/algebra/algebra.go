@@ -1,8 +1,9 @@
 // Package algebra is the server-side spanner algebra: a small
-// expression language whose operators are exactly the closure
-// operations of Theorem 4.5 — union, projection and join — and whose
-// leaves are named entries of the persistent spanner registry. An
-// expression such as
+// expression language whose operators are the closure operations of
+// Theorem 4.5 — union, projection and join — plus the set difference
+// that Peterfreund, Kimelfeld, Freydenberger & Kröll (2019) treat
+// separately, and whose leaves are named entries of the persistent
+// spanner registry. An expression such as
 //
 //	join(project(invoices@1a30376c9a64, buyer), union(sellers, sellers-eu@latest))
 //
@@ -14,23 +15,29 @@
 // the composed result is lowered through internal/program so algebra
 // queries run on the same compiled execution core as everything else.
 //
-// The package is three small pieces:
+// The package is four small pieces:
 //
 //   - an AST (Expr and its node types) with a canonical rendering,
 //   - a recursive-descent parser (Parse) producing typed errors,
-//   - a planner (Build) that resolves leaves through a LeafResolver
-//     and folds the tree through the spanner algebra of the root
-//     package; RegistryResolver is the standard resolver over a
-//     registry directory.
+//   - an optimizer (optimize.go) rewriting trees before lowering —
+//     projection pushdown, join reordering, subexpression dedup —
+//     every rule result-identical and pinned by the differential
+//     suite in plan_quick_test.go,
+//   - a planner (Build/BuildWith) that resolves leaves through a
+//     LeafResolver, validates and optionally optimizes the tree, and
+//     folds it through the spanner algebra of the root package;
+//     RegistryResolver is the standard resolver over a registry
+//     directory.
 //
 // Following Peterfreund, ten Cate, Fagin and Kimelfeld, "Complexity
 // Bounds for Relational Algebra over Document Spanners" (2019), the
 // operators are where the interesting complexity lives: union is
 // linear, projection is exponential only in the dropped variables,
-// and join carries the paper's worst-case exponential blowup in the
-// shared variables — the planner composes eagerly and relies on the
-// service layer to cache the composed program under the pinned
-// canonical expression.
+// join carries the paper's worst-case exponential blowup in the
+// shared variables, and difference requires determinizing the right
+// operand — worst-case exponential, hence budgeted. The planner
+// composes eagerly and relies on the service layer to cache the
+// composed program under the pinned canonical expression.
 package algebra
 
 import (
@@ -63,6 +70,13 @@ var (
 	// ErrTooLarge reports an expression with more than MaxLeaves leaf
 	// references.
 	ErrTooLarge = errors.New("algebra: expression has too many leaves")
+	// ErrBudget reports a difference whose right operand blew the
+	// determinization state budget. Difference is the operator
+	// Peterfreund et al. 2019 treat separately — complementing the
+	// right operand is worst-case exponential — so the composition
+	// runs under an explicit budget and fails typed instead of eating
+	// the server's memory.
+	ErrBudget = errors.New("algebra: difference determinization exceeded its state budget")
 )
 
 // MaxDepth bounds operator nesting, both in parsed expressions and
@@ -119,6 +133,20 @@ type Join struct{ Args []Expr }
 
 // Canonical renders join(a,b,…).
 func (j Join) Canonical() string { return renderOp("join", j.Args, nil) }
+
+// Difference is the binary set difference ⟦A⟧_d ∖ ⟦B⟧_d: the mappings
+// A outputs that B does not, compared as partial mappings. Both
+// operands must bind the same variable set (ErrUnbound otherwise) —
+// differencing spanners of different schemas is almost always a typo,
+// and relational convention requires union-compatible operands. The
+// right operand is determinized under an explicit state budget
+// (ErrBudget on exhaustion); see Peterfreund, Kimelfeld,
+// Freydenberger & Kröll 2019 on why difference alone breaks the
+// polynomial-delay guarantees the other operators keep.
+type Difference struct{ A, B Expr }
+
+// Canonical renders difference(a,b).
+func (d Difference) Canonical() string { return renderOp("difference", []Expr{d.A, d.B}, nil) }
 
 // Project is π_Vars(Arg) (Theorem 4.5): outputs restricted to Vars,
 // every one of which the operand must be able to bind.
@@ -204,6 +232,8 @@ func walk(e Expr, f func(Ref) Ref) Expr {
 			args[i] = walk(a, f)
 		}
 		return Join{Args: args}
+	case Difference:
+		return Difference{A: walk(n.A, f), B: walk(n.B, f)}
 	case Project:
 		return Project{Arg: walk(n.Arg, f), Vars: n.Vars}
 	default:

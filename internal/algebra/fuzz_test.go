@@ -1,0 +1,62 @@
+package algebra
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// FuzzParseAlgebra throws arbitrary text at the expression parser.
+// The invariants: Parse never panics, every rejection is one of the
+// three typed sentinels (ErrSyntax, ErrDepth, ErrTooLarge — callers
+// map these to HTTP codes, so an untyped error is an API break), and
+// every accepted expression canonicalizes to a fixed point: parsing
+// the canonical form succeeds and renders the same canonical form.
+func FuzzParseAlgebra(f *testing.F) {
+	seeds := []string{
+		"a",
+		"a@0123456789ab",
+		"union(a,b)",
+		"join(a, b, c)",
+		"difference(a, b)",
+		"project(join(a,b), x, y)",
+		"difference(union(a,b), project(c, x))",
+		"union(a,b",
+		"difference(a)",
+		"difference(a,b,c)",
+		"project(a)",
+		"join()",
+		"union(,)",
+		"a b",
+		"@v",
+		"union(" + strings.Repeat("union(", 40) + "a" + strings.Repeat(")", 41),
+		"(((((",
+		"union\x00(a,b)",
+		"ünïon(a,b)",
+		"difference(difference(a,a),difference(a,a))",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+
+	f.Fuzz(func(t *testing.T, input string) {
+		e, err := Parse(input)
+		if err != nil {
+			if e != nil {
+				t.Fatal("Parse returned both an expression and an error")
+			}
+			if !errors.Is(err, ErrSyntax) && !errors.Is(err, ErrDepth) && !errors.Is(err, ErrTooLarge) {
+				t.Fatalf("untyped parse error: %v", err)
+			}
+			return
+		}
+		canon := e.Canonical()
+		re, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q of %q rejected: %v", canon, input, err)
+		}
+		if got := re.Canonical(); got != canon {
+			t.Fatalf("canonicalization is not a fixed point: %q -> %q", canon, got)
+		}
+	})
+}

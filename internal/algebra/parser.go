@@ -12,6 +12,7 @@ import (
 //
 //	expr    := operator | ref
 //	operator:= ("union" | "join") "(" expr "," expr ("," expr)* ")"
+//	         | "difference" "(" expr "," expr ")"
 //	         | "project" "(" expr ("," var)* ")"
 //	ref     := name | name "@" version | name "@latest"
 //
@@ -96,12 +97,12 @@ func (p *parser) expr(depth int) (Expr, error) {
 	p.skipSpace()
 	if !p.eof() && p.peek() == '(' {
 		switch word {
-		case "union", "join":
+		case "union", "join", "difference":
 			return p.nary(word, depth)
 		case "project":
 			return p.project(depth)
 		default:
-			return nil, p.errf("unknown operator %q (want union, join or project)", word)
+			return nil, p.errf("unknown operator %q (want union, join, difference or project)", word)
 		}
 	}
 	return p.ref(word)
@@ -129,7 +130,10 @@ func (p *parser) ref(name string) (Expr, error) {
 	return Ref{Name: name, Version: version}, nil
 }
 
-// nary parses union(...)/join(...) with at least two operands.
+// nary parses union(...)/join(...) with at least two operands, and
+// difference(...) with exactly two — unlike the associative pair, a
+// chained difference is ambiguous without a declared fold order, so
+// the syntax refuses it.
 func (p *parser) nary(op string, depth int) (Expr, error) {
 	if err := p.eat('('); err != nil {
 		return nil, err
@@ -150,6 +154,12 @@ func (p *parser) nary(op string, depth int) (Expr, error) {
 	}
 	if err := p.eat(')'); err != nil {
 		return nil, err
+	}
+	if op == "difference" {
+		if len(args) != 2 {
+			return nil, p.errf("difference takes exactly two operands, got %d", len(args))
+		}
+		return Difference{A: args[0], B: args[1]}, nil
 	}
 	if len(args) < 2 {
 		return nil, p.errf("%s needs at least two operands, got %d", op, len(args))

@@ -24,6 +24,12 @@ import (
 // guard is not synchronized; share state through the hooks instead.
 type RegistryResolver struct {
 	Reg *registry.Registry
+	// Opts are the build options for recursively planned
+	// registry.KindAlgebra leaves; the zero value composes literally
+	// with the default difference budget. Callers planning through
+	// BuildWith should pass the same options here so nested
+	// registered expressions plan under the same policy.
+	Opts Options
 	// Lookup returns a resident automaton-bearing spanner for a
 	// pinned "name@version" ref, or nil.
 	Lookup func(ref string) *spanners.Spanner
@@ -97,7 +103,7 @@ func (r *RegistryResolver) plan(man registry.Manifest) (*spanners.Spanner, error
 	if err != nil {
 		return nil, fmt.Errorf("algebra: stored source of %s: %w", man.Ref(), err)
 	}
-	plan, err := Build(node, r)
+	plan, err := BuildWith(node, r, r.Opts)
 	if err != nil {
 		return nil, fmt.Errorf("algebra: stored source of %s: %w", man.Ref(), err)
 	}

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"errors"
 	"fmt"
 
 	"spanners"
@@ -10,7 +11,8 @@ import (
 
 // This file is the service side of the spanner algebra: queries whose
 // "algebra" field composes registered spanners with union / project /
-// join (Theorem 4.5) on the server. Compositions are cached in the
+// join (Theorem 4.5) and difference (budgeted determinization) on the
+// server. Compositions are cached in the
 // same LRU as inline expressions — under a disjoint key space — keyed
 // by the canonical expression with every leaf pinned to its resolved
 // content-addressed version, so a cache entry can never change
@@ -33,10 +35,12 @@ const (
 
 // AlgebraStats summarizes the algebra subsystem: how many algebra
 // queries were resolved, how they split into composed-spanner cache
-// hits vs fresh compositions, and the leaf traffic behind the
+// hits vs fresh compositions, the leaf traffic behind the
 // compositions (leaf_builds compiled or replanned a manifest source,
-// leaf_hits reused a resident leaf). Leaf work is deliberately not
-// part of the expression-cache counters.
+// leaf_hits reused a resident leaf), and the planner's work across
+// every fresh composition (rewrites fired, common subexpressions
+// composed once, registered artifacts pre-composed at startup). Leaf
+// work is deliberately not part of the expression-cache counters.
 type AlgebraStats struct {
 	Queries      uint64 `json:"queries"`
 	CacheHits    uint64 `json:"cache_hits"`
@@ -44,6 +48,9 @@ type AlgebraStats struct {
 	LeafBuilds   uint64 `json:"leaf_builds"`
 	LeafHits     uint64 `json:"leaf_hits"`
 	Registered   uint64 `json:"registered"`
+	Rewrites     uint64 `json:"rewrites"`
+	CSEHits      uint64 `json:"cse_hits"`
+	Precomposed  uint64 `json:"precomposed"`
 }
 
 // AlgebraSpanner resolves an algebra expression to a composed, ready
@@ -65,6 +72,13 @@ func (s *Service) algebraSpannerTracked(expr string) (*spanners.Spanner, *algebr
 		return nil, nil, false, ErrNoRegistry
 	}
 	s.algebraQueries.Add(1)
+	return s.composeAlgebra(expr)
+}
+
+// composeAlgebra is the shared composition path behind algebra
+// queries and startup pre-composition: pin, serve from the LRU under
+// the pinned canonical key, compose through the registry on a miss.
+func (s *Service) composeAlgebra(expr string) (*spanners.Spanner, *algebra.Plan, bool, error) {
 	pinned, err := s.pinExpr(expr)
 	if err != nil {
 		return nil, nil, false, err
@@ -72,11 +86,12 @@ func (s *Service) algebraSpannerTracked(expr string) (*spanners.Spanner, *algebr
 	key := pinned.Canonical()
 	var plan *algebra.Plan
 	sp, err := s.spanners.get(algebraKeyPrefix+key, func() (*spanners.Spanner, error) {
-		p, err := algebra.Build(pinned, s.leafResolver())
+		p, err := algebra.BuildWith(pinned, s.leafResolver(), s.algebraOpts())
 		if err != nil {
 			return nil, err
 		}
 		plan = p
+		s.recordPlan(p)
 		s.recordEngine(p.Spanner)
 		return p.Spanner.WithAlgebraSource(key), nil
 	})
@@ -89,6 +104,56 @@ func (s *Service) algebraSpannerTracked(expr string) (*spanners.Spanner, *algebr
 		s.algebraCacheHits.Add(1)
 	}
 	return sp, plan, plan != nil, nil
+}
+
+// algebraOpts is the planning policy every service composition runs
+// under: optimizer on, difference budget from the configuration.
+func (s *Service) algebraOpts() algebra.Options {
+	return algebra.Options{Optimize: true, DifferenceBudget: s.cfg.DifferenceBudget}
+}
+
+// recordPlan counts one fresh plan's optimizer work into the stats
+// and the per-rule counters.
+func (s *Service) recordPlan(p *algebra.Plan) {
+	s.algebraRewrites.Add(uint64(len(p.Rewrites)))
+	s.algebraCSEHits.Add(uint64(p.CSEHits))
+	for _, rw := range p.Rewrites {
+		if c := s.algebraRuleFires[rw.Rule]; c != nil {
+			c.Add(1)
+		}
+	}
+}
+
+// Precompose composes every registered algebra artifact into the
+// spanner cache — the startup rung above Prewarm: where Prewarm
+// decodes stored programs, Precompose re-plans each KindAlgebra
+// manifest's pinned source, so the first query for a registered
+// composition (and for any expression sharing its leaves) starts from
+// a warm cache instead of paying the composition. Returns how many
+// artifacts were composed; per-artifact failures are joined, and the
+// rest still compose.
+func (s *Service) Precompose() (int, error) {
+	if s.reg == nil {
+		return 0, ErrNoRegistry
+	}
+	mans, err := s.reg.List()
+	if err != nil {
+		return 0, err
+	}
+	var errs []error
+	composed := 0
+	for _, man := range mans {
+		if man.Kind != registry.KindAlgebra {
+			continue
+		}
+		if _, _, _, err := s.composeAlgebra(man.Source); err != nil {
+			errs = append(errs, fmt.Errorf("precompose %s: %w", man.Ref(), err))
+			continue
+		}
+		s.algebraPrecomposed.Add(1)
+		composed++
+	}
+	return composed, errors.Join(errs...)
 }
 
 // RegisterAlgebra plans expr, persists the composed program under
@@ -106,10 +171,11 @@ func (s *Service) RegisterAlgebra(name, expr string) (registry.Manifest, bool, e
 	if err != nil {
 		return registry.Manifest{}, false, err
 	}
-	plan, err := algebra.Build(pinned, s.leafResolver())
+	plan, err := algebra.BuildWith(pinned, s.leafResolver(), s.algebraOpts())
 	if err != nil {
 		return registry.Manifest{}, false, err
 	}
+	s.recordPlan(plan)
 	if !plan.Spanner.Compiled() {
 		return registry.Manifest{}, false, fmt.Errorf("%w: %s", algebra.ErrNotCompiled, plan.Pinned)
 	}
@@ -172,7 +238,8 @@ func (s *Service) latestVersion(name string) (string, error) {
 // does; a decoded artifact does not).
 func (s *Service) leafResolver() *algebra.RegistryResolver {
 	return &algebra.RegistryResolver{
-		Reg: s.reg,
+		Reg:  s.reg,
+		Opts: s.algebraOpts(),
 		Lookup: func(ref string) *spanners.Spanner {
 			s.namedMu.Lock()
 			sp := s.leaves[ref]

@@ -172,6 +172,8 @@ func TestAlgebraQueryErrors(t *testing.T) {
 		{"unknown name", Query{Algebra: "union(aa, ghost)"}, registry.ErrNotFound},
 		{"unknown pinned version", Query{Algebra: "aa@ffffffffffff"}, registry.ErrNotFound},
 		{"unbound var", Query{Algebra: "project(aa, zz)"}, algebra.ErrUnbound},
+		{"difference schema mismatch", Query{Algebra: "difference(aa, project(aa))"}, algebra.ErrUnbound},
+		{"difference arity", Query{Algebra: "difference(aa)"}, algebra.ErrSyntax},
 		{"two query fields", Query{Algebra: "aa", Expr: "x{a}"}, ErrBadQuery},
 	}
 	for _, c := range cases {
@@ -288,6 +290,155 @@ func TestAlgebraArtifactCorruptionFallsBackToReplan(t *testing.T) {
 	}
 	if st.Algebra.Compositions != 1 {
 		t.Fatalf("compositions = %d, want 1 (fallback replans the stored expression)", st.Algebra.Compositions)
+	}
+}
+
+func TestAlgebraDifferenceThroughService(t *testing.T) {
+	svc := newRegistryService(t, t.TempDir())
+	if _, _, err := svc.RegisterSpanner("runs", "x{a+}.*"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := svc.RegisterSpanner("pairs", "x{aa}.*"); err != nil {
+		t.Fatal(err)
+	}
+
+	doc := "aaab"
+	local, err := spanners.Difference(
+		spanners.MustCompile("x{a+}.*"), spanners.MustCompile("x{aa}.*"),
+		spanners.DefaultDifferenceBudget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := svc.Extract(context.Background(), Query{Algebra: "difference(runs, pairs)"}, doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := encodeResults(res), encodeAll(local, doc); got != want {
+		t.Fatalf("difference(runs, pairs) = %s, want %s", got, want)
+	}
+	if len(res) == 0 {
+		t.Fatal("difference produced nothing — the test lost its subject")
+	}
+}
+
+func TestAlgebraDifferenceBudgetTypedError(t *testing.T) {
+	dir := t.TempDir()
+	reg, err := registry.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A budget of 2 states cannot hold any real determinization.
+	svc := New(Config{Registry: reg, DifferenceBudget: 2})
+	if _, _, err := svc.RegisterSpanner("aa", ".*y{a+}.*"); err != nil {
+		t.Fatal(err)
+	}
+	_, err = svc.Extract(context.Background(), Query{Algebra: "difference(aa, aa)"}, "aaa")
+	if !errors.Is(err, algebra.ErrBudget) {
+		t.Fatalf("tiny-budget difference error = %v, want algebra.ErrBudget", err)
+	}
+
+	// The same expression under the default budget composes fine: the
+	// failure above was the budget, not the query.
+	svc2 := newRegistryService(t, dir)
+	if _, err := svc2.Extract(context.Background(), Query{Algebra: "difference(aa, aa)"}, "aaa"); err != nil {
+		t.Fatalf("default-budget difference: %v", err)
+	}
+}
+
+func TestPrecomposeWarmsRegisteredAlgebra(t *testing.T) {
+	dir := t.TempDir()
+	svc := newRegistryService(t, dir)
+	if _, _, err := svc.RegisterSpanner("runs", "x{a+}.*"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := svc.RegisterSpanner("pairs", "x{aa}.*"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := svc.RegisterAlgebra("rest", "difference(runs, pairs)"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart, pre-warm, pre-compose: the difference artifact survives
+	// and its composition is rebuilt before any query arrives.
+	svc2 := newRegistryService(t, dir)
+	if _, err := svc2.Prewarm(); err != nil {
+		t.Fatal(err)
+	}
+	n, err := svc2.Precompose()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("Precompose = %d artifacts, want 1 (only the algebra entry)", n)
+	}
+	st := svc2.Stats()
+	if st.Algebra.Precomposed != 1 || st.Algebra.Compositions != 1 {
+		t.Fatalf("post-precompose stats = %+v, want 1 precomposed = 1 composition", st.Algebra)
+	}
+
+	// The equivalent query is now a pure cache hit — zero compile
+	// misses, zero new compositions.
+	doc := "aaab"
+	local, err := spanners.Difference(
+		spanners.MustCompile("x{a+}.*"), spanners.MustCompile("x{aa}.*"),
+		spanners.DefaultDifferenceBudget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := svc2.Extract(context.Background(), Query{Algebra: "difference(runs, pairs)"}, doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := encodeResults(res), encodeAll(local, doc); got != want {
+		t.Fatalf("precomposed difference = %s, want %s", got, want)
+	}
+	st = svc2.Stats()
+	if st.Algebra.Compositions != 1 || st.Algebra.CacheHits != 1 {
+		t.Fatalf("post-query stats = %+v, want the query served from the precomposed entry", st.Algebra)
+	}
+
+	// A registry without algebra artifacts precomposes nothing.
+	svc3 := newRegistryService(t, t.TempDir())
+	if n, err := svc3.Precompose(); err != nil || n != 0 {
+		t.Fatalf("empty Precompose = %d, %v; want 0, nil", n, err)
+	}
+	if _, err := New(Config{}).Precompose(); !errors.Is(err, ErrNoRegistry) {
+		t.Fatalf("no-registry Precompose error = %v, want ErrNoRegistry", err)
+	}
+}
+
+func TestAlgebraPlannerStatsCountRewrites(t *testing.T) {
+	svc := newRegistryService(t, t.TempDir())
+	if _, _, err := svc.RegisterSpanner("xy", ".*x{a}y{b?}.*"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := svc.RegisterSpanner("yz", ".*y{.}z{.?}.*"); err != nil {
+		t.Fatal(err)
+	}
+	// project-past-join must fire on the first query. The second joins
+	// two identical subtrees: join dedup would be unsound, so both
+	// operands survive to composition — where CSE composes them once.
+	if _, err := svc.AlgebraSpanner("project(join(xy, yz), x)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.AlgebraSpanner("join(union(xy, yz), union(xy, yz))"); err != nil {
+		t.Fatal(err)
+	}
+	st := svc.Stats()
+	if st.Algebra.Rewrites == 0 {
+		t.Fatalf("planner stats = %+v, want rewrites > 0", st.Algebra)
+	}
+	if st.Algebra.CSEHits == 0 {
+		t.Fatalf("planner stats = %+v, want CSE hits > 0", st.Algebra)
+	}
+	fired := false
+	for _, c := range svc.algebraRuleFires {
+		if c.Load() > 0 {
+			fired = true
+		}
+	}
+	if !fired {
+		t.Fatal("no per-rule counter ticked despite recorded rewrites")
 	}
 }
 

@@ -28,7 +28,8 @@ type Observability struct {
 	// polynomial-delay bound as a live distribution.
 	EmissionDelay *obs.Histogram
 	// AlgebraOpDur is spand_algebra_op_duration_seconds: composition
-	// cost per algebra operator (leaf / union / join / project).
+	// cost per algebra operator (leaf / union / join / project /
+	// difference).
 	AlgebraOpDur *obs.HistogramVec
 
 	deadlineExpiries atomic.Uint64
@@ -169,6 +170,18 @@ func newObservability(svc *Service, traceRetention int) *Observability {
 				{Labels: []string{obs.L("path", "rebuild")}, Value: float64(st.IncrementalRebuilds)},
 				{Labels: []string{obs.L("path", "full")}, Value: float64(st.FullExtractions)},
 			}
+		})
+	r.RegisterCounterFunc("spand_algebra_planner_rewrites_total",
+		"Planner rewrite rule firings across fresh algebra compositions, by rule.", func() []obs.Sample {
+			rules := algebra.RuleNames()
+			out := make([]obs.Sample, 0, len(rules))
+			for _, rule := range rules {
+				out = append(out, obs.Sample{
+					Labels: []string{obs.L("rule", rule)},
+					Value:  float64(svc.algebraRuleFires[rule].Load()),
+				})
+			}
+			return out
 		})
 	r.RegisterCounterFunc("spand_registry_loads_total",
 		"Named-spanner resolutions by path.", func() []obs.Sample {

@@ -34,6 +34,11 @@ type Config struct {
 	// attached incremental sessions all count against it; least
 	// recently used documents are evicted when it overflows.
 	DocStoreBytes int64
+	// DifferenceBudget bounds the determinization state budget behind
+	// each algebra difference composition; <= 0 selects
+	// spanners.DefaultDifferenceBudget. Exhaustion fails the query with
+	// algebra.ErrBudget (a client error), never unbounded memory.
+	DifferenceBudget int
 	// TraceRetention bounds the ring of retained request traces
 	// (default obs.DefaultTraceRetention).
 	TraceRetention int
@@ -99,6 +104,15 @@ type Service struct {
 	algebraLeafBuilds   atomic.Uint64
 	algebraLeafHits     atomic.Uint64
 	algebraRegistered   atomic.Uint64
+	algebraRewrites     atomic.Uint64
+	algebraCSEHits      atomic.Uint64
+	algebraPrecomposed  atomic.Uint64
+
+	// algebraRuleFires counts planner rule firings per rule name. The
+	// map is built once in New from algebra.RuleNames() and never
+	// mutated afterwards, so reads need no lock; only the values are
+	// atomic.
+	algebraRuleFires map[string]*atomic.Uint64
 
 	// Lazy-DFA observability: dfaSpanners indexes one spanner per
 	// distinct DFA cache the service has compiled or loaded (caches
@@ -154,6 +168,10 @@ func New(cfg Config) *Service {
 		leaves:      map[string]*spanners.Spanner{},
 		dfaSpanners: map[uint64]weak.Pointer[spanners.Spanner]{},
 		docs:        docstore.New(cfg.DocStoreBytes),
+	}
+	s.algebraRuleFires = map[string]*atomic.Uint64{}
+	for _, rule := range algebra.RuleNames() {
+		s.algebraRuleFires[rule] = &atomic.Uint64{}
 	}
 	if !cfg.DisableObservability {
 		s.obs = newObservability(s, cfg.TraceRetention)
@@ -344,6 +362,9 @@ func (s *Service) Stats() Stats {
 			LeafBuilds:   s.algebraLeafBuilds.Load(),
 			LeafHits:     s.algebraLeafHits.Load(),
 			Registered:   s.algebraRegistered.Load(),
+			Rewrites:     s.algebraRewrites.Load(),
+			CSEHits:      s.algebraCSEHits.Load(),
+			Precomposed:  s.algebraPrecomposed.Load(),
 		},
 		Documents: s.documentStats(),
 		InFlight:  s.inFlight.Load(),

@@ -1,0 +1,465 @@
+package va
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+	"sort"
+	"strconv"
+	"strings"
+
+	"spanners/internal/runeclass"
+	"spanners/internal/span"
+)
+
+// ErrBudget reports that the determinization behind a difference
+// exceeded its explicit work budget. Difference is the one algebra
+// operator that breaks the polynomial-delay story (Peterfreund,
+// Kimelfeld, Freydenberger & Kröll 2019): complementing the right
+// operand determinizes it, which is worst-case exponential, so the
+// construction counts every interned state and every op-set closure
+// step against a caller-supplied budget and aborts with this typed
+// error instead of exhausting memory.
+var ErrBudget = errors.New("va: difference determinization exceeded its state budget")
+
+// Difference returns an automaton computing ⟦A⟧_d ∖ ⟦B⟧_d for every
+// document d: the mappings A outputs that B does not (compared as
+// partial mappings — domain and spans both).
+//
+// The construction is A ∩ ¬B over canonical ref-words. Both operands
+// are first closing-normalized so that an accepting run closes every
+// variable it opens — after which a mapping and the set of variable
+// operations of its runs determine each other (unassigned ⟺
+// untouched). The right operand is then determinized by an op-set
+// subset construction: between letters the tracked state set advances
+// by the *set* of operations fired, closed under every firing order B
+// admits, which makes the determinization insensitive to the order
+// two sides interleave same-position operations — the property that
+// makes complementing it sound. The complement tracks its own
+// variable statuses so it only accepts ref-words in which every
+// opened variable is closed, and a synchronized product with the left
+// operand (letters on class intersection, operations in lockstep)
+// yields the difference.
+//
+// budget bounds the whole construction's work — the interned states
+// and op-set closure steps of the determinization plus the product
+// states of the final intersection (which multiplies the left operand
+// by the complement and can blow up even when the complement itself
+// fit). <= 0 means DefaultDifferenceBudget. On exhaustion the error
+// wraps ErrBudget.
+func Difference(a, b *VA, budget int) (*VA, error) {
+	if budget <= 0 {
+		budget = DefaultDifferenceBudget
+	}
+	universe := unionVars(a, b)
+	comp, spent, err := complementRefWords(b, universe, budget)
+	if err != nil {
+		return nil, err
+	}
+	na := a.NormalizeClosing(a.Vars())
+	return intersectSync(na, comp, budget-spent)
+}
+
+// DefaultDifferenceBudget is the default work budget for Difference:
+// generous for the compositions the algebra layer serves, small
+// enough that a hostile right operand fails fast with ErrBudget.
+const DefaultDifferenceBudget = 1 << 14
+
+func unionVars(a, b *VA) []span.Var {
+	set := map[span.Var]bool{}
+	for _, v := range a.Vars() {
+		set[v] = true
+	}
+	for _, v := range b.Vars() {
+		set[v] = true
+	}
+	out := make([]span.Var, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// varStatusByte is the per-variable status tracked by the complement:
+// '0' available, '1' open, '2' closed. The complement polices the
+// variable discipline structurally so its accepted language contains
+// only ref-words whose opened variables are all closed — without
+// this, a run that opens x and wanders into the (accepting) dead set
+// would smuggle an x-unassigned mapping past the right operand's
+// verdict on the canonical (x-untouched) ref-word.
+
+// complementRefWords builds a VA accepting exactly the ref-words over
+// the universe's operations whose induced mapping b does NOT output.
+// States are triples (tracked b-state set at the last letter
+// boundary, set of operations fired since, per-variable statuses);
+// the tracked set advances through a letter by the op-set closure
+// described on Difference.
+func complementRefWords(b *VA, universe []span.Var, budget int) (*VA, int, error) {
+	if len(universe) > 31 {
+		// 2 op bits per variable must fit the uint64 op mask, with
+		// room to spare; automata anywhere near this are far beyond
+		// any realistic budget anyway.
+		return nil, 0, fmt.Errorf("%w: %d variables", ErrBudget, len(universe))
+	}
+	nb := b.NormalizeClosing(b.Vars()).Normalize()
+
+	cb := &compBuilder{
+		nb:        nb,
+		universe:  universe,
+		budget:    budget,
+		out:       &VA{},
+		stateOf:   map[string]int{},
+		reachMemo: map[string][]int{},
+	}
+	// Per-op adjacency of nb: opAdj[opBit][state] lists successors.
+	cb.opAdj = make([][][]int, 2*len(universe))
+	varIdx := make(map[span.Var]int, len(universe))
+	for i, v := range universe {
+		varIdx[v] = i
+	}
+	for i := range cb.opAdj {
+		cb.opAdj[i] = make([][]int, nb.NumStates)
+	}
+	for _, t := range nb.Trans {
+		if t.Kind != Open && t.Kind != Close {
+			continue
+		}
+		vi, ok := varIdx[t.Var]
+		if !ok {
+			continue // close of a variable outside the universe: never fires
+		}
+		bit := 2 * vi
+		if t.Kind == Close {
+			bit++
+		}
+		cb.opAdj[bit][t.From] = append(cb.opAdj[bit][t.From], t.To)
+	}
+	cb.letterAdj = make([][]Transition, nb.NumStates)
+	for _, t := range nb.Trans {
+		if t.Kind == Letter {
+			cb.letterAdj[t.From] = append(cb.letterAdj[t.From], t)
+		}
+	}
+
+	start := cb.intern(cstate{d: []int{nb.Start}, t: 0, status: strings.Repeat("0", len(universe))})
+	if start < 0 {
+		return nil, 0, fmt.Errorf("%w (limit %d)", ErrBudget, budget)
+	}
+	cb.out.Start = start
+
+	for i := 0; i < len(cb.order); i++ {
+		if err := cb.expand(i); err != nil {
+			return nil, 0, err
+		}
+	}
+	if len(cb.out.Finals) == 0 {
+		// b outputs every mapping of every document: the difference's
+		// right factor is the empty spanner.
+		return New(2, 0, 1), cb.work, nil
+	}
+	return cb.out, cb.work, nil
+}
+
+// cstate is one complement state before interning.
+type cstate struct {
+	d      []int  // sorted nb states tracked at the last letter boundary
+	t      uint64 // op bits fired since that boundary
+	status string // per-universe-variable status bytes
+}
+
+func (s cstate) key() string {
+	var b strings.Builder
+	for i, q := range s.d {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(q))
+	}
+	b.WriteByte('|')
+	b.WriteString(strconv.FormatUint(s.t, 16))
+	b.WriteByte('|')
+	b.WriteString(s.status)
+	return b.String()
+}
+
+type compBuilder struct {
+	nb        *VA
+	universe  []span.Var
+	opAdj     [][][]int
+	letterAdj [][]Transition
+
+	budget int
+	work   int
+
+	out       *VA
+	stateOf   map[string]int
+	order     []cstate
+	reachMemo map[string][]int // (d,t) key -> op-set closure of the state
+}
+
+// spend charges n work units against the budget.
+func (cb *compBuilder) spend(n int) bool {
+	cb.work += n
+	return cb.work <= cb.budget
+}
+
+// intern returns the state id for s, creating (and budget-charging)
+// it on first sight; -1 when the budget is exhausted.
+func (cb *compBuilder) intern(s cstate) int {
+	k := s.key()
+	if id, ok := cb.stateOf[k]; ok {
+		return id
+	}
+	if !cb.spend(1) {
+		return -1
+	}
+	id := cb.out.AddState()
+	cb.stateOf[k] = id
+	cb.order = append(cb.order, s)
+	return id
+}
+
+// reach computes the op-set closure: every nb state reachable from
+// s.d by firing the operations of s.t, each exactly once, in any
+// order nb admits. The closure is the dynamic program over subsets of
+// s.t (strictly growing fired-sets, so increasing-mask order visits
+// every dependency first), memoized per (boundary set, op set).
+func (cb *compBuilder) reach(s cstate) ([]int, error) {
+	k := s.key()[:strings.LastIndexByte(s.key(), '|')]
+	if r, ok := cb.reachMemo[k]; ok {
+		return r, nil
+	}
+	ops := make([]int, 0, bits.OnesCount64(s.t))
+	for bit := 0; bit < 2*len(cb.universe); bit++ {
+		if s.t&(1<<bit) != 0 {
+			ops = append(ops, bit)
+		}
+	}
+	n := len(ops)
+	sets := make([][]int, 1<<n)
+	sets[0] = s.d
+	for m := 1; m < 1<<n; m++ {
+		if !cb.spend(1) {
+			return nil, fmt.Errorf("%w (limit %d)", ErrBudget, cb.budget)
+		}
+		seen := map[int]bool{}
+		for i := 0; i < n; i++ {
+			if m&(1<<i) == 0 {
+				continue
+			}
+			for _, q := range sets[m&^(1<<i)] {
+				for _, to := range cb.opAdj[ops[i]][q] {
+					seen[to] = true
+				}
+			}
+		}
+		set := make([]int, 0, len(seen))
+		for q := range seen {
+			set = append(set, q)
+		}
+		sort.Ints(set)
+		sets[m] = set
+	}
+	r := sets[1<<n-1]
+	cb.reachMemo[k] = r
+	return r, nil
+}
+
+// expand emits the transitions (and final marking) of interned state i.
+func (cb *compBuilder) expand(i int) error {
+	s := cb.order[i]
+	from := cb.stateOf[s.key()]
+	r, err := cb.reach(s)
+	if err != nil {
+		return err
+	}
+
+	// Final: every opened variable closed again, and no tracked nb run
+	// accepts — the right operand does not output this mapping.
+	accepting := !strings.ContainsRune(s.status, '1')
+	for _, q := range r {
+		if cb.nb.IsFinal(q) {
+			accepting = false
+			break
+		}
+	}
+	if accepting {
+		cb.out.Finals = append(cb.out.Finals, from)
+	}
+
+	// Variable operations, gated by status so accepted ref-words obey
+	// the discipline (open once, close after open).
+	for vi := range cb.universe {
+		switch s.status[vi] {
+		case '0':
+			next := cstate{d: s.d, t: s.t | 1<<(2*vi), status: withStatus(s.status, vi, '1')}
+			to := cb.intern(next)
+			if to < 0 {
+				return fmt.Errorf("%w (limit %d)", ErrBudget, cb.budget)
+			}
+			cb.out.AddOpen(from, to, cb.universe[vi])
+		case '1':
+			next := cstate{d: s.d, t: s.t | 1<<(2*vi+1), status: withStatus(s.status, vi, '2')}
+			to := cb.intern(next)
+			if to < 0 {
+				return fmt.Errorf("%w (limit %d)", ErrBudget, cb.budget)
+			}
+			cb.out.AddClose(from, to, cb.universe[vi])
+		}
+	}
+
+	// Letters: one transition per atom of the classes leaving the
+	// closure, plus the rest of Σ into the (accepting, self-looping)
+	// dead set — the complement must be total over letters.
+	var classes []runeclass.Class
+	var letters []Transition
+	for _, q := range r {
+		for _, t := range cb.letterAdj[q] {
+			classes = append(classes, t.Class)
+			letters = append(letters, t)
+		}
+	}
+	covered := runeclass.Empty()
+	for _, atom := range runeclass.Atoms(classes) {
+		covered = covered.Union(atom)
+		probe, _ := atom.Sample()
+		seen := map[int]bool{}
+		for _, t := range letters {
+			if t.Class.Contains(probe) {
+				seen[t.To] = true
+			}
+		}
+		d := make([]int, 0, len(seen))
+		for q := range seen {
+			d = append(d, q)
+		}
+		sort.Ints(d)
+		to := cb.intern(cstate{d: d, t: 0, status: s.status})
+		if to < 0 {
+			return fmt.Errorf("%w (limit %d)", ErrBudget, cb.budget)
+		}
+		cb.out.AddLetter(from, to, atom)
+	}
+	rest := runeclass.Any().Minus(covered)
+	if !rest.IsEmpty() {
+		to := cb.intern(cstate{d: nil, t: 0, status: s.status})
+		if to < 0 {
+			return fmt.Errorf("%w (limit %d)", ErrBudget, cb.budget)
+		}
+		cb.out.AddLetter(from, to, rest)
+	}
+	return nil
+}
+
+func withStatus(status string, i int, c byte) string {
+	b := []byte(status)
+	b[i] = c
+	return string(b)
+}
+
+// intersectSync is the strict synchronized product: letters advance
+// both sides on the intersection of their classes, every variable
+// operation advances both sides in lockstep, and ε moves of either
+// side are interleaved. Unlike Join there are no solo operation moves
+// — a mapping is accepted only if both sides accept a common ref-word
+// — which is exactly what the complement's canonical-ref-word verdict
+// needs (Join's partial-compatibility semantics would let an
+// unassigned variable on one side shadow an assignment on the other).
+//
+// budget bounds the product's interned state pairs: the complement
+// can be large without exceeding its own budget, and multiplying it
+// by the left operand is the construction's last chance to explode.
+func intersectSync(a, b *VA, budget int) (*VA, error) {
+	type key struct{ qa, qb int }
+	out := &VA{}
+	stateOf := map[key]int{}
+	var order []key
+	intern := func(k key) int {
+		if s, ok := stateOf[k]; ok {
+			return s
+		}
+		if len(order) >= budget {
+			return -1
+		}
+		s := out.AddState()
+		stateOf[k] = s
+		order = append(order, k)
+		return s
+	}
+	overflow := func() (*VA, error) {
+		return nil, fmt.Errorf("%w: product exceeded remaining budget %d", ErrBudget, budget)
+	}
+	if out.Start = intern(key{a.Start, b.Start}); out.Start < 0 {
+		return overflow()
+	}
+
+	adjA, adjB := a.Adj(), b.Adj()
+	for i := 0; i < len(order); i++ {
+		k := order[i]
+		from := stateOf[k]
+		for _, ti := range adjA[k.qa] {
+			ta := a.Trans[ti]
+			if ta.Kind == Eps {
+				to := intern(key{ta.To, k.qb})
+				if to < 0 {
+					return overflow()
+				}
+				out.Trans = append(out.Trans, Transition{From: from, To: to, Kind: Eps})
+			}
+		}
+		for _, ti := range adjB[k.qb] {
+			tb := b.Trans[ti]
+			if tb.Kind == Eps {
+				to := intern(key{k.qa, tb.To})
+				if to < 0 {
+					return overflow()
+				}
+				out.Trans = append(out.Trans, Transition{From: from, To: to, Kind: Eps})
+			}
+		}
+		for _, ti := range adjA[k.qa] {
+			ta := a.Trans[ti]
+			if ta.Kind == Eps {
+				continue
+			}
+			for _, tj := range adjB[k.qb] {
+				tb := b.Trans[tj]
+				if tb.Kind == Eps {
+					continue
+				}
+				switch {
+				case ta.Kind == Letter && tb.Kind == Letter:
+					inter := ta.Class.Intersect(tb.Class)
+					if !inter.IsEmpty() {
+						to := intern(key{ta.To, tb.To})
+						if to < 0 {
+							return overflow()
+						}
+						out.AddLetter(from, to, inter)
+					}
+				case ta.Kind == tb.Kind && ta.Var == tb.Var:
+					to := intern(key{ta.To, tb.To})
+					if to < 0 {
+						return overflow()
+					}
+					if ta.Kind == Open {
+						out.AddOpen(from, to, ta.Var)
+					} else {
+						out.AddClose(from, to, ta.Var)
+					}
+				}
+			}
+		}
+	}
+	out.invalidateAdj() // direct Trans appends above bypass add()
+
+	final := out.AddState()
+	out.Finals = []int{final}
+	for _, k := range order {
+		if a.IsFinal(k.qa) && b.IsFinal(k.qb) {
+			out.AddEps(stateOf[k], final)
+		}
+	}
+	return out.Trim(), nil
+}

@@ -1,0 +1,174 @@
+package va
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"spanners/internal/rgx"
+	"spanners/internal/runeclass"
+	"spanners/internal/span"
+)
+
+// setMinus is the reference difference: mappings of a not in b,
+// compared as partial mappings (domain and spans).
+func setMinus(a, b *span.Set) *span.Set {
+	out := span.NewSet()
+	for _, m := range a.Mappings() {
+		if !b.Contains(m) {
+			out.Add(m)
+		}
+	}
+	return out
+}
+
+func mustDifference(t *testing.T, a, b *VA) *VA {
+	t.Helper()
+	d, err := Difference(a, b, 0)
+	if err != nil {
+		t.Fatalf("Difference: %v", err)
+	}
+	return d
+}
+
+func TestDifferenceBasic(t *testing.T) {
+	// x{a+} minus x{aa}: all runs of a's except the length-2 ones.
+	a := FromRGX(rgx.Seq(rgx.Kleene(rgx.AnyChar()), rgx.Seq(rgx.Capture("x", rgx.Plus(rgx.Lit('a'))), rgx.Kleene(rgx.AnyChar()))))
+	b := FromRGX(rgx.Seq(rgx.Kleene(rgx.AnyChar()), rgx.Seq(rgx.Capture("x", rgx.Seq(rgx.Lit('a'), rgx.Lit('a'))), rgx.Kleene(rgx.AnyChar()))))
+	d := mustDifference(t, a, b)
+	doc := span.NewDocument("aaab")
+	got := d.Mappings(doc)
+	want := setMinus(a.Mappings(doc), b.Mappings(doc))
+	if !got.Equal(want) {
+		t.Fatalf("difference mismatch:\n got %v\nwant %v", got.Mappings(), want.Mappings())
+	}
+	if want.Len() == 0 || want.Len() == a.Mappings(doc).Len() {
+		t.Fatalf("degenerate test: want %d of %d mappings", want.Len(), a.Mappings(doc).Len())
+	}
+}
+
+func TestDifferenceDisjointVars(t *testing.T) {
+	// b binds a variable a never does: nothing a outputs is ever in b,
+	// so the difference is a itself.
+	a := FromRGX(rgx.Capture("x", rgx.Lit('a')))
+	b := FromRGX(rgx.Capture("y", rgx.Lit('a')))
+	d := mustDifference(t, a, b)
+	doc := span.NewDocument("a")
+	if got, want := d.Mappings(doc), a.Mappings(doc); !got.Equal(want) {
+		t.Fatalf("got %v, want %v", got.Mappings(), want.Mappings())
+	}
+}
+
+func TestDifferenceUnassignedVariable(t *testing.T) {
+	// a = x{a} | a outputs {x=[1,2)} and {} on "a"; b = a outputs {}.
+	// The difference must keep exactly the x-assigned mapping: the
+	// empty mapping is in b even though b never mentions x.
+	a := FromRGX(rgx.Or(rgx.Capture("x", rgx.Lit('a')), rgx.Lit('a')))
+	b := FromRGX(rgx.Lit('a'))
+	d := mustDifference(t, a, b)
+	doc := span.NewDocument("a")
+	got := d.Mappings(doc)
+	want := setMinus(a.Mappings(doc), b.Mappings(doc))
+	if !got.Equal(want) || want.Len() != 1 {
+		t.Fatalf("got %v, want exactly the assigned mapping %v", got.Mappings(), want.Mappings())
+	}
+}
+
+// TestDifferenceOpOrderInsensitive pins the soundness property the
+// op-set determinization exists for: the right operand admits a
+// same-position operation block in one order only, the left operand
+// in the other order only, yet both realize the same mapping — so
+// the difference must be empty. A per-operation subset construction
+// would complement the unsupported order and wrongly resurrect the
+// mapping.
+func TestDifferenceOpOrderInsensitive(t *testing.T) {
+	chain := func(order ...any) *VA {
+		a := &VA{}
+		q := a.AddState()
+		a.Start = q
+		for _, step := range order {
+			next := a.AddState()
+			switch s := step.(type) {
+			case span.Var:
+				a.AddOpen(q, next, s)
+			case string:
+				a.AddClose(q, next, span.Var(s))
+			case rune:
+				a.AddLetter(q, next, runeclass.Single(s))
+			}
+			q = next
+		}
+		a.Finals = []int{q}
+		return a
+	}
+	// Both accept "a" with x=y=[1,2); the op orders are opposed.
+	left := chain(span.Var("x"), span.Var("y"), 'a', "x", "y")
+	right := chain(span.Var("y"), span.Var("x"), 'a', "y", "x")
+	d := mustDifference(t, left, right)
+	doc := span.NewDocument("a")
+	if got := d.Mappings(doc); got.Len() != 0 {
+		t.Fatalf("difference of order-permuted twins must be empty, got %v", got.Mappings())
+	}
+}
+
+func TestDifferenceBudgetExceeded(t *testing.T) {
+	a := FromRGX(rgx.Capture("x", rgx.Kleene(rgx.Lit('a'))))
+	b := FromRGX(rgx.Capture("x", rgx.Kleene(rgx.Or(rgx.Lit('a'), rgx.Lit('b')))))
+	_, err := Difference(a, b, 3)
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("want ErrBudget, got %v", err)
+	}
+}
+
+func TestDifferenceEmptyRight(t *testing.T) {
+	// Difference with an empty-language right operand is the left
+	// operand verbatim.
+	a := FromRGX(rgx.Capture("x", rgx.Lit('a')))
+	empty := New(2, 0, 1)
+	d := mustDifference(t, a, empty)
+	doc := span.NewDocument("a")
+	if got, want := d.Mappings(doc), a.Mappings(doc); !got.Equal(want) {
+		t.Fatalf("got %v, want %v", got.Mappings(), want.Mappings())
+	}
+}
+
+func TestDifferenceSelf(t *testing.T) {
+	a := FromRGX(rgx.Capture("x", rgx.Kleene(rgx.Or(rgx.Lit('a'), rgx.Lit('b')))))
+	d := mustDifference(t, a, a)
+	for _, text := range []string{"", "a", "ab", "aab"} {
+		if got := d.Mappings(span.NewDocument(text)); got.Len() != 0 {
+			t.Fatalf("A∖A on %q: got %v, want empty", text, got.Mappings())
+		}
+	}
+}
+
+func TestDifferenceQuickOracle(t *testing.T) {
+	// Randomized differential: Difference vs reference set
+	// subtraction over the exhaustive run semantics, on random RGX
+	// pairs and short documents.
+	rng := rand.New(rand.NewSource(7))
+	docs := []*span.Document{
+		span.NewDocument(""),
+		span.NewDocument("a"),
+		span.NewDocument("b"),
+		span.NewDocument("ab"),
+		span.NewDocument("aba"),
+		span.NewDocument("bbab"),
+	}
+	for i := 0; i < 200; i++ {
+		na, nb := genExpr(rng, 2), genExpr(rng, 2)
+		a, b := FromRGX(na), FromRGX(nb)
+		d, err := Difference(a, b, 1<<16)
+		if err != nil {
+			t.Fatalf("#%d Difference(%s, %s): %v", i, na, nb, err)
+		}
+		for _, doc := range docs {
+			got := d.Mappings(doc)
+			want := setMinus(a.Mappings(doc), b.Mappings(doc))
+			if !got.Equal(want) {
+				t.Fatalf("#%d (%s)∖(%s) on %q:\n got %v\nwant %v",
+					i, na, nb, doc.Text(), got.Mappings(), want.Mappings())
+			}
+		}
+	}
+}

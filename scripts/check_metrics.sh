@@ -16,7 +16,12 @@
 #   4. assert Accept-header negotiation serves the same exposition and
 #      the default stays the expvar JSON map,
 #   5. assert the request-ID plumbing: an inbound X-Request-ID is
-#      echoed and its trace is retrievable from /debug/trace/{id}.
+#      echoed and its trace is retrievable from /debug/trace/{id},
+#   6. assert the algebra planner contract: the per-operator
+#      composition histogram carries an op="difference" series after a
+#      difference query, and the per-rule planner rewrite counters are
+#      pre-registered for every rule with the rewriting query ticking
+#      its rule.
 #
 # Requires: go, curl, jq.
 set -euo pipefail
@@ -44,7 +49,7 @@ wait_ready() {
 
 echo "== build and start"
 go build -o "$workdir/spand" ./cmd/spand
-"$workdir/spand" -addr "127.0.0.1:$port" -request-timeout 1s &
+"$workdir/spand" -addr "127.0.0.1:$port" -request-timeout 1s -registry "$workdir/registry" &
 pid=$!
 wait_ready
 
@@ -79,6 +84,24 @@ curl -sf -X PATCH "$base/v1/documents/m1" \
 n=$(curl -sf "$base/v1/extract" -d "{\"expr\": \"$seller\", \"doc_ids\": [\"m1\"]}" \
   | jq -r '.results[0] | length')
 [ "$n" = "2" ] || die "post-splice extract got $n mappings, want 2"
+
+# Algebra planner + difference traffic: register two leaves over
+# HTTP, run one join query the planner rewrites (projection pushdown)
+# and one difference, so the per-rule rewrite counters and the
+# per-operator composition histogram carry real samples below.
+for leaf in 'xy .*x{[ab]}y{[ab]}.*' 'yz .*y{[ab]}z{[ab]*}.*'; do
+  name=${leaf%% *}
+  expr=${leaf#* }
+  code=$(curl -s -o /dev/null -w '%{http_code}' -X PUT "$base/registry/$name" \
+    -d "$(jq -n --arg e "$expr" '{expr: $e}')")
+  [ "$code" = "201" ] || die "registry PUT $name returned $code, want 201"
+done
+n=$(curl -sf "$base/extract" \
+  -d '{"algebra": "project(join(xy, yz), x)", "docs": ["abab"]}' \
+  | jq -r '.results[0] | length') || die "rewriting algebra query failed"
+[ "$n" -ge 1 ] || die "rewriting algebra query extracted $n mappings, want >= 1"
+curl -sf "$base/extract" -d '{"algebra": "difference(xy, xy)", "docs": ["abab"]}' >/dev/null \
+  || die "difference algebra query failed"
 
 # A pathological enumeration must hit the 1s deadline as a typed 503
 # with a Retry-After hint.
@@ -135,6 +158,19 @@ for fam in spand_dfa_prefilter_checks_total spand_dfa_candidate_skipped_runes_to
            spand_boundary_memo_entries; do
   grep -q "^# HELP $fam " "$prom" || die "speed-ladder family $fam missing"
 done
+
+# The algebra planner contract: the composition histogram saw the
+# difference operator, and the per-rule rewrite counters expose every
+# rule label from startup with the pushdown query ticking its rule.
+grep -q 'spand_algebra_op_duration_seconds_bucket{op="difference"' "$prom" \
+  || die "composition histogram has no op=\"difference\" series"
+for rule in project-identity project-collapse project-past-union \
+            project-past-join dedup-union join-reorder; do
+  grep -q "spand_algebra_planner_rewrites_total{rule=\"$rule\"}" "$prom" \
+    || die "planner rewrite counter missing rule=$rule"
+done
+fired=$(awk '/^spand_algebra_planner_rewrites_total\{rule="project-past-join"\}/ {print $2}' "$prom")
+[ "$fired" -ge 1 ] || die "project-past-join fired $fired times, want >= 1"
 
 # The document-store and incremental-extraction families must carry
 # the lifecycle driven above: one put, one splice, and the three

@@ -20,7 +20,12 @@
 #      same boundary-memo behavior as the freshly compiled spanner —
 #      an identical request pair (one literal-free document, one
 #      matching document) moves the prefilter and boundary-memo
-#      counters by identical deltas on both servers.
+#      counters by identical deltas on both servers;
+#   8. register a DIFFERENCE composition as a first-class algebra
+#      artifact offline, restart with -precompose, and assert the
+#      artifact survives the restart with zero compile-cache misses
+#      and that its pinned composition is already cache-warm — the
+#      equivalent algebra query arrives as a pure plan-cache hit.
 #
 # Requires: go, curl, jq.
 set -euo pipefail
@@ -48,7 +53,7 @@ wait_ready() {
 }
 
 start_spand() {
-  "$workdir/spand" -addr "127.0.0.1:$port" -registry "$regdir" &
+  "$workdir/spand" -addr "127.0.0.1:$port" -registry "$regdir" "$@" &
   pid=$!
   wait_ready
 }
@@ -184,4 +189,42 @@ compositions=$(echo "$resp" | jq -r '.stats.algebra.compositions')
 algebra_health=$(curl -sf "$base/healthz" | jq -r '.algebra.compositions')
 [ "$algebra_health" = "1" ] || die "/healthz algebra.compositions=$algebra_health, want 1"
 
-echo "registry_roundtrip: PASS (pinned $ref served after restart with zero compile-cache misses; join(seller, tax) composed once, leaves LRU-miss-free, repeat cache hit)"
+echo "== difference composition as a first-class artifact, pre-composed at startup"
+stop_spand
+"$workdir/spanreg" -dir "$regdir" register runs 'x{a+}.*' >/dev/null
+"$workdir/spanreg" -dir "$regdir" register pairs 'x{aa}.*' >/dev/null
+diff_ref=$("$workdir/spanreg" -dir "$regdir" register-algebra rest 'difference(runs, pairs)')
+case "$diff_ref" in rest@*) ;; *) die "unexpected difference ref $diff_ref";; esac
+
+start_spand -precompose
+health=$(curl -sf "$base/healthz")
+prewarmed=$(echo "$health" | jq -r '.registry.prewarmed')
+[ "$prewarmed" = "5" ] || die "prewarmed=$prewarmed after -precompose restart, want 5"
+pre=$(echo "$health" | jq -r '.algebra.precomposed')
+[ "$pre" = "1" ] || die "algebra.precomposed=$pre after -precompose restart, want 1"
+
+# The difference artifact itself serves by pin from the pre-warmed
+# artifact cache with zero further compile misses: the only LRU miss
+# on the whole server is the -precompose composition pass itself.
+diffbody=$(jq -n --arg ref "$diff_ref" '{spanner: $ref, docs: ["aaab"]}')
+resp=$(curl -sf "$base/extract" -d "$diffbody") || die "difference artifact by pin failed"
+n=$(echo "$resp" | jq -r '.results[0] | length')
+[ "$n" = "2" ] || die "difference artifact extracted $n mappings, want 2 (a, aaa)"
+misses=$(echo "$resp" | jq -r '.stats.spanner_cache.misses')
+[ "$misses" = "1" ] || die "spanner_cache.misses=$misses serving the difference artifact, want 1 (the -precompose composition only)"
+
+# -precompose already planned and composed the registered expression,
+# so the equivalent ad-hoc algebra query never recomposes: it pins to
+# the same leaf versions and hits the warm plan cache.
+exprbody=$(jq -n '{algebra: "difference(runs, pairs)", docs: ["aaab"]}')
+resp=$(curl -sf "$base/extract" -d "$exprbody") || die "difference algebra query failed"
+n=$(echo "$resp" | jq -r '.results[0] | length')
+[ "$n" = "2" ] || die "difference query extracted $n mappings, want 2"
+hits=$(echo "$resp" | jq -r '.stats.algebra.cache_hits')
+compositions=$(echo "$resp" | jq -r '.stats.algebra.compositions')
+misses=$(echo "$resp" | jq -r '.stats.spanner_cache.misses')
+[ "$hits" = "1" ] || die "algebra.cache_hits=$hits after pre-composed difference query, want 1"
+[ "$compositions" = "1" ] || die "algebra.compositions=$compositions, want 1 (the -precompose pass only)"
+[ "$misses" = "1" ] || die "difference traffic grew spanner_cache.misses to $misses, want 1"
+
+echo "registry_roundtrip: PASS (pinned $ref served after restart with zero compile-cache misses; join(seller, tax) composed once, leaves LRU-miss-free, repeat cache hit; difference artifact $diff_ref pre-composed at startup and served as a pure plan-cache hit)"

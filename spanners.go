@@ -619,6 +619,26 @@ func Join(a, b *Spanner) *Spanner {
 	return &Spanner{source: fmt.Sprintf("(%s) ⋈ (%s)", a, b), engine: eval.NewEngine(j)}
 }
 
+// Difference returns the spanner outputting exactly the mappings of a
+// that b does not output, compared as partial mappings. Difference is
+// the algebra operator Peterfreund, Kimelfeld, Freydenberger & Kröll
+// (2019) treat separately: it requires complementing (hence
+// determinizing) the right operand, which is worst-case exponential
+// and breaks the polynomial-delay guarantee the other operators keep.
+// budget bounds that determinization's work (<= 0 means
+// DefaultDifferenceBudget); on exhaustion the error wraps
+// va.ErrBudget and no spanner is built.
+func Difference(a, b *Spanner, budget int) (*Spanner, error) {
+	d, err := va.Difference(a.Automaton(), b.Automaton(), budget)
+	if err != nil {
+		return nil, err
+	}
+	return &Spanner{source: fmt.Sprintf("(%s) ∖ (%s)", a, b), engine: eval.NewEngine(d)}, nil
+}
+
+// DefaultDifferenceBudget is the default state budget for Difference.
+const DefaultDifferenceBudget = va.DefaultDifferenceBudget
+
 // Determinize returns an equivalent deterministic spanner
 // (Proposition 6.5); the automaton can be exponentially larger.
 func Determinize(s *Spanner) *Spanner {

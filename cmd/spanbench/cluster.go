@@ -1,0 +1,170 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"time"
+
+	"spanners/internal/cluster"
+	"spanners/internal/httpapi"
+	"spanners/internal/service"
+	"spanners/internal/workload"
+)
+
+// The -cluster mode is the spanload generator: it boots in-process
+// spand shards (one extraction worker each, so the shard count is the
+// capacity axis) behind a spangate and measures batch throughput as
+// the shard count grows. The headline head-to-head rows compare an
+// N-shard gate against a 1-shard gate on the identical batch — the
+// scatter/gather scaling claim tracked in BENCH_cluster.json.
+//
+// The report records the core count of the machine that produced it:
+// on a single-core box the shards time-slice one CPU and the scaling
+// rows flatten to ~1x, which is why the absolute ≥2x floor on the
+// 4-shard row only arms on machines with at least 4 cores (the gate
+// handles this — see clusterSpeedupFloors).
+
+// clusterScenario is one shard-scaling measurement.
+type clusterScenario struct {
+	Name        string  `json:"name"`
+	OneShardNs  int64   `json:"one_shard_ns_op"`
+	NShardNs    int64   `json:"n_shard_ns_op"`
+	Speedup     float64 `json:"speedup"`
+	DocsPerIter int     `json:"docs_per_iter"`
+}
+
+type clusterReport struct {
+	Generated  string            `json:"generated"`
+	Quick      bool              `json:"quick"`
+	Cores      int               `json:"cores"`
+	HeadToHead []clusterScenario `json:"head_to_head"`
+	Service    []serviceScenario `json:"service_path"`
+}
+
+// bootBenchCluster starts n one-worker spand shards and a spangate
+// over them, returning the gate's base URL and a teardown.
+func bootBenchCluster(n int) (string, func()) {
+	var closers []func()
+	urls := make([]string, n)
+	for i := range urls {
+		svc := service.New(service.Config{Workers: 1})
+		ts := httptest.NewServer(httpapi.New(svc, httpapi.Options{}))
+		closers = append(closers, ts.Close)
+		urls[i] = ts.URL
+	}
+	g, err := cluster.New(cluster.Options{Shards: urls, ProbeInterval: -1})
+	if err != nil {
+		panic(err)
+	}
+	closers = append(closers, g.Close)
+	gate := httptest.NewServer(g)
+	closers = append(closers, gate.Close)
+	return gate.URL, func() {
+		for i := len(closers) - 1; i >= 0; i-- {
+			closers[i]()
+		}
+	}
+}
+
+// clusterBatch posts one batch extraction and drains the response,
+// panicking on any non-200 — a bench must not quietly time noise.
+func clusterBatch(baseURL string, body []byte) {
+	resp, err := http.Post(baseURL+"/v1/extract", "application/json", bytes.NewReader(body))
+	if err != nil {
+		panic(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(resp.Body)
+		panic(fmt.Sprintf("cluster bench: extract status %d: %s", resp.StatusCode, raw))
+	}
+	io.Copy(io.Discard, resp.Body)
+}
+
+func runClusterBench(quick bool, jsonPath string) clusterReport {
+	budget := 400 * time.Millisecond
+	nDocs, rows := 48, 48
+	if quick {
+		budget = 40 * time.Millisecond
+		nDocs, rows = 12, 12
+	}
+	rep := clusterReport{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		Quick:     quick,
+		Cores:     runtime.NumCPU(),
+	}
+
+	// One fixed batch for every topology: distinct documents (so
+	// single-flight coalescing cannot flatter the numbers) with real
+	// match work in each.
+	docs := make([]string, nDocs)
+	for i := range docs {
+		docs[i] = workload.LandRegistry(workload.LandRegistryOptions{Rows: rows, TaxProb: 0.5, Seed: int64(i + 1)})
+	}
+	body, err := json.Marshal(map[string]any{
+		"expr": `.*(Seller: x{[^,\n]*},[^\n]*\n).*`,
+		"docs": docs,
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	fmt.Printf("== spanload: batch throughput vs shard count (1 worker/shard, %d cores)\n", rep.Cores)
+
+	gateNs := map[int]int64{}
+	for _, n := range []int{1, 2, 4} {
+		url, done := bootBenchCluster(n)
+		clusterBatch(url, body) // warm compile caches before timing
+		gateNs[n] = measure(func() { clusterBatch(url, body) }, budget)
+		done()
+		name := fmt.Sprintf("service/gate-%dshard docs=%d", n, nDocs)
+		rep.Service = append(rep.Service, serviceScenario{Name: name, NsOp: gateNs[n]})
+		row(name, time.Duration(gateNs[n]).String(), "")
+	}
+	for _, n := range []int{2, 4} {
+		sc := clusterScenario{
+			Name:        fmt.Sprintf("cluster/batch-%dshard docs=%d", n, nDocs),
+			OneShardNs:  gateNs[1],
+			NShardNs:    gateNs[n],
+			Speedup:     float64(gateNs[1]) / float64(gateNs[n]),
+			DocsPerIter: nDocs,
+		}
+		rep.HeadToHead = append(rep.HeadToHead, sc)
+		row(sc.Name, fmt.Sprintf("%.2fx", sc.Speedup),
+			fmt.Sprintf("1shard=%v %dshard=%v", time.Duration(sc.OneShardNs), n, time.Duration(sc.NShardNs)))
+	}
+
+	// Gate overhead: the same batch against a bare spand, no gate in
+	// the path. Tracked as a service row so a proxy-cost cliff (extra
+	// buffering, lost connection reuse) shows up in the committed
+	// record even though it is machine-dependent.
+	svc := service.New(service.Config{Workers: 1})
+	direct := httptest.NewServer(httpapi.New(svc, httpapi.Options{}))
+	clusterBatch(direct.URL, body)
+	directNs := measure(func() { clusterBatch(direct.URL, body) }, budget)
+	direct.Close()
+	name := fmt.Sprintf("service/direct-single docs=%d", nDocs)
+	rep.Service = append(rep.Service, serviceScenario{Name: name, NsOp: directNs})
+	row(name, time.Duration(directNs).String(),
+		fmt.Sprintf("gate overhead %+.1f%%", 100*(float64(gateNs[1])-float64(directNs))/float64(directNs)))
+
+	if jsonPath != "" {
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			panic(err)
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(jsonPath, buf, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "spanbench: write %s: %v\n", jsonPath, err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote %s\n", jsonPath)
+	}
+	return rep
+}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 )
 
@@ -85,6 +86,17 @@ var algebraSpeedupFloors = map[string]float64{
 	"joinheavy/redundant-arm-pushdown": 1.4,
 }
 
+// clusterSpeedupFloors pin the shard-scaling claim: a 4-shard gate
+// must at least double 1-shard batch throughput. Shards are
+// one-worker processes, so the floor only means anything when the
+// machine has cores for them to scale onto — on fewer than 4 cores
+// the shards time-slice one CPU, the row flattens to ~1x by
+// construction, and the floor stands down (the baseline-relative
+// check still applies).
+var clusterSpeedupFloors = map[string]float64{
+	"cluster/batch-4shard": 2.0,
+}
+
 // speedupFloors returns the absolute head-to-head floors for a
 // baseline section, nil when the section has none.
 func speedupFloors(section string) map[string]float64 {
@@ -95,6 +107,12 @@ func speedupFloors(section string) map[string]float64 {
 		return incSpeedupFloors
 	case "spanbench_algebra":
 		return algebraSpeedupFloors
+	case "spanbench_cluster":
+		if runtime.NumCPU() < 4 {
+			fmt.Fprintf(os.Stderr, "spanbench: note: %d cores < 4, absolute cluster scaling floors disarmed\n", runtime.NumCPU())
+			return nil
+		}
+		return clusterSpeedupFloors
 	}
 	return nil
 }

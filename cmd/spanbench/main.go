@@ -70,6 +70,8 @@ var (
 	incJSON    = flag.String("incjson", "", "with -incremental: write results as JSON to this file")
 	algFlag    = flag.Bool("algebra", false, "run the planner-optimized-vs-literal algebra composition benchmarks instead of the experiment tables")
 	algJSON    = flag.String("algebrajson", "", "with -algebra: write results as JSON to this file")
+	clFlag     = flag.Bool("cluster", false, "run the spanload shard-scaling benchmarks (spangate over N in-process spand shards) instead of the experiment tables")
+	clJSON     = flag.String("clusterjson", "", "with -cluster: write results as JSON to this file")
 	gateBase   = flag.String("gatebase", "", "with -engine or -dfa: compare against the committed baseline JSON and exit nonzero on gross regressions")
 	gateMult   = flag.Float64("gatemult", 2.0, "with -gatebase: allowed regression factor before the gate fails")
 	obsFlag    = flag.Bool("obs", false, "measure the observability layer's overhead against a DisableObservability twin service")
@@ -104,7 +106,7 @@ func main() {
 		}
 		return
 	}
-	if *engineFlag || *dfaFlag || *incFlag || *algFlag {
+	if *engineFlag || *dfaFlag || *incFlag || *algFlag || *clFlag {
 		var (
 			rep     any
 			section string
@@ -116,6 +118,8 @@ func main() {
 			rep, section = runDFABench(*quick, *dfaJSON), "spanbench_dfa"
 		case *incFlag:
 			rep, section = runIncrementalBench(*quick, *incJSON), "spanbench_incremental"
+		case *clFlag:
+			rep, section = runClusterBench(*quick, *clJSON), "spanbench_cluster"
 		default:
 			rep, section = runAlgebraBench(*quick, *algJSON), "spanbench_algebra"
 		}

@@ -8,10 +8,13 @@
 //	      [-max-body 8388608] [-request-timeout 60s] [-registry DIR]
 //	      [-persist-dfa=true] [-doc-store-bytes 67108864]
 //	      [-trace-retain 128] [-slow-request 0] [-pprof-addr ADDR]
+//	      [-legacy-routes=true]
 //
 // Endpoints (canonical under /v1; the pre-v1 unprefixed paths answer
 // identically but set a Deprecation header and a Link to their
-// successor — new clients should use /v1):
+// successor — new clients should use /v1. Operators sunset the
+// aliases with -legacy-routes=false, after which they answer 410
+// Gone, code "gone", still carrying the successor Link):
 //
 //	POST /v1/extract       {"expr"|"rule"|"spanner"|"algebra": …,
 //	                        "docs": [...], "doc_ids": [...], "limit": n}
@@ -62,7 +65,9 @@
 // …, "message": …}}, where code is a stable machine-readable string
 // (syntax, unbound, difference_budget, bad_query, bad_splice,
 // document_not_found, not_found, too_large, deadline, canceled,
-// registry_unavailable, bad_artifact, bad_request).
+// registry_unavailable, bad_artifact, bad_request, gone). The public
+// spanners/client package decodes the envelope into typed errors;
+// the code constants live there as the single source of truth.
 //
 // Stored documents live in a byte-budgeted in-memory store
 // (-doc-store-bytes, default 64 MiB) with LRU eviction; documents,
@@ -115,6 +120,7 @@ import (
 	"time"
 
 	"spanners"
+	"spanners/internal/httpapi"
 	"spanners/internal/obs"
 	"spanners/internal/registry"
 	"spanners/internal/service"
@@ -126,8 +132,8 @@ func main() {
 		spannerCache = flag.Int("spanner-cache", service.DefaultConfig().SpannerCacheSize, "compiled-spanner LRU capacity")
 		ruleCache    = flag.Int("rule-cache", service.DefaultConfig().RuleCacheSize, "compiled-rule LRU capacity")
 		workers      = flag.Int("workers", service.DefaultConfig().Workers, "batch extraction worker count")
-		maxBody      = flag.Int64("max-body", defaultMaxBody, "request body size cap in bytes")
-		reqTimeout   = flag.Duration("request-timeout", defaultRequestTimeout, "per-request extraction deadline (negative disables)")
+		maxBody      = flag.Int64("max-body", httpapi.DefaultMaxBody, "request body size cap in bytes")
+		reqTimeout   = flag.Duration("request-timeout", httpapi.DefaultRequestTimeout, "per-request extraction deadline (negative disables)")
 		registryDir  = flag.String("registry", "", "persistent spanner registry directory (empty disables)")
 		persistDFA   = flag.Bool("persist-dfa", true, "with -registry: save warmed DFA caches as sidecars on shutdown and load them at startup")
 		precompose   = flag.Bool("precompose", false, "with -registry: re-plan every registered algebra artifact at startup so its composition is cache-warm")
@@ -136,6 +142,7 @@ func main() {
 		traceRetain  = flag.Int("trace-retain", obs.DefaultTraceRetention, "request traces retained for /debug/trace")
 		slowRequest  = flag.Duration("slow-request", 0, "log the full span tree of requests slower than this (0 disables)")
 		pprofAddr    = flag.String("pprof-addr", "", "serve net/http/pprof on this separate address (empty disables)")
+		legacyRoutes = flag.Bool("legacy-routes", true, "serve the pre-v1 unprefixed route aliases (false sunsets them with 410 Gone)")
 	)
 	flag.Parse()
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
@@ -190,11 +197,12 @@ func main() {
 
 	srv := &http.Server{
 		Addr: *addr,
-		Handler: newServer(svc, serverOptions{
-			maxBody:    *maxBody,
-			reqTimeout: *reqTimeout,
-			slowReq:    *slowRequest,
-			logger:     logger,
+		Handler: httpapi.New(svc, httpapi.Options{
+			MaxBody:             *maxBody,
+			RequestTimeout:      *reqTimeout,
+			SlowRequest:         *slowRequest,
+			Logger:              logger,
+			DisableLegacyRoutes: !*legacyRoutes,
 		}),
 		ReadHeaderTimeout: 10 * time.Second,
 	}

@@ -1,8 +1,13 @@
-// Command spanreg manages a persistent spanner registry offline: the
-// same directory format cmd/spand pre-warms from. It registers
-// expressions, lists and inspects stored manifests, and exports /
-// imports artifacts so a compiled spanner can be distributed to
-// another machine and served there without ever recompiling.
+// Command spanreg manages a spanner registry, either offline against
+// a directory (the same format cmd/spand pre-warms from) or remotely
+// against a running spand or spangate over the /v1 API. Offline it
+// registers expressions, lists and inspects stored manifests, and
+// exports / imports artifacts so a compiled spanner can be
+// distributed to another machine and served there without ever
+// recompiling; with -addr the same verbs go through the
+// spanners/client package instead, so one tool administers a single
+// server and a whole sharded cluster alike (spangate broadcasts
+// registry writes to every shard).
 //
 // Usage:
 //
@@ -24,22 +29,33 @@
 //	spanreg -dir DIR import NAME FILE       validate + store an exported artifact
 //	spanreg -dir DIR delete NAME[@VERSION]
 //
+//	spanreg -addr URL register NAME EXPR    same verbs against a live server
+//	spanreg -addr URL register-algebra NAME EXPR
+//	spanreg -addr URL eval EXPR [DOC|-]     served evaluation, streamed NDJSON
+//	spanreg -addr URL list
+//	spanreg -addr URL show NAME[@VERSION]
+//	spanreg -addr URL delete NAME[@VERSION]
+//
 // register, register-algebra and import print the content-addressed
 // "name@version" reference on stdout, so scripts can pin exactly what
 // they stored. An eval leaf may itself name a registered algebra
 // expression, and exported algebra artifacts keep their kind across
 // import — the artifact envelope records whether its source is an
-// RGX or an algebra expression.
+// RGX or an algebra expression. versions, export, import and -explain
+// need the artifact store underneath and stay directory-only.
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 
 	"spanners"
+	"spanners/client"
 	"spanners/internal/algebra"
 	"spanners/internal/registry"
 	"spanners/internal/service"
@@ -52,24 +68,36 @@ func main() {
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("spanreg", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	dir := fs.String("dir", "", "registry directory (required)")
+	dir := fs.String("dir", "", "registry directory (offline mode)")
+	addr := fs.String("addr", "", "spand or spangate base URL (remote mode)")
 	fs.Usage = func() {
-		fmt.Fprintln(stderr, "usage: spanreg -dir DIR {register|list|versions|show|export|import|delete} ...")
+		fmt.Fprintln(stderr, "usage: spanreg {-dir DIR | -addr URL} {register|list|versions|show|export|import|delete|eval} ...")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	if *dir == "" || fs.NArg() == 0 {
+	if (*dir == "") == (*addr == "") || fs.NArg() == 0 {
 		fs.Usage()
 		return 2
+	}
+	cmd, rest := fs.Arg(0), fs.Args()[1:]
+	if *addr != "" {
+		c, err := client.New(*addr)
+		if err == nil {
+			err = dispatchRemote(c, cmd, rest, stdout)
+		}
+		if err != nil {
+			fmt.Fprintln(stderr, "spanreg:", err)
+			return 1
+		}
+		return 0
 	}
 	reg, err := registry.Open(*dir)
 	if err != nil {
 		fmt.Fprintln(stderr, "spanreg:", err)
 		return 1
 	}
-	cmd, rest := fs.Arg(0), fs.Args()[1:]
 	if err := dispatch(reg, cmd, rest, stdout); err != nil {
 		fmt.Fprintln(stderr, "spanreg:", err)
 		return 1
@@ -255,4 +283,114 @@ func planAlgebra(reg *registry.Registry, expr string) (*algebra.Plan, error) {
 		return nil, err
 	}
 	return algebra.Build(node, &algebra.RegistryResolver{Reg: reg})
+}
+
+// dispatchRemote runs one verb against a live spand or spangate
+// through the client package. The output format matches the offline
+// dispatcher verb for verb, so scripts work against either mode.
+func dispatchRemote(c *client.Client, cmd string, args []string, stdout io.Writer) error {
+	ctx := context.Background()
+	need := func(n int, usage string) error {
+		if len(args) != n {
+			return fmt.Errorf("usage: spanreg -addr URL %s", usage)
+		}
+		return nil
+	}
+	switch cmd {
+	case "register", "register-algebra":
+		if err := need(2, cmd+" NAME EXPR"); err != nil {
+			return err
+		}
+		reg := c.RegisterSpanner
+		if cmd == "register-algebra" {
+			reg = c.RegisterAlgebra
+		}
+		man, _, err := reg(ctx, args[0], args[1])
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "%s\n", man.Ref())
+		return nil
+
+	case "eval":
+		if len(args) != 1 && len(args) != 2 {
+			return fmt.Errorf("usage: spanreg -addr URL eval EXPR [DOC|-]")
+		}
+		text := ""
+		if len(args) == 2 && args[1] != "-" {
+			text = args[1]
+		} else {
+			b, err := io.ReadAll(os.Stdin)
+			if err != nil {
+				return err
+			}
+			text = string(b)
+		}
+		st, err := c.ExtractStream(ctx, client.StreamRequest{
+			Query: client.Query{Algebra: args[0]},
+			Doc:   text,
+		})
+		if err != nil {
+			return err
+		}
+		defer st.Close()
+		for {
+			line, err := st.NextRaw()
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			if err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(stdout, "%s\n", line); err != nil {
+				return err
+			}
+		}
+
+	case "list":
+		if err := need(0, "list"); err != nil {
+			return err
+		}
+		mans, err := c.ListManifests(ctx)
+		if err != nil {
+			return err
+		}
+		for _, m := range mans {
+			fmt.Fprintf(stdout, "%-24s %s  seq=%v vars=%v  %s\n",
+				m.Name, m.Version, m.Sequential, m.Vars, m.Source)
+		}
+		return nil
+
+	case "show":
+		if err := need(1, "show NAME[@VERSION]"); err != nil {
+			return err
+		}
+		name, version, err := registry.ParseRef(args[0])
+		if err != nil {
+			return err
+		}
+		man, err := c.GetManifest(ctx, name, version)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(man)
+
+	case "delete":
+		if err := need(1, "delete NAME[@VERSION]"); err != nil {
+			return err
+		}
+		name, version, err := registry.ParseRef(args[0])
+		if err != nil {
+			return err
+		}
+		return c.DeleteSpanner(ctx, name, version)
+
+	case "versions", "export", "import":
+		return fmt.Errorf("%s works on the artifact store and needs -dir, not -addr", cmd)
+
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
 }

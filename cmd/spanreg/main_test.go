@@ -1,9 +1,14 @@
 package main
 
 import (
+	"net/http/httptest"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"spanners/internal/httpapi"
+	"spanners/internal/registry"
+	"spanners/internal/service"
 )
 
 func runOK(t *testing.T, args ...string) string {
@@ -55,10 +60,69 @@ func TestRegisterExportImportDelete(t *testing.T) {
 	}
 }
 
+// TestRemoteMode drives the same verbs against a live spand over the
+// /v1 client instead of a directory: the administration path for a
+// running server or a spangate cluster.
+func TestRemoteMode(t *testing.T) {
+	reg, err := registry.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := service.New(service.Config{Workers: 2, Registry: reg})
+	ts := httptest.NewServer(httpapi.New(svc, httpapi.Options{}))
+	defer ts.Close()
+
+	ref := strings.TrimSpace(runOK(t, "-addr", ts.URL, "register", "y3", ".*y{...}.*"))
+	if !strings.HasPrefix(ref, "y3@") {
+		t.Fatalf("remote register printed %q", ref)
+	}
+	runOK(t, "-addr", ts.URL, "register", "z3", ".*z{...}.*")
+	if list := runOK(t, "-addr", ts.URL, "list"); !strings.Contains(list, "y3") || !strings.Contains(list, "z3") {
+		t.Fatalf("remote list output %q", list)
+	}
+	if show := runOK(t, "-addr", ts.URL, "show", ref); !strings.Contains(show, `"source"`) {
+		t.Fatalf("remote show output %q", show)
+	}
+
+	// Remote eval streams the served evaluation; its mappings agree
+	// with a local eval over an identical registry.
+	remote := runOK(t, "-addr", ts.URL, "eval", "join(y3, z3)", "abcde")
+	dir := t.TempDir()
+	runOK(t, "-dir", dir, "register", "y3", ".*y{...}.*")
+	runOK(t, "-dir", dir, "register", "z3", ".*z{...}.*")
+	local := runOK(t, "-dir", dir, "eval", "join(y3, z3)", "abcde")
+	if remote != local {
+		t.Fatalf("remote eval diverges from local eval:\n%s\nvs\n%s", remote, local)
+	}
+
+	// Algebra registration and eval by registered name.
+	aref := strings.TrimSpace(runOK(t, "-addr", ts.URL, "register-algebra", "pair", "join(y3, z3)"))
+	if !strings.HasPrefix(aref, "pair@") {
+		t.Fatalf("remote register-algebra printed %q", aref)
+	}
+	if byName := runOK(t, "-addr", ts.URL, "eval", "pair", "abcde"); byName != remote {
+		t.Fatalf("remote eval by name differs:\n%s\nvs\n%s", byName, remote)
+	}
+
+	runOK(t, "-addr", ts.URL, "delete", "pair")
+	var out, errOut strings.Builder
+	if code := run([]string{"-addr", ts.URL, "show", "pair"}, &out, &errOut); code == 0 {
+		t.Fatal("remote show succeeded after delete")
+	}
+	// Artifact-store verbs refuse remote mode with a pointer to -dir.
+	errOut.Reset()
+	if code := run([]string{"-addr", ts.URL, "versions", "y3"}, &out, &errOut); code == 0 || !strings.Contains(errOut.String(), "-dir") {
+		t.Fatalf("remote versions: exit %d stderr %q", code, errOut.String())
+	}
+}
+
 func TestCLIErrors(t *testing.T) {
 	var out, errOut strings.Builder
 	if code := run([]string{"list"}, &out, &errOut); code != 2 {
 		t.Fatalf("missing -dir: exit %d", code)
+	}
+	if code := run([]string{"-dir", "x", "-addr", "http://h", "list"}, &out, &errOut); code != 2 {
+		t.Fatalf("-dir together with -addr: exit %d", code)
 	}
 	dir := t.TempDir()
 	for _, args := range [][]string{

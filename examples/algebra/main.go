@@ -3,8 +3,8 @@
 // produce properly overlapping spans, plus determinization and the
 // PTIME containment fragment — first through the library, then
 // served: the same composition evaluated over a persistent registry
-// via the service's "algebra" queries, exactly what spand exposes on
-// POST /extract.
+// through the /v1 HTTP API with the spanners/client package, exactly
+// what spand exposes on POST /v1/extract.
 //
 //	go run ./examples/algebra
 package main
@@ -13,9 +13,12 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"net/http/httptest"
 	"os"
 
 	"spanners"
+	"spanners/client"
+	"spanners/internal/httpapi"
 	"spanners/internal/registry"
 	"spanners/internal/service"
 )
@@ -82,13 +85,14 @@ func main() {
 	served(doc)
 }
 
-// served replays the same algebra through the serving stack: register
-// the operands in a spanner registry, then evaluate an algebra
-// expression by name — the code path behind
+// served replays the same algebra through the full serving stack: an
+// in-process spand over HTTP, driven by the spanners/client package —
+// the typed equivalent of
 //
-//	curl localhost:8080/extract -d '{"algebra": "project(join(y3, z3), y)", "docs": ["abcde"]}'
+//	curl localhost:8080/v1/extract -d '{"algebra": "project(join(y3, z3), y)", "docs": ["abcde"]}'
 //
-// on a spand started with -registry.
+// on a spand started with -registry. The same code works unchanged
+// against a spangate cluster base URL.
 func served(doc *spanners.Document) {
 	dir, err := os.MkdirTemp("", "algebra-example-*")
 	if err != nil {
@@ -100,9 +104,16 @@ func served(doc *spanners.Document) {
 		log.Fatal(err)
 	}
 	svc := service.New(service.Config{Registry: reg})
+	ts := httptest.NewServer(httpapi.New(svc, httpapi.Options{}))
+	defer ts.Close()
+	c, err := client.New(ts.URL)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
 
 	for name, expr := range map[string]string{"y3": ".*y{...}.*", "z3": ".*z{...}.*"} {
-		man, _, err := svc.RegisterSpanner(name, expr)
+		man, _, err := c.RegisterSpanner(ctx, name, expr)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -112,17 +123,21 @@ func served(doc *spanners.Document) {
 	// The served composition returns the exact mappings the local
 	// Join/Project composition produced above, runs on the compiled
 	// execution core, and is cached under the pinned expression.
-	results, err := svc.Extract(context.Background(), service.Query{Algebra: "project(join(y3, z3), y)"}, doc.Text())
+	resp, err := c.Extract(ctx, client.ExtractRequest{
+		Query: client.Query{Algebra: "project(join(y3, z3), y)"},
+		Docs:  []string{doc.Text()},
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	results := resp.Results[0]
 	fmt.Printf("served project(join(y3, z3), y) on %q: %d mappings, e.g. %v\n",
 		doc.Text(), len(results), results[0])
 
 	// Compositions are first-class registry artifacts: the stored
 	// source is the expression with its leaves pinned, so the name
 	// keeps meaning the same bytes even as y3/z3 move on.
-	man, _, err := svc.RegisterAlgebra("pair", "join(y3, z3)")
+	man, _, err := c.RegisterAlgebra(ctx, "pair", "join(y3, z3)")
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,268 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"spanners/client"
+	"spanners/internal/httpapi"
+	"spanners/internal/registry"
+	"spanners/internal/service"
+)
+
+// bootShards starts n real in-process spand servers, each with its
+// own registry directory — the cluster shape spangate fronts.
+func bootShards(t *testing.T, n int) []*httptest.Server {
+	t.Helper()
+	shards := make([]*httptest.Server, n)
+	for i := range shards {
+		reg, err := registry.Open(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		svc := service.New(service.Config{Workers: 2, Registry: reg})
+		ts := httptest.NewServer(httpapi.New(svc, httpapi.Options{}))
+		t.Cleanup(ts.Close)
+		shards[i] = ts
+	}
+	return shards
+}
+
+// bootGate starts a gate over the given shard URLs with fast-test
+// timings, serving it on its own listener.
+func bootGate(t *testing.T, opt Options, urls ...string) (*Gate, *httptest.Server) {
+	t.Helper()
+	opt.Shards = urls
+	if opt.AttemptTimeout == 0 {
+		opt.AttemptTimeout = 5 * time.Second
+	}
+	if opt.BackoffBase == 0 {
+		opt.BackoffBase = 5 * time.Millisecond
+	}
+	if opt.ProbeInterval == 0 {
+		opt.ProbeInterval = 50 * time.Millisecond
+	}
+	g, err := New(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(g.Close)
+	ts := httptest.NewServer(g)
+	t.Cleanup(ts.Close)
+	return g, ts
+}
+
+func postJSON(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// rawResults posts an extract request and returns the raw bytes of
+// its "results" field.
+func rawResults(t *testing.T, baseURL string, req any) []byte {
+	t.Helper()
+	resp := postJSON(t, baseURL+"/v1/extract", req)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("extract against %s: status %d: %s", baseURL, resp.StatusCode, body)
+	}
+	var out struct {
+		Results json.RawMessage `json:"results"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out.Results
+}
+
+// sellerExpr is the workload expression used across the differential
+// tests: non-trivial (two variables, repetition) but fast.
+const sellerExpr = `.*(Seller: x{[^,\n]*},[^\n]*\n).*`
+
+// corpus builds a deterministic mixed batch: some documents with
+// several matches, some with none, some empty.
+func corpus(n int) []string {
+	docs := make([]string, n)
+	for i := range docs {
+		switch i % 4 {
+		case 0:
+			docs[i] = fmt.Sprintf("Seller: Anna%d, 12 Hill St\nSeller: Bob%d, 1 Main Rd\n", i, i)
+		case 1:
+			docs[i] = fmt.Sprintf("no sellers in doc %d\n", i)
+		case 2:
+			docs[i] = fmt.Sprintf("Seller: Carol%d, 9 Oak Ave\nnoise line\nSeller: Dan%d, 3 Elm St\nSeller: Eve%d, 7 Pine Rd\n", i, i, i)
+		default:
+			docs[i] = ""
+		}
+	}
+	return docs
+}
+
+// TestDifferentialBatch is the acceptance differential: the same
+// batch through a 3-shard spangate and through one spand must produce
+// byte-identical, order-identical "results".
+func TestDifferentialBatch(t *testing.T) {
+	shards := bootShards(t, 3)
+	_, gate := bootGate(t, Options{}, shards[0].URL, shards[1].URL, shards[2].URL)
+	single := bootShards(t, 1)[0]
+
+	docs := corpus(17)
+	req := map[string]any{"expr": sellerExpr, "docs": docs}
+	got := rawResults(t, gate.URL, req)
+	want := rawResults(t, single.URL, req)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("gate batch results diverge from single spand:\n gate: %s\n one:  %s", got, want)
+	}
+
+	// A second shape: registry-pinned query through both paths. The
+	// registry write broadcasts, so every shard serves the pin.
+	cg, err := client.New(gate.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := client.New(single.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	man, _, err := cg.RegisterSpanner(context.Background(), "sellers", sellerExpr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := cs.RegisterSpanner(context.Background(), "sellers", sellerExpr); err != nil {
+		t.Fatal(err)
+	}
+	pinned := map[string]any{"spanner": man.Ref(), "docs": docs}
+	if got, want := rawResults(t, gate.URL, pinned), rawResults(t, single.URL, pinned); !bytes.Equal(got, want) {
+		t.Fatalf("pinned results diverge:\n gate: %s\n one:  %s", got, want)
+	}
+}
+
+// TestDifferentialDocIDs routes stored documents to their owner
+// shards through the gate and asserts the mixed inline + referenced
+// batch stays byte-identical to a single spand holding every document.
+func TestDifferentialDocIDs(t *testing.T) {
+	shards := bootShards(t, 3)
+	_, gate := bootGate(t, Options{}, shards[0].URL, shards[1].URL, shards[2].URL)
+	single := bootShards(t, 1)[0]
+
+	cg, err := client.New(gate.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := client.New(single.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	var ids []string
+	for i := 0; i < 6; i++ {
+		id := fmt.Sprintf("doc-%d", i)
+		text := fmt.Sprintf("Seller: Store%d, %d Dock Rd\n", i, i)
+		if _, _, err := cg.PutDocument(ctx, id, text); err != nil {
+			t.Fatalf("put %s via gate: %v", id, err)
+		}
+		if _, _, err := cs.PutDocument(ctx, id, text); err != nil {
+			t.Fatalf("put %s via single: %v", id, err)
+		}
+		ids = append(ids, id)
+	}
+	req := map[string]any{"expr": sellerExpr, "docs": corpus(5), "doc_ids": ids}
+	got := rawResults(t, gate.URL, req)
+	want := rawResults(t, single.URL, req)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("doc_id results diverge:\n gate: %s\n one:  %s", got, want)
+	}
+
+	// The gate's document reads come back from the owner shard.
+	doc, err := cg.GetDocument(ctx, "doc-3")
+	if err != nil || doc.Text != "Seller: Store3, 3 Dock Rd\n" {
+		t.Fatalf("get through gate: doc=%+v err=%v", doc, err)
+	}
+}
+
+// TestDifferentialStream asserts the proxied NDJSON stream is
+// byte-identical to a single spand's.
+func TestDifferentialStream(t *testing.T) {
+	shards := bootShards(t, 3)
+	_, gate := bootGate(t, Options{}, shards[0].URL, shards[1].URL, shards[2].URL)
+	single := bootShards(t, 1)[0]
+
+	doc := corpus(3)[2]
+	req := map[string]any{"expr": sellerExpr, "doc": doc}
+	read := func(base string) []byte {
+		resp := postJSON(t, base+"/v1/extract/stream", req)
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("stream status %d", resp.StatusCode)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+			t.Fatalf("stream content type %q", ct)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return body
+	}
+	got, want := read(gate.URL), read(single.URL)
+	if len(got) == 0 {
+		t.Fatal("empty stream body")
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("stream bodies diverge:\n gate: %q\n one:  %q", got, want)
+	}
+}
+
+// TestQueryErrorsPassThrough asserts the gate is transparent for
+// typed query errors: same status, same stable code as a single
+// spand, decodable by the client package.
+func TestQueryErrorsPassThrough(t *testing.T) {
+	shards := bootShards(t, 2)
+	_, gate := bootGate(t, Options{}, shards[0].URL, shards[1].URL)
+	cg, err := client.New(gate.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	_, err = cg.Extract(ctx, client.ExtractRequest{
+		Query: client.Query{Expr: "x{"}, Docs: []string{"abc"},
+	})
+	var ce *client.Error
+	if !isClientErr(err, &ce) || ce.Status != http.StatusBadRequest || ce.Code != client.CodeSyntax {
+		t.Fatalf("syntax error through gate: %v", err)
+	}
+	_, err = cg.Extract(ctx, client.ExtractRequest{
+		Query: client.Query{Expr: "x{a}"}, DocIDs: []string{"never-stored"},
+	})
+	if !isClientErr(err, &ce) || ce.Status != http.StatusNotFound || ce.Code != client.CodeDocumentNotFound {
+		t.Fatalf("missing document through gate: %v", err)
+	}
+	_, err = cg.Extract(ctx, client.ExtractRequest{
+		Query: client.Query{Expr: "x{a}", Rule: "r"}, Docs: []string{"abc"},
+	})
+	if !isClientErr(err, &ce) || ce.Code != client.CodeBadQuery {
+		t.Fatalf("bad query through gate: %v", err)
+	}
+}
+
+func isClientErr(err error, ce **client.Error) bool {
+	return errors.As(err, ce)
+}

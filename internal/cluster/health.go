@@ -1,0 +1,125 @@
+package cluster
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"spanners/client"
+)
+
+// shard is one spand backend plus its circuit-breaker state and
+// per-outcome request counters.
+type shard struct {
+	c *client.Client
+
+	// open is the circuit: true = the shard is excluded from routing.
+	// It opens after failThreshold consecutive failures (probe or
+	// request transport errors) and closes on the next success —
+	// background probes keep running against open shards, so recovery
+	// never needs traffic.
+	open  atomic.Bool
+	fails atomic.Int32
+
+	// outcomes counts upstream requests by result class for
+	// spand_gate_shard_requests_total{shard,outcome}.
+	outcomes [outcomeCount]atomic.Uint64
+	// opened counts circuit-open transitions.
+	opened atomic.Uint64
+}
+
+func newShard(c *client.Client) *shard {
+	return &shard{c: c}
+}
+
+// name is the shard's metric label: its base URL.
+func (sh *shard) name() string { return sh.c.BaseURL() }
+
+// outcome classes for shard requests.
+type outcome int
+
+const (
+	outcomeOK outcome = iota
+	outcomeClientError
+	outcomeError
+	outcomeTimeout
+	outcomeCount
+)
+
+// outcomeNames are the label values, index-aligned with the outcome
+// constants.
+var outcomeNames = [outcomeCount]string{"ok", "client_error", "error", "timeout"}
+
+// note records one upstream request's outcome on the shard counters.
+func (sh *shard) note(o outcome) { sh.outcomes[o].Add(1) }
+
+// recordFailure counts one transport-class failure toward the
+// breaker, opening the circuit at the threshold. Typed HTTP errors
+// (the shard answered, the request was just bad) never come here —
+// an unhealthy query must not mark a healthy shard down.
+func (sh *shard) recordFailure(threshold int) {
+	if int(sh.fails.Add(1)) >= threshold {
+		if sh.open.CompareAndSwap(false, true) {
+			sh.opened.Add(1)
+		}
+	}
+}
+
+// recordSuccess resets the breaker and closes the circuit.
+func (sh *shard) recordSuccess() {
+	sh.fails.Store(0)
+	sh.open.Store(false)
+}
+
+// probeLoop health-checks every shard each interval until ctx ends.
+// Probes run concurrently with a per-probe timeout so one hung shard
+// cannot delay the sweep past its period.
+func (g *Gate) probeLoop(ctx context.Context, interval time.Duration) {
+	defer close(g.probeDone)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		g.probeAll(ctx)
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+	}
+}
+
+func (g *Gate) probeAll(ctx context.Context) {
+	var wg sync.WaitGroup
+	for _, sh := range g.shards {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			g.probe(ctx, sh)
+		}()
+	}
+	wg.Wait()
+}
+
+// probe checks one shard's /v1/healthz and feeds the breaker.
+func (g *Gate) probe(ctx context.Context, sh *shard) {
+	pctx, cancel := g.attemptCtx(ctx)
+	defer cancel()
+	_, err := sh.c.Healthz(pctx)
+	if ctx.Err() != nil {
+		return // shutting down, not a verdict on the shard
+	}
+	if err != nil {
+		wasOpen := sh.open.Load()
+		sh.recordFailure(g.failThreshold)
+		if !wasOpen && sh.open.Load() {
+			g.log.Warn("shard circuit opened",
+				"shard", sh.name(), "consecutive_failures", sh.fails.Load(), "error", err)
+		}
+		return
+	}
+	if sh.open.Load() {
+		g.log.Info("shard circuit closed", "shard", sh.name())
+	}
+	sh.recordSuccess()
+}

@@ -1,0 +1,201 @@
+package cluster
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// slowStreamShard speaks the stream wire contract by hand: it emits
+// its lines with controlled pacing so tests can measure what the gate
+// does between them.
+type slowStreamShard struct {
+	lines      []string
+	gap        time.Duration // pause after the first line
+	headerLag  time.Duration // pause before sending response headers
+	dieMidway  bool          // abort after emitting half the lines
+	downstream http.Handler
+}
+
+func (s *slowStreamShard) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"status":"ok"}`))
+	})
+	mux.HandleFunc("POST /v1/extract/stream", func(w http.ResponseWriter, r *http.Request) {
+		if s.headerLag > 0 {
+			time.Sleep(s.headerLag)
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(http.StatusOK)
+		fl := w.(http.Flusher)
+		for i, line := range s.lines {
+			if s.dieMidway && i == len(s.lines)/2 {
+				panic(http.ErrAbortHandler)
+			}
+			w.Write([]byte(line + "\n"))
+			fl.Flush()
+			if i == 0 && s.gap > 0 {
+				time.Sleep(s.gap)
+			}
+		}
+	})
+	return mux
+}
+
+func bootStreamShard(t *testing.T, s *slowStreamShard) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(s.handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestStreamTTFBFlushThrough is the satellite's time-to-first-byte
+// check: a shard that emits one mapping immediately and then stalls
+// must have that first mapping visible through the gate long before
+// the stream completes — the proxy flushes per line instead of
+// buffering the body.
+func TestStreamTTFBFlushThrough(t *testing.T) {
+	shard := &slowStreamShard{
+		lines: []string{`{"x":{"start":1,"end":2,"content":"a"}}`, `{"x":{"start":2,"end":3,"content":"b"}}`},
+		gap:   1200 * time.Millisecond,
+	}
+	ts := bootStreamShard(t, shard)
+	_, gate := bootGate(t, Options{ProbeInterval: -1}, ts.URL)
+
+	start := time.Now()
+	resp := postJSON(t, gate.URL+"/v1/extract/stream", map[string]any{"expr": "x{a}", "doc": "a"})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	br := bufio.NewReader(resp.Body)
+	first, err := br.ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	ttfb := time.Since(start)
+	if first != shard.lines[0]+"\n" {
+		t.Fatalf("first line %q", first)
+	}
+	// The shard stalls 1.2s after line one; seeing it in a fraction of
+	// that proves no whole-body buffering anywhere in the proxy path.
+	if ttfb > 600*time.Millisecond {
+		t.Fatalf("time to first proxied line %v; gate is buffering", ttfb)
+	}
+	second, err := br.ReadString('\n')
+	if err != nil || second != shard.lines[1]+"\n" {
+		t.Fatalf("second line %q err %v", second, err)
+	}
+}
+
+// TestStreamMidDeath: a shard dying mid-stream must sever the
+// downstream connection — the truncated result set cannot end with a
+// clean EOF.
+func TestStreamMidDeath(t *testing.T) {
+	shard := &slowStreamShard{
+		lines: []string{
+			`{"x":{"start":1,"end":2,"content":"a"}}`,
+			`{"x":{"start":2,"end":3,"content":"b"}}`,
+			`{"x":{"start":3,"end":4,"content":"c"}}`,
+			`{"x":{"start":4,"end":5,"content":"d"}}`,
+		},
+		dieMidway: true,
+	}
+	ts := bootStreamShard(t, shard)
+	_, gate := bootGate(t, Options{ProbeInterval: -1, Retries: 2}, ts.URL)
+
+	resp := postJSON(t, gate.URL+"/v1/extract/stream", map[string]any{"expr": "x{a}", "doc": "a"})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	br := bufio.NewReader(resp.Body)
+	var lines int
+	var readErr error
+	for {
+		_, err := br.ReadString('\n')
+		if err != nil {
+			readErr = err
+			break
+		}
+		lines++
+	}
+	if lines != len(shard.lines)/2 {
+		t.Fatalf("read %d lines before death, want %d", lines, len(shard.lines)/2)
+	}
+	if readErr == nil || readErr.Error() == "EOF" {
+		t.Fatalf("truncated stream ended cleanly (err=%v); must sever", readErr)
+	}
+}
+
+// TestStreamFailoverBeforeFirstByte: a dead first-choice shard is
+// invisible to the client — the gate retries the stream on a survivor
+// before committing any bytes.
+func TestStreamFailoverBeforeFirstByte(t *testing.T) {
+	healthy := bootShards(t, 1)[0]
+	_, gate := bootGate(t, Options{ProbeInterval: -1, Retries: 2},
+		deadServer(t), healthy.URL)
+
+	doc := corpus(1)[0]
+	// Several attempts so rotation lands on the dead shard at least once.
+	for i := 0; i < 4; i++ {
+		resp := postJSON(t, gate.URL+"/v1/extract/stream", map[string]any{"expr": sellerExpr, "doc": doc})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("attempt %d: status %d", i, resp.StatusCode)
+		}
+		var n int
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			var m map[string]any
+			if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+				t.Fatalf("bad NDJSON line: %v", err)
+			}
+			n++
+		}
+		if err := sc.Err(); err != nil {
+			t.Fatalf("attempt %d: stream error %v", i, err)
+		}
+		resp.Body.Close()
+		if n == 0 {
+			t.Fatalf("attempt %d: no mappings", i)
+		}
+	}
+}
+
+// TestStreamHeaderLagFailover: a shard that sits on its response
+// headers past the per-attempt timeout is abandoned before commit;
+// the client still gets the full stream from the survivor.
+func TestStreamHeaderLagFailover(t *testing.T) {
+	laggy := bootStreamShard(t, &slowStreamShard{headerLag: 2 * time.Second})
+	healthy := bootShards(t, 1)[0]
+	_, gate := bootGate(t, Options{
+		ProbeInterval:  -1,
+		AttemptTimeout: 150 * time.Millisecond,
+		Retries:        3,
+	}, laggy.URL, healthy.URL)
+
+	doc := corpus(1)[0]
+	for i := 0; i < 3; i++ {
+		start := time.Now()
+		resp := postJSON(t, gate.URL+"/v1/extract/stream", map[string]any{"expr": sellerExpr, "doc": doc})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("attempt %d: status %d", i, resp.StatusCode)
+		}
+		var n int
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			n++
+		}
+		resp.Body.Close()
+		if n == 0 {
+			t.Fatalf("attempt %d: no mappings", i)
+		}
+		if elapsed := time.Since(start); elapsed > 1500*time.Millisecond {
+			t.Fatalf("attempt %d took %v; header-lag failover should beat the 2s stall", i, elapsed)
+		}
+	}
+}

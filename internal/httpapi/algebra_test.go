@@ -1,4 +1,4 @@
-package main
+package httpapi
 
 import (
 	"bufio"
@@ -227,7 +227,7 @@ func TestAlgebraDifferenceBudget422(t *testing.T) {
 		t.Fatal(err)
 	}
 	svc := service.New(service.Config{Workers: 2, Registry: reg, DifferenceBudget: 2})
-	ts := httptest.NewServer(newServer(svc, serverOptions{}))
+	ts := httptest.NewServer(New(svc, Options{}))
 	t.Cleanup(ts.Close)
 	doJSON(t, http.MethodPut, ts.URL+"/registry/aa", map[string]string{"expr": ".*y{a+}.*"}, nil)
 

@@ -1,4 +1,4 @@
-package main
+package httpapi
 
 import (
 	"bytes"
@@ -9,6 +9,7 @@ import (
 	"strings"
 	"testing"
 
+	"spanners/client"
 	"spanners/internal/docstore"
 	"spanners/internal/service"
 )
@@ -35,17 +36,17 @@ func doReq(t *testing.T, method, url string, body any) *http.Response {
 }
 
 // decodeError reads the unified error envelope off an error response.
-func decodeError(t *testing.T, resp *http.Response) errorDetail {
+func decodeError(t *testing.T, resp *http.Response) client.ErrorDetail {
 	t.Helper()
 	defer resp.Body.Close()
-	var body errorBody
+	var body client.ErrorEnvelope
 	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
 		t.Fatalf("error response is not the envelope: %v", err)
 	}
-	if body.Error.Code == "" || body.Error.Message == "" {
-		t.Fatalf("envelope missing code or message: %+v", body.Error)
+	if body.Err.Code == "" || body.Err.Message == "" {
+		t.Fatalf("envelope missing code or message: %+v", body.Err)
 	}
-	return body.Error
+	return body.Err
 }
 
 func TestDocumentCRUDAndExtractByReference(t *testing.T) {
@@ -313,10 +314,67 @@ func TestV1AndLegacyRoutes(t *testing.T) {
 	}
 }
 
+// TestLegacyRouteSunset asserts the -legacy-routes=false mode: every
+// unprefixed alias answers 410 Gone with the stable "gone" code and
+// still carries the successor Link, while the canonical /v1 surface
+// is untouched.
+func TestLegacyRouteSunset(t *testing.T) {
+	svc := service.New(service.Config{Workers: 2})
+	ts := httptest.NewServer(New(svc, Options{DisableLegacyRoutes: true}))
+	defer ts.Close()
+	body := map[string]any{"expr": "x{a*}b", "docs": []string{"aab"}}
+
+	// Canonical route: unaffected by the sunset.
+	resp := postJSON(t, ts.URL+"/v1/extract", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/extract under sunset: status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Legacy POST alias: 410 with the envelope and the successor Link.
+	resp = postJSON(t, ts.URL+"/extract", body)
+	if resp.StatusCode != http.StatusGone {
+		t.Fatalf("/extract under sunset: status %d, want 410", resp.StatusCode)
+	}
+	if want := `</v1/extract>; rel="successor-version"`; resp.Header.Get("Link") != want {
+		t.Fatalf("/extract sunset Link %q, want %q", resp.Header.Get("Link"), want)
+	}
+	if dep := resp.Header.Get("Deprecation"); dep != "" {
+		t.Fatalf("/extract sunset still sets Deprecation %q", dep)
+	}
+	detail := decodeError(t, resp)
+	if detail.Code != "gone" {
+		t.Fatalf("/extract sunset code %q, want gone", detail.Code)
+	}
+
+	// The sunset covers the whole legacy surface, GETs included.
+	for _, path := range []string{"/healthz", "/metrics", "/debug/trace"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusGone {
+			t.Fatalf("GET %s under sunset: status %d, want 410", path, resp.StatusCode)
+		}
+		if resp.Header.Get("Link") == "" {
+			t.Fatalf("GET %s under sunset: missing successor Link", path)
+		}
+		v1, err := http.Get(ts.URL + "/v1" + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v1.Body.Close()
+		if v1.StatusCode != http.StatusOK {
+			t.Fatalf("GET /v1%s under sunset: status %d", path, v1.StatusCode)
+		}
+	}
+}
+
 // newHTTPServer wires a custom service into a test HTTP server.
 func newHTTPServer(t *testing.T, svc *service.Service) *httptest.Server {
 	t.Helper()
-	ts := httptest.NewServer(newServer(svc, serverOptions{}))
+	ts := httptest.NewServer(New(svc, Options{}))
 	t.Cleanup(ts.Close)
 	return ts
 }

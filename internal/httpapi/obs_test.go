@@ -1,4 +1,4 @@
-package main
+package httpapi
 
 import (
 	"encoding/json"
@@ -148,7 +148,7 @@ func TestMetricsContentNegotiation(t *testing.T) {
 // deadline-expiry counter — distinguishable from a client disconnect.
 func TestDeadlineTyped503(t *testing.T) {
 	svc := service.New(service.Config{Workers: 2})
-	ts := httptest.NewServer(newServer(svc, serverOptions{reqTimeout: 50 * time.Millisecond}))
+	ts := httptest.NewServer(New(svc, Options{RequestTimeout: 50 * time.Millisecond}))
 	t.Cleanup(ts.Close)
 
 	resp := postJSON(t, ts.URL+"/extract", map[string]any{
@@ -171,7 +171,7 @@ func TestDeadlineTyped503(t *testing.T) {
 // expvar map still serves.
 func TestDebugTraceDisabled(t *testing.T) {
 	svc := service.New(service.Config{DisableObservability: true})
-	ts := httptest.NewServer(newServer(svc, serverOptions{}))
+	ts := httptest.NewServer(New(svc, Options{}))
 	t.Cleanup(ts.Close)
 
 	resp, err := http.Get(ts.URL + "/debug/trace")

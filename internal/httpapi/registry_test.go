@@ -1,4 +1,4 @@
-package main
+package httpapi
 
 import (
 	"encoding/json"
@@ -24,7 +24,7 @@ func newRegistryTestServer(t *testing.T, dir string, timeout time.Duration) (*ht
 	if _, err := svc.Prewarm(); err != nil {
 		t.Fatalf("prewarm: %v", err)
 	}
-	ts := httptest.NewServer(newServer(svc, serverOptions{reqTimeout: timeout}))
+	ts := httptest.NewServer(New(svc, Options{RequestTimeout: timeout}))
 	t.Cleanup(ts.Close)
 	return ts, svc
 }
@@ -137,7 +137,7 @@ func TestRegistryLifecycleAcrossRestart(t *testing.T) {
 
 func TestRegistryEndpointsWithoutRegistry(t *testing.T) {
 	svc := service.New(service.Config{})
-	ts := httptest.NewServer(newServer(svc, serverOptions{}))
+	ts := httptest.NewServer(New(svc, Options{}))
 	t.Cleanup(ts.Close)
 
 	resp := doJSON(t, http.MethodPut, ts.URL+"/registry/x", map[string]string{"expr": "a"}, nil)
@@ -183,7 +183,7 @@ func TestRegistryValidationOverHTTP(t *testing.T) {
 // off by the per-request deadline instead of pinning a worker.
 func TestRequestTimeout(t *testing.T) {
 	svc := service.New(service.Config{Workers: 2})
-	ts := httptest.NewServer(newServer(svc, serverOptions{reqTimeout: 50 * time.Millisecond}))
+	ts := httptest.NewServer(New(svc, Options{RequestTimeout: 50 * time.Millisecond}))
 	t.Cleanup(ts.Close)
 
 	start := time.Now()
@@ -199,7 +199,7 @@ func TestRequestTimeout(t *testing.T) {
 
 	// A negative timeout disables the deadline: the same small request
 	// still completes.
-	ts2 := httptest.NewServer(newServer(svc, serverOptions{reqTimeout: -1}))
+	ts2 := httptest.NewServer(New(svc, Options{RequestTimeout: -1}))
 	t.Cleanup(ts2.Close)
 	var out extractResponse
 	resp = doJSON(t, http.MethodPost, ts2.URL+"/extract", map[string]any{
@@ -214,7 +214,7 @@ func TestRequestTimeout(t *testing.T) {
 // is aborted (truncated chunked body) rather than cleanly closed.
 func TestStreamTimeoutAborts(t *testing.T) {
 	svc := service.New(service.Config{Workers: 2})
-	ts := httptest.NewServer(newServer(svc, serverOptions{reqTimeout: 100 * time.Millisecond}))
+	ts := httptest.NewServer(New(svc, Options{RequestTimeout: 100 * time.Millisecond}))
 	t.Cleanup(ts.Close)
 
 	buf, _ := json.Marshal(map[string]any{"expr": `a*x{a*}a*`, "doc": strings.Repeat("a", 3000)})

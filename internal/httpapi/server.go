@@ -1,4 +1,15 @@
-package main
+// Package httpapi serves the spand /v1 HTTP surface over a
+// service.Service: extraction (batch and NDJSON stream), the
+// documents CRUD+Patch API, the registry, health, metrics and trace
+// debugging. cmd/spand mounts it on a listener; tests, spangate and
+// spanbench boot it in-process over httptest.
+//
+// The wire contract — request/response shapes and the unified error
+// envelope with its stable code table — is shared with the public
+// client package: the codes written here are the client.Code*
+// constants, so a client.Error decoded from any response matches the
+// corresponding client sentinel.
+package httpapi
 
 import (
 	"context"
@@ -14,6 +25,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"spanners/client"
 	"spanners/internal/algebra"
 	"spanners/internal/docstore"
 	"spanners/internal/obs"
@@ -77,31 +89,37 @@ type registerResponse struct {
 	Created bool `json:"created"`
 }
 
-// defaultMaxBody caps request bodies when no explicit limit is given.
-const defaultMaxBody = 8 << 20 // 8 MiB
+// DefaultMaxBody caps request bodies when no explicit limit is given.
+const DefaultMaxBody = 8 << 20 // 8 MiB
 
-// defaultRequestTimeout bounds one extraction request end to end, so
+// DefaultRequestTimeout bounds one extraction request end to end, so
 // a pathological expression (enumeration is output-exponential in the
 // worst case) cannot pin a worker forever. The body-size cap bounds
 // input; this bounds compute.
-const defaultRequestTimeout = 60 * time.Second
+const DefaultRequestTimeout = 60 * time.Second
 
-// serverOptions configures newServer. The zero value selects the
-// production defaults: defaultMaxBody, defaultRequestTimeout, no
-// slow-request dumping, no request logs.
-type serverOptions struct {
-	// maxBody caps request body size in bytes (0 selects
-	// defaultMaxBody) so an oversized batch cannot exhaust memory
+// Options configures New. The zero value selects the production
+// defaults: DefaultMaxBody, DefaultRequestTimeout, no slow-request
+// dumping, no request logs, legacy unprefixed routes answering with
+// deprecation headers.
+type Options struct {
+	// MaxBody caps request body size in bytes (0 selects
+	// DefaultMaxBody) so an oversized batch cannot exhaust memory
 	// before extraction starts.
-	maxBody int64
-	// reqTimeout caps one extraction's wall time (0 selects
-	// defaultRequestTimeout, negative disables the deadline).
-	reqTimeout time.Duration
-	// slowReq, when positive, logs the full span tree of any request
-	// slower than the threshold.
-	slowReq time.Duration
-	// logger receives structured request logs; nil discards them.
-	logger *slog.Logger
+	MaxBody int64
+	// RequestTimeout caps one extraction's wall time (0 selects
+	// DefaultRequestTimeout, negative disables the deadline).
+	RequestTimeout time.Duration
+	// SlowRequest, when positive, logs the full span tree of any
+	// request slower than the threshold.
+	SlowRequest time.Duration
+	// Logger receives structured request logs; nil discards them.
+	Logger *slog.Logger
+	// DisableLegacyRoutes sunsets the historical unprefixed aliases:
+	// instead of answering with deprecation headers they return 410
+	// Gone (code "gone") with a Link naming the /v1 successor. The
+	// default (false) keeps the aliases serving.
+	DisableLegacyRoutes bool
 }
 
 type server struct {
@@ -111,29 +129,32 @@ type server struct {
 	reqTimeout time.Duration
 	slowReq    time.Duration
 	log        *slog.Logger
+	legacyGone bool
 }
 
-// newServer wires the service into an http.Handler exposing
-// /extract, /extract/stream, /registry, /healthz, /metrics and
-// /debug/trace. It also publishes the service's expvar snapshot, so
-// /metrics stays a side-effect-free read path.
-func newServer(svc *service.Service, opt serverOptions) *server {
-	if opt.maxBody <= 0 {
-		opt.maxBody = defaultMaxBody
+// New wires the service into an http.Handler exposing /v1/extract,
+// /v1/extract/stream, /v1/documents, /v1/registry, /v1/healthz,
+// /v1/metrics and /v1/debug/trace (plus the legacy unprefixed
+// aliases unless sunset). It also publishes the service's expvar
+// snapshot, so /metrics stays a side-effect-free read path.
+func New(svc *service.Service, opt Options) http.Handler {
+	if opt.MaxBody <= 0 {
+		opt.MaxBody = DefaultMaxBody
 	}
-	if opt.reqTimeout == 0 {
-		opt.reqTimeout = defaultRequestTimeout
+	if opt.RequestTimeout == 0 {
+		opt.RequestTimeout = DefaultRequestTimeout
 	}
-	if opt.logger == nil {
-		opt.logger = slog.New(slog.DiscardHandler)
+	if opt.Logger == nil {
+		opt.Logger = slog.New(slog.DiscardHandler)
 	}
 	s := &server{
 		svc:        svc,
 		mux:        http.NewServeMux(),
-		maxBody:    opt.maxBody,
-		reqTimeout: opt.reqTimeout,
-		slowReq:    opt.slowReq,
-		log:        opt.logger,
+		maxBody:    opt.MaxBody,
+		reqTimeout: opt.RequestTimeout,
+		slowReq:    opt.SlowRequest,
+		log:        opt.Logger,
+		legacyGone: opt.DisableLegacyRoutes,
 	}
 	// Every pre-v1 endpoint is registered twice: canonically under /v1
 	// and at its historical unprefixed path, which answers identically
@@ -161,7 +182,10 @@ func newServer(svc *service.Service, opt serverOptions) *server {
 // route registers pattern (e.g. "POST /extract") under the canonical
 // /v1 prefix and at the legacy unprefixed path. Legacy responses set
 // the Deprecation header (RFC 9745) and a Link to the successor so
-// clients can migrate mechanically.
+// clients can migrate mechanically; with the sunset flag on
+// (DisableLegacyRoutes) the alias instead answers 410 Gone, still
+// carrying the successor Link so the migration path stays machine
+// readable.
 func (s *server) route(pattern string, h http.HandlerFunc) {
 	method, path, ok := strings.Cut(pattern, " ")
 	if !ok {
@@ -169,8 +193,13 @@ func (s *server) route(pattern string, h http.HandlerFunc) {
 	}
 	s.mux.HandleFunc(method+" /v1"+path, h)
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Deprecation", "true")
 		w.Header().Set("Link", "</v1"+r.URL.Path+`>; rel="successor-version"`)
+		if s.legacyGone {
+			WriteError(w, http.StatusGone, client.CodeGone,
+				"legacy route sunset: use /v1"+r.URL.Path)
+			return
+		}
+		w.Header().Set("Deprecation", "true")
 		h(w, r)
 	})
 }
@@ -314,33 +343,26 @@ func (s *server) retryAfter() string {
 	return strconv.Itoa(secs)
 }
 
-// errorBody is the unified error envelope every handler writes:
-// {"error": {"code": "...", "message": "..."}}. The code is a stable
-// machine-readable string from the table in errorCode; the message is
-// the human-readable error chain.
-type errorBody struct {
-	Error errorDetail `json:"error"`
-}
-
-type errorDetail struct {
-	Code    string `json:"code"`
-	Message string `json:"message"`
-}
+// The error envelope every handler writes is the wire shape shared
+// with the public client package: {"error": {"code", "message"}},
+// where the code is a stable machine-readable client.Code* string
+// from the table in errorCode and the message is the human-readable
+// error chain.
 
 // httpError writes the error envelope with an explicit status,
 // deriving the stable code from the error's type (falling back to a
 // status-based default when the error carries no recognized type).
 func httpError(w http.ResponseWriter, status int, err error) {
 	_, code := errorCode(err)
-	if code == codeBadRequest {
+	if code == client.CodeBadRequest {
 		// Untyped error: let the explicit status pick a better default.
 		switch status {
 		case http.StatusRequestEntityTooLarge:
-			code = "too_large"
+			code = client.CodeTooLarge
 		case http.StatusNotFound:
-			code = "not_found"
+			code = client.CodeNotFound
 		case http.StatusServiceUnavailable:
-			code = "unavailable"
+			code = client.CodeUnavailable
 		}
 	}
 	writeError(w, status, code, err)
@@ -354,12 +376,17 @@ func apiError(w http.ResponseWriter, err error) {
 }
 
 func writeError(w http.ResponseWriter, status int, code string, err error) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(errorBody{Error: errorDetail{Code: code, Message: err.Error()}})
+	WriteError(w, status, code, err.Error())
 }
 
-const codeBadRequest = "bad_request"
+// WriteError writes the unified error envelope — the one the public
+// client package decodes — with an explicit status, code and message.
+// Exported for front ends (spangate) that speak the same contract.
+func WriteError(w http.ResponseWriter, status int, code, message string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(client.ErrorEnvelope{Err: client.ErrorDetail{Code: code, Message: message}})
+}
 
 // errorCode maps a typed failure to its status and stable error code.
 // The server-imposed -request-timeout deadline is a compute limit, not
@@ -377,38 +404,38 @@ func errorCode(err error) (int, string) {
 	var parseErr *rgx.ParseError
 	switch {
 	case errors.Is(err, errDeadline), errors.Is(err, context.DeadlineExceeded):
-		return http.StatusServiceUnavailable, "deadline"
+		return http.StatusServiceUnavailable, client.CodeDeadline
 	case errors.Is(err, context.Canceled):
-		return http.StatusRequestTimeout, "canceled"
+		return http.StatusRequestTimeout, client.CodeCanceled
 	case errors.Is(err, docstore.ErrNotFound):
-		return http.StatusNotFound, "document_not_found"
+		return http.StatusNotFound, client.CodeDocumentNotFound
 	case errors.Is(err, docstore.ErrBadSplice):
-		return http.StatusBadRequest, "bad_splice"
+		return http.StatusBadRequest, client.CodeBadSplice
 	case errors.Is(err, docstore.ErrTooLarge):
-		return http.StatusRequestEntityTooLarge, "too_large"
+		return http.StatusRequestEntityTooLarge, client.CodeTooLarge
 	case errors.Is(err, registry.ErrNotFound):
-		return http.StatusNotFound, "not_found"
+		return http.StatusNotFound, client.CodeNotFound
 	case errors.Is(err, service.ErrNoRegistry):
-		return http.StatusServiceUnavailable, "registry_unavailable"
+		return http.StatusServiceUnavailable, client.CodeRegistryUnavailable
 	case errors.Is(err, registry.ErrBadName), errors.Is(err, registry.ErrBadVersion):
-		return http.StatusBadRequest, "bad_name"
+		return http.StatusBadRequest, client.CodeBadName
 	case errors.Is(err, registry.ErrBadArtifact):
-		return http.StatusInternalServerError, "bad_artifact"
+		return http.StatusInternalServerError, client.CodeBadArtifact
 	case errors.Is(err, service.ErrBadQuery):
-		return http.StatusBadRequest, "bad_query"
+		return http.StatusBadRequest, client.CodeBadQuery
 	case errors.As(err, &parseErr), errors.Is(err, algebra.ErrSyntax):
-		return http.StatusBadRequest, "syntax"
+		return http.StatusBadRequest, client.CodeSyntax
 	case errors.Is(err, algebra.ErrUnbound):
-		return http.StatusBadRequest, "unbound"
+		return http.StatusBadRequest, client.CodeUnbound
 	case errors.Is(err, algebra.ErrBudget):
 		// A difference whose determinization exceeds the configured
 		// state budget: the query is well-formed but too expensive to
 		// compose safely — 422, never an OOM or a 500. Raising
 		// -difference-budget or simplifying the right operand are the
 		// remedies.
-		return http.StatusUnprocessableEntity, "difference_budget"
+		return http.StatusUnprocessableEntity, client.CodeDifferenceBudget
 	default:
-		return http.StatusBadRequest, codeBadRequest
+		return http.StatusBadRequest, client.CodeBadRequest
 	}
 }
 

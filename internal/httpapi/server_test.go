@@ -1,4 +1,4 @@
-package main
+package httpapi
 
 import (
 	"bufio"
@@ -18,7 +18,7 @@ import (
 func newTestServer(t *testing.T) (*httptest.Server, *service.Service) {
 	t.Helper()
 	svc := service.New(service.Config{Workers: 4})
-	ts := httptest.NewServer(newServer(svc, serverOptions{}))
+	ts := httptest.NewServer(New(svc, Options{}))
 	t.Cleanup(ts.Close)
 	return ts, svc
 }
@@ -192,7 +192,7 @@ func TestStreamEndToEnd(t *testing.T) {
 
 func TestBodyTooLarge(t *testing.T) {
 	svc := service.New(service.Config{})
-	ts := httptest.NewServer(newServer(svc, serverOptions{maxBody: 128}))
+	ts := httptest.NewServer(New(svc, Options{MaxBody: 128}))
 	t.Cleanup(ts.Close)
 
 	resp := postJSON(t, ts.URL+"/extract", map[string]any{

@@ -21,7 +21,11 @@
 #      composition histogram carries an op="difference" series after a
 #      difference query, and the per-rule planner rewrite counters are
 #      pre-registered for every rule with the rewriting query ticking
-#      its rule.
+#      its rule,
+#   7. start a spangate over the spand and assert the cluster surface:
+#      every spand_gate_* family is exposed with HELP/TYPE headers and
+#      the driven batch + stream traffic lands on the shard-request
+#      and streamed-lines counters.
 #
 # Requires: go, curl, jq.
 set -euo pipefail
@@ -31,8 +35,11 @@ port="${SPAND_PORT:-18081}"
 base="http://127.0.0.1:$port"
 pid=""
 
+gate_pid=""
+
 cleanup() {
   [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+  [ -n "$gate_pid" ] && kill "$gate_pid" 2>/dev/null || true
   rm -rf "$workdir"
 }
 trap cleanup EXIT
@@ -213,4 +220,45 @@ spans=$(echo "$trace" | jq -r '.spans | length')
 retained=$(curl -sf "$base/debug/trace" | jq -r 'length')
 [ "$retained" -ge 3 ] || die "only $retained retained traces, want >= 3"
 
-echo "check_metrics: PASS (exposition well-formed, per-stage + emission-delay histograms live, deadline 503 counted, traces retrievable by request ID)"
+echo "== spangate cluster families"
+gate_port=$((port + 1))
+gate_base="http://127.0.0.1:$gate_port"
+go build -o "$workdir/spangate" ./cmd/spangate
+"$workdir/spangate" -addr "127.0.0.1:$gate_port" -shards "$base" -probe-interval 100ms &
+gate_pid=$!
+for _ in $(seq 1 100); do
+  if curl -sf "$gate_base/v1/healthz" >/dev/null 2>&1; then break; fi
+  sleep 0.1
+done
+
+gb=$(curl -sf "$gate_base/v1/extract" \
+  -d '{"expr": ".*(Seller: x{[^,\\n]*},[^\\n]*\\n).*", "docs": ["Seller: Anna, 12 Hill St\nSeller: Bob, 1 Main Rd\n"]}') \
+  || die "batch via spangate failed"
+n=$(echo "$gb" | jq -r '.results[0] | length')
+[ "$n" = "2" ] || die "gate batch extracted $n mappings, want 2"
+gate_lines=$(curl -sf "$gate_base/v1/extract/stream" \
+  -d '{"expr": "x{a*}b", "doc": "aaab"}' | wc -l)
+[ "$gate_lines" -ge 1 ] || die "gate stream produced no mappings"
+
+gprom="$workdir/gate.prom"
+curl -sf "$gate_base/v1/metrics?format=prom" > "$gprom" || die "gate prom scrape failed"
+for fam in spand_gate_shard_requests_total spand_gate_fanout_duration_seconds \
+           spand_gate_stream_ttfb_seconds spand_gate_coalesced_total \
+           spand_gate_shed_total spand_gate_retries_total \
+           spand_gate_streamed_lines_total spand_gate_circuit_opens_total \
+           spand_gate_in_flight spand_gate_healthy_shards; do
+  grep -q "^# HELP $fam " "$gprom" || die "gate family $fam has no # HELP line"
+  grep -q "^# TYPE $fam " "$gprom" || die "gate family $fam has no # TYPE line"
+done
+gok=$(awk -F' ' '/^spand_gate_shard_requests_total\{.*outcome="ok"/ {s += $2} END {print s+0}' "$gprom")
+[ "$gok" -ge 2 ] || die "spand_gate_shard_requests_total ok=$gok, want >= 2 (batch + stream)"
+glines=$(awk '/^spand_gate_streamed_lines_total / {print $2}' "$gprom")
+[ "$glines" = "$gate_lines" ] || die "spand_gate_streamed_lines_total=$glines, want $gate_lines"
+ghealthy=$(awk '/^spand_gate_healthy_shards / {print $2}' "$gprom")
+[ "$ghealthy" = "1" ] || die "spand_gate_healthy_shards=$ghealthy, want 1"
+# The gate histogram buckets obey the same exposition invariants.
+ginf=$(awk -F' ' '/^spand_gate_fanout_duration_seconds_bucket\{le="\+Inf"\}/ {print $2}' "$gprom")
+gcnt=$(awk -F' ' '/^spand_gate_fanout_duration_seconds_count/ {print $2}' "$gprom")
+[ -n "$ginf" ] && [ "$ginf" = "$gcnt" ] || die "gate fanout +Inf bucket $ginf != count $gcnt"
+
+echo "check_metrics: PASS (exposition well-formed, per-stage + emission-delay histograms live, deadline 503 counted, traces retrievable by request ID, spand_gate_* families live)"

@@ -1,10 +1,10 @@
 #!/usr/bin/env bash
 # Route/spec drift check, run in CI and locally:
 #
-#   The canonical /v1 routes that cmd/spand/server.go registers must
-#   match the paths documented in docs/openapi.yaml exactly, in both
-#   directions — an endpoint added to the mux without a spec entry
-#   fails, and so does a spec path with no backing route.
+#   The canonical /v1 routes that internal/httpapi/server.go registers
+#   must match the paths documented in docs/openapi.yaml exactly, in
+#   both directions — an endpoint added to the mux without a spec
+#   entry fails, and so does a spec path with no backing route.
 #
 # Both sides are normalized to "METHOD /v1/path" lines: s.route()
 # registrations gain the /v1 prefix they are served under (their
@@ -15,7 +15,7 @@
 # Run from the repository root.
 set -uo pipefail
 
-SERVER=cmd/spand/server.go
+SERVER=internal/httpapi/server.go
 SPEC=docs/openapi.yaml
 
 fail=0
